@@ -1,0 +1,56 @@
+"""Shared benchmark configuration: scale selection and helpers.
+
+Every bench supports two scales through the ``REPRO_SCALE`` env var:
+
+* ``small`` (default) — paper benchmark sizes up to 1060 cities and a
+  coarser annealing ramp (same current endpoints), so the whole bench
+  suite finishes in minutes on a laptop;
+* ``paper`` — all 20 sizes up to 85,900 cities and longer ramps.
+
+Both print the same row/series structure as the paper's tables and
+figures; EXPERIMENTS.md records the paper-scale results.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.concorde_surrogate import ConcordeSurrogate
+from repro.core import TAXIConfig, TAXISolver
+from repro.tsp import load_benchmark
+from repro.tsp.benchmarks import BENCHMARK_SIZES
+
+SCALE = os.environ.get("REPRO_SCALE", "small").lower()
+IS_PAPER_SCALE = SCALE == "paper"
+
+#: Annealing sweeps per sub-problem used by benches (paper ramp is 1341).
+BENCH_SWEEPS = 335 if IS_PAPER_SCALE else 134
+
+#: Benchmark sizes exercised per scale.
+if IS_PAPER_SCALE:
+    QUALITY_SIZES = list(BENCHMARK_SIZES)
+else:
+    QUALITY_SIZES = [s for s in BENCHMARK_SIZES if s <= 1060]
+
+#: Sizes for sweep-style benches (one solve per configuration point).
+SWEEP_SIZES = QUALITY_SIZES if IS_PAPER_SCALE else QUALITY_SIZES[:9]
+
+_surrogate = ConcordeSurrogate()
+
+
+def reference_length_for(size: int) -> float:
+    """Cached Concorde-surrogate reference length for a benchmark size."""
+    return _surrogate.reference_length(load_benchmark(size))
+
+
+def taxi_config(**overrides) -> TAXIConfig:
+    """The benches' default TAXI configuration (seeded, bench sweeps)."""
+    params = dict(max_cluster_size=12, bits=4, sweeps=BENCH_SWEEPS, seed=0)
+    params.update(overrides)
+    return TAXIConfig(**params)
+
+
+def solve_taxi(size: int, **overrides):
+    """Solve one benchmark instance with the bench TAXI configuration."""
+    instance = load_benchmark(size)
+    return TAXISolver(taxi_config(**overrides)).solve(instance)

@@ -1,0 +1,86 @@
+"""Ablation E8 — stochasticity-decay schedule shapes (Section III-C6).
+
+The paper argues the SOT device's *native sigmoidal* P_sw(I) curve
+under a linear current ramp gives the best latency/quality balance:
+fast early decay (quick coarse optimization) with a slow late tail
+(fine convergence).  This ablation anneals the same workload under
+
+* the paper's linear current ramp (sigmoidal probability decay),
+* a linear probability decay,
+* an exponential probability decay,
+
+with identical endpoints and sweep counts, plus an unguarded variant
+showing the guard's contribution.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import BENCH_SWEEPS, reference_length_for
+
+from repro.analysis import ascii_table, write_csv
+from repro.clustering import build_hierarchy
+from repro.core.pipeline import solve_hierarchical
+from repro.macro import (
+    BatchedMacroSolver,
+    ExponentialProbabilitySchedule,
+    LinearProbabilitySchedule,
+    MacroConfig,
+    paper_schedule,
+)
+from repro.tsp import Tour, load_benchmark
+
+SIZE = 318
+
+
+def _schedules():
+    return {
+        "sigmoidal (paper ramp)": paper_schedule(BENCH_SWEEPS),
+        "linear P_sw": LinearProbabilitySchedule(n_sweeps=BENCH_SWEEPS),
+        "exponential P_sw": ExponentialProbabilitySchedule(n_sweeps=BENCH_SWEEPS),
+    }
+
+
+def _run_ablation() -> dict[str, float]:
+    instance = load_benchmark(SIZE)
+    hierarchy = build_hierarchy(instance, 12)
+    lengths: dict[str, float] = {}
+    for name, schedule in _schedules().items():
+        solver = BatchedMacroSolver(MacroConfig(max_cities=12, bits=4), seed=0)
+        order, _, _ = solve_hierarchical(hierarchy, solver, schedule)
+        lengths[name] = Tour(instance, order).length
+    # Guard ablation under the paper schedule.
+    unguarded = BatchedMacroSolver(
+        MacroConfig(max_cities=12, bits=4, guarded_updates=False), seed=0
+    )
+    order, _, _ = solve_hierarchical(hierarchy, unguarded, paper_schedule(BENCH_SWEEPS))
+    lengths["paper ramp, unguarded"] = Tour(instance, order).length
+    return lengths
+
+
+def test_ablation_schedule(benchmark):
+    lengths = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    reference = reference_length_for(SIZE)
+
+    headers = ["schedule", "tour length", "optimal ratio"]
+    rows = [
+        [name, f"{length:.0f}", f"{length / reference:.3f}"]
+        for name, length in lengths.items()
+    ]
+    print()
+    print(ascii_table(headers, rows, title=f"E8: schedule ablation (n={SIZE})"))
+    write_csv(
+        "ablation_schedule",
+        ["schedule", "length", "ratio"],
+        [[n, l, l / reference] for n, l in lengths.items()],
+    )
+
+    # The guard must help; schedules should all be in one quality class.
+    guarded = lengths["sigmoidal (paper ramp)"]
+    assert guarded <= lengths["paper ramp, unguarded"]
+    shaped = [v for k, v in lengths.items() if "unguarded" not in k]
+    assert max(shaped) / min(shaped) < 1.2

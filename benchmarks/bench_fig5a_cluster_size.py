@@ -1,0 +1,62 @@
+"""Fig 5a — optimal ratio vs problem size per maximum cluster size.
+
+Paper: optimal ratio (TAXI length / exact length) across the TSPLIB
+suite for maximum cluster sizes {12, 14, 16, 18, 20} at 4-bit
+precision; smaller clusters win in most cases, and cluster size 12 is
+the paper's operating point.
+
+This bench prints one row per problem size with one column per cluster
+size and writes ``figures/fig5a.csv``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import SWEEP_SIZES, reference_length_for, solve_taxi
+
+from repro.analysis import ascii_table, optimal_ratio, write_csv
+
+CLUSTER_SIZES = (12, 14, 16, 18, 20)
+
+
+def _run_sweep() -> dict[tuple[int, int], float]:
+    ratios: dict[tuple[int, int], float] = {}
+    for size in SWEEP_SIZES:
+        reference = reference_length_for(size)
+        for cluster_size in CLUSTER_SIZES:
+            result = solve_taxi(size, max_cluster_size=cluster_size)
+            ratios[(size, cluster_size)] = optimal_ratio(
+                result.tour.length, reference
+            )
+    return ratios
+
+
+def test_fig5a_cluster_size(benchmark):
+    ratios = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    headers = ["size", *[f"max={c}" for c in CLUSTER_SIZES]]
+    rows = [
+        [size, *[f"{ratios[(size, c)]:.3f}" for c in CLUSTER_SIZES]]
+        for size in SWEEP_SIZES
+    ]
+    print()
+    print(ascii_table(headers, rows, title="Fig 5a: optimal ratio vs max cluster size (4-bit)"))
+    write_csv(
+        "fig5a",
+        headers,
+        [[size, *[ratios[(size, c)] for c in CLUSTER_SIZES]] for size in SWEEP_SIZES],
+    )
+
+    # Paper-shape assertions: every configuration is a valid ratio and
+    # the paper's operating point (12) is never the *worst* choice on
+    # average.
+    assert all(r >= 1.0 for r in ratios.values())
+    means = {
+        c: sum(ratios[(s, c)] for s in SWEEP_SIZES) / len(SWEEP_SIZES)
+        for c in CLUSTER_SIZES
+    }
+    assert means[12] <= max(means.values()) + 1e-9
+    assert means[12] < 1.45

@@ -1,0 +1,62 @@
+"""Fig 5b — solution-quality degradation at lower W_D bit precision.
+
+Paper: with cluster size 12, moving from 4-bit to 3-bit or 2-bit W_D
+changes tour quality by at most ~2 % either way (positive =
+degradation), attributed to quantization vs array-size non-ideality
+trade-offs.
+
+Prints the percent change per size for 3-bit and 2-bit and writes
+``figures/fig5b.csv``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import SWEEP_SIZES, solve_taxi
+
+from repro.analysis import ascii_table, quality_degradation, write_csv
+
+LOW_PRECISIONS = (3, 2)
+
+
+def _run_sweep() -> dict[tuple[int, int], float]:
+    degradations: dict[tuple[int, int], float] = {}
+    for size in SWEEP_SIZES:
+        base = solve_taxi(size, bits=4).tour.length
+        for bits in LOW_PRECISIONS:
+            variant = solve_taxi(size, bits=bits).tour.length
+            degradations[(size, bits)] = quality_degradation(base, variant)
+    return degradations
+
+
+def test_fig5b_bit_precision(benchmark):
+    degradations = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    headers = ["size", "3-bit [%]", "2-bit [%]"]
+    rows = [
+        [
+            size,
+            f"{100 * degradations[(size, 3)]:+.2f}",
+            f"{100 * degradations[(size, 2)]:+.2f}",
+        ]
+        for size in SWEEP_SIZES
+    ]
+    print()
+    print(ascii_table(headers, rows, title="Fig 5b: quality change vs 4-bit (cluster size 12)"))
+    write_csv(
+        "fig5b",
+        headers,
+        [[s, degradations[(s, 3)], degradations[(s, 2)]] for s in SWEEP_SIZES],
+    )
+
+    # Paper shape: fluctuations stay in a small band (paper: ~2 %; we
+    # allow a wider band because the stochastic solver adds run-to-run
+    # variance on top of quantization).  Individual sizes may scatter
+    # more, but the average must stay small in magnitude.
+    values = list(degradations.values())
+    for value in values:
+        assert abs(value) < 0.25
+    assert abs(sum(values) / len(values)) < 0.08

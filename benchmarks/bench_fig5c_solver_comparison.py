@@ -1,0 +1,71 @@
+"""Fig 5c — solution optimality: TAXI vs HVC / IMA / CIMA / Neuro-Ising.
+
+Paper: TAXI (cluster 12, 4-bit) outperforms the other Ising solvers in
+most cases, including the largest TSPs; its optimal ratio stays ~1.2
+even at 33,810 / 85,900 cities while the others degrade faster.
+
+Prints one row per size with one column per solver and writes
+``figures/fig5c.csv``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import BENCH_SWEEPS, SWEEP_SIZES, reference_length_for, solve_taxi
+
+from repro.analysis import ascii_table, optimal_ratio, write_csv
+from repro.baselines import CIMASolver, HVCSolver, IMASolver, NeuroIsingSolver
+from repro.tsp import load_benchmark
+
+SOLVER_NAMES = ("HVC", "IMA", "CIMA", "Neuro-Ising", "TAXI")
+
+
+def _comparators():
+    common = dict(max_cluster_size=12, bits=4, sweeps=BENCH_SWEEPS, seed=0)
+    return {
+        "HVC": HVCSolver(**common),
+        "IMA": IMASolver(**common),
+        "CIMA": CIMASolver(**common),
+        "Neuro-Ising": NeuroIsingSolver(**common),
+    }
+
+
+def _run_comparison() -> dict[tuple[int, str], float]:
+    ratios: dict[tuple[int, str], float] = {}
+    for size in SWEEP_SIZES:
+        instance = load_benchmark(size)
+        reference = reference_length_for(size)
+        for name, solver in _comparators().items():
+            result = solver.solve(instance)
+            ratios[(size, name)] = optimal_ratio(result.tour.length, reference)
+        taxi = solve_taxi(size)
+        ratios[(size, "TAXI")] = optimal_ratio(taxi.tour.length, reference)
+    return ratios
+
+
+def test_fig5c_solver_comparison(benchmark):
+    ratios = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+
+    headers = ["size", *SOLVER_NAMES]
+    rows = [
+        [size, *[f"{ratios[(size, n)]:.3f}" for n in SOLVER_NAMES]]
+        for size in SWEEP_SIZES
+    ]
+    print()
+    print(ascii_table(headers, rows, title="Fig 5c: optimal ratio per solver"))
+    write_csv(
+        "fig5c",
+        headers,
+        [[s, *[ratios[(s, n)] for n in SOLVER_NAMES]] for s in SWEEP_SIZES],
+    )
+
+    taxi_mean = np.mean([ratios[(s, "TAXI")] for s in SWEEP_SIZES])
+    for rival in ("HVC", "IMA"):
+        rival_mean = np.mean([ratios[(s, rival)] for s in SWEEP_SIZES])
+        assert taxi_mean < rival_mean, f"TAXI should beat {rival} on average"
+    cima_mean = np.mean([ratios[(s, "CIMA")] for s in SWEEP_SIZES])
+    assert taxi_mean <= cima_mean * 1.05

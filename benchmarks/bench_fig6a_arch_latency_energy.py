@@ -1,0 +1,77 @@
+"""Fig 6a — architecture latency ratio and energy vs max cluster size.
+
+Paper: the PUMA-mapped latency (Ising + transfer) of each maximum
+cluster size relative to cluster size 12 (bars; larger clusters are
+mostly slower), plus the corresponding energy (line; the paper shows
+the 2-bit / size-12-problem energy representatively).
+
+Prints the latency ratio and energy per cluster size and writes
+``figures/fig6a.csv``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import IS_PAPER_SCALE, solve_taxi
+
+from repro.analysis import ascii_table, write_csv
+from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
+from repro.utils.units import format_engineering
+
+CLUSTER_SIZES = (12, 14, 16, 18, 20)
+WORKLOAD_SIZE = 11_849 if IS_PAPER_SCALE else 1060
+RESTARTS = 3
+
+
+def _arch_numbers() -> dict[int, tuple[float, float]]:
+    """(latency, 2-bit energy) of the mapped workload per cluster size."""
+    numbers: dict[int, tuple[float, float]] = {}
+    for cluster_size in CLUSTER_SIZES:
+        result = solve_taxi(WORKLOAD_SIZE, max_cluster_size=cluster_size)
+        chip4 = ChipConfig(macro_capacity=cluster_size, bits=4)
+        program4 = compile_level_stats(result.level_stats, chip4, restarts=RESTARTS)
+        latency = ArchSimulator(chip=chip4).run(program4).latency
+        chip2 = ChipConfig(macro_capacity=cluster_size, bits=2)
+        program2 = compile_level_stats(result.level_stats, chip2, restarts=RESTARTS)
+        energy2 = ArchSimulator(chip=chip2).run(program2).energy
+        numbers[cluster_size] = (latency, energy2)
+    return numbers
+
+
+def test_fig6a_arch_latency_energy(benchmark):
+    numbers = benchmark.pedantic(_arch_numbers, rounds=1, iterations=1)
+
+    base_latency = numbers[12][0]
+    headers = ["max cluster", "latency ratio vs 12", "energy (2-bit)"]
+    rows = [
+        [
+            c,
+            f"{numbers[c][0] / base_latency:.3f}",
+            format_engineering(numbers[c][1], "J"),
+        ]
+        for c in CLUSTER_SIZES
+    ]
+    print()
+    print(
+        ascii_table(
+            headers,
+            rows,
+            title=f"Fig 6a: architecture latency/energy vs cluster size (n={WORKLOAD_SIZE})",
+        )
+    )
+    write_csv(
+        "fig6a",
+        ["cluster_size", "latency_s", "latency_ratio", "energy2bit_j"],
+        [
+            [c, numbers[c][0], numbers[c][0] / base_latency, numbers[c][1]]
+            for c in CLUSTER_SIZES
+        ],
+    )
+
+    # Paper shape: the ratio exists for every size and the largest
+    # cluster size is slower than the operating point in this regime.
+    assert numbers[20][0] > 0.9 * base_latency
+    assert all(energy > 0 for _, energy in numbers.values())

@@ -1,0 +1,109 @@
+"""Fig 6b — total latency and its breakdown vs Neuro-Ising and exact.
+
+Paper: total TAXI latency (clustering + fixing + Ising + transfer) per
+problem size, with bars showing each component's share; lines compare
+against Neuro-Ising [5] and the exact solver's projected runtime.  As
+problems grow, clustering + fixing dominate TAXI's total and the gap
+to the exact solver explodes (pla85900: TAXI 375 s vs a projected 136
+years).  TAXI is ~8x faster than Neuro-Ising on average.
+
+Prints per-size totals and component percentages; writes
+``figures/fig6b.csv``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import BENCH_SWEEPS, SWEEP_SIZES, solve_taxi
+
+from repro.analysis import ascii_table, format_seconds, geometric_mean, write_csv
+from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
+from repro.baselines import NeuroIsingSolver
+from repro.baselines.projections import exact_solver_seconds
+from repro.tsp import load_benchmark
+
+RESTARTS = 3
+
+
+def _totals() -> dict[int, dict[str, float]]:
+    chip = ChipConfig()
+    sim = ArchSimulator(chip=chip)
+    data: dict[int, dict[str, float]] = {}
+    for size in SWEEP_SIZES:
+        result = solve_taxi(size)
+        report = sim.run(compile_level_stats(result.level_stats, chip, RESTARTS))
+        clustering = result.phase_seconds.clustering
+        fixing = result.phase_seconds.fixing + result.phase_seconds.merge
+        ising = report.ising_latency + report.mapping_latency
+        transfer = report.transfer_latency + report.readout_latency
+        neuro = NeuroIsingSolver(sweeps=BENCH_SWEEPS, seed=0).solve(
+            load_benchmark(size)
+        )
+        data[size] = {
+            "clustering": clustering,
+            "fixing": fixing,
+            "ising": ising,
+            "transfer": transfer,
+            "total": clustering + fixing + ising + transfer,
+            "neuro_ising": float(neuro.modeled_seconds),
+            "exact": exact_solver_seconds(size),
+        }
+    return data
+
+
+def test_fig6b_total_latency(benchmark):
+    data = benchmark.pedantic(_totals, rounds=1, iterations=1)
+
+    headers = [
+        "size",
+        "clustering %",
+        "fixing %",
+        "ising %",
+        "transfer %",
+        "TAXI total",
+        "Neuro-Ising",
+        "Exact (proj.)",
+    ]
+    rows = []
+    for size in SWEEP_SIZES:
+        d = data[size]
+        total = d["total"]
+        rows.append(
+            [
+                size,
+                f"{100 * d['clustering'] / total:.1f}",
+                f"{100 * d['fixing'] / total:.1f}",
+                f"{100 * d['ising'] / total:.1f}",
+                f"{100 * d['transfer'] / total:.1f}",
+                format_seconds(total),
+                format_seconds(d["neuro_ising"]),
+                format_seconds(d["exact"]),
+            ]
+        )
+    print()
+    print(ascii_table(headers, rows, title="Fig 6b: total latency and breakdown"))
+    write_csv(
+        "fig6b",
+        ["size", "clustering_s", "fixing_s", "ising_s", "transfer_s",
+         "taxi_total_s", "neuro_ising_s", "exact_s"],
+        [
+            [s, data[s]["clustering"], data[s]["fixing"], data[s]["ising"],
+             data[s]["transfer"], data[s]["total"], data[s]["neuro_ising"],
+             data[s]["exact"]]
+            for s in SWEEP_SIZES
+        ],
+    )
+
+    speedups = [data[s]["neuro_ising"] / data[s]["total"] for s in SWEEP_SIZES]
+    mean_speedup = geometric_mean(speedups)
+    print(f"\ngeomean speedup over Neuro-Ising: {mean_speedup:.1f}x (paper: 8x)")
+
+    # Paper shape: TAXI beats Neuro-Ising on average and the exact
+    # solver diverges with size.
+    assert mean_speedup > 1.0
+    assert data[SWEEP_SIZES[-1]]["exact"] > data[SWEEP_SIZES[0]]["exact"]
+    assert data[SWEEP_SIZES[-1]]["exact"] > data[SWEEP_SIZES[-1]]["total"]

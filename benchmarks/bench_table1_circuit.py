@@ -1,0 +1,54 @@
+"""Table I — circuit simulation of one macro iteration (2/3/4-bit).
+
+Paper (TSMC 65 nm Spectre, problem size 12):
+
+    ==================  =======  =======  =======
+    .                   2 bit    3 bit    4 bit
+    Array Size          12x36    12x48    12x60
+    Power [mW]          4.202    5.033    5.11
+    Superposition [ns]  3        3        3
+    Optimization [ns]   4        4        4
+    Storage Update [ns] 2        2        2
+    Energy [pJ]         37.82    45.3     45.98
+    ==================  =======  =======  =======
+
+The behavioural circuit model regenerates the full table; the power
+values match by calibration (see repro.macro.energy) and everything
+else follows from the models.
+"""
+
+import pytest
+
+from repro.analysis import write_csv
+from repro.macro.circuit_sim import CircuitSimulator
+
+PAPER_POWER_MW = {2: 4.202, 3: 5.033, 4: 5.110}
+PAPER_ENERGY_PJ = {2: 37.82, 3: 45.30, 4: 45.98}
+PAPER_ARRAY = {2: "12 x 36", 3: "12 x 48", 4: "12 x 60"}
+
+
+def test_table1_circuit(benchmark):
+    reports = benchmark(CircuitSimulator().table_i)
+
+    print()
+    print(CircuitSimulator.format_table(reports))
+    write_csv(
+        "table1",
+        ["bits", "array_rows", "array_cols", "power_w", "latency_s", "energy_j"],
+        [
+            [r.bits, r.array_rows, r.array_cols, r.power, r.iteration_latency, r.energy]
+            for r in reports
+        ],
+    )
+
+    for report in reports:
+        assert report.array_size == PAPER_ARRAY[report.bits]
+        assert report.power * 1e3 == pytest.approx(
+            PAPER_POWER_MW[report.bits], rel=1e-6
+        )
+        assert report.energy * 1e12 == pytest.approx(
+            PAPER_ENERGY_PJ[report.bits], rel=2e-3
+        )
+        assert report.superpose_latency == pytest.approx(3e-9)
+        assert report.optimize_latency == pytest.approx(4e-9)
+        assert report.update_latency == pytest.approx(2e-9)

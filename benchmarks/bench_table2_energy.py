@@ -1,0 +1,97 @@
+"""Table II — energy comparison with the state of the art.
+
+Paper (65 nm CMOS + SOT-MRAM, cluster 12):
+
+    HVC [4]    CPU            101        1.1 J
+    IMA [6]    14nm FinFET    1060       20.08 uJ
+    CIMA [7]   16/14nm CMOS   33K/86K    ~20 uJ / ~45 uJ
+    TAXI       this work      1060/33K/86K   1.81 / 2.67 / 3.07 uJ
+               (incl. mapping: 38.7 / 302 / 952 uJ)
+
+Comparator rows are *cited* constants (as in the paper); TAXI's rows
+are measured from the architecture model.  The headline number follows
+the single-array convention (per-macro critical-path annealing
+energy); the footnote adds mapping + transfer at chip level.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import IS_PAPER_SCALE, solve_taxi
+
+from repro.analysis import ascii_table, write_csv
+from repro.analysis.reporting import (
+    CITED_ENERGY_TABLE,
+    PAPER_TAXI_ENERGY,
+    PAPER_TAXI_ENERGY_WITH_MAPPING,
+)
+from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
+from repro.utils.units import format_engineering
+
+TAXI_SIZES = (1060, 33_810, 85_900) if IS_PAPER_SCALE else (1060,)
+RESTARTS = 3
+
+
+def _taxi_energies() -> dict[int, tuple[float, float]]:
+    chip = ChipConfig()
+    sim = ArchSimulator(chip=chip)
+    energies: dict[int, tuple[float, float]] = {}
+    for size in TAXI_SIZES:
+        # Energy comparison uses the paper's full 50 nA ramp (1341
+        # sweeps) so the per-iteration accounting matches Table I.
+        result = solve_taxi(size, sweeps=None)
+        report = sim.run(compile_level_stats(result.level_stats, chip, RESTARTS))
+        energies[size] = (report.per_macro_ising_energy, report.energy)
+    return energies
+
+
+def test_table2_energy(benchmark):
+    energies = benchmark.pedantic(_taxi_energies, rounds=1, iterations=1)
+
+    headers = ["system", "technology", "size", "energy", "incl. mapping"]
+    rows = []
+    for cited in CITED_ENERGY_TABLE:
+        for size, joules in zip(cited.problem_sizes, cited.energies_joules):
+            rows.append(
+                [cited.system, cited.technology, size,
+                 format_engineering(joules, "J"), "-"]
+            )
+    for size, (per_macro, total) in energies.items():
+        rows.append(
+            [
+                "TAXI (this repro)",
+                "65nm CMOS + SOT-MRAM",
+                size,
+                format_engineering(per_macro, "J"),
+                format_engineering(total, "J"),
+            ]
+        )
+        rows.append(
+            [
+                "TAXI (paper)",
+                "65nm CMOS + SOT-MRAM",
+                size,
+                format_engineering(PAPER_TAXI_ENERGY[size], "J"),
+                format_engineering(PAPER_TAXI_ENERGY_WITH_MAPPING[size], "J"),
+            ]
+        )
+    print()
+    print(ascii_table(headers, rows, title="Table II: energy comparison"))
+    write_csv(
+        "table2",
+        ["size", "taxi_per_macro_j", "taxi_total_j"],
+        [[size, e[0], e[1]] for size, e in energies.items()],
+    )
+
+    # Paper shape: TAXI's per-macro energy sits orders of magnitude
+    # below HVC's CPU joules and at/below the IMA/CIMA tens of uJ.
+    for size, (per_macro, _) in energies.items():
+        assert per_macro < 1e-3          # far below HVC's 1.1 J
+        assert per_macro < 50e-6          # at/below the CIMA band
+    if 1060 in energies:
+        assert energies[1060][0] == pytest.approx(
+            PAPER_TAXI_ENERGY[1060], rel=1.0
+        )  # same order of magnitude as the paper

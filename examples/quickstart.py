@@ -1,0 +1,41 @@
+"""Quickstart: solve a TSP with TAXI and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TAXIConfig, TAXISolver, load_benchmark
+from repro.analysis import format_seconds
+from repro.baselines import reference_length
+
+
+def main() -> None:
+    # The registry mirrors the paper's 20 TSPLIB benchmark sizes with
+    # deterministic synthetic instances (see DESIGN.md).
+    instance = load_benchmark(318)
+    print(f"instance: {instance.name} ({instance.n} cities, {instance.metric.value})")
+
+    # The paper's operating point: max cluster size 12, 4-bit W_D.
+    # sweeps=None would run the exact 50 nA ramp (1341 sweeps); 300
+    # keeps the demo fast with the same ramp endpoints.
+    config = TAXIConfig(max_cluster_size=12, bits=4, sweeps=300, seed=0)
+    result = TAXISolver(config).solve(instance)
+
+    print(f"tour length : {result.tour.length:.0f}")
+    print(f"hierarchy   : {result.hierarchy_depth} levels, "
+          f"{result.total_subproblems} sub-problems")
+    for name, seconds in result.phase_seconds.as_dict().items():
+        print(f"  {name:<10s} {format_seconds(seconds)}")
+
+    # Quality vs the Concorde-surrogate reference (cached on disk).
+    reference = reference_length(instance)
+    print(f"optimal ratio vs reference: {result.optimal_ratio(reference):.3f}")
+
+    # Terminal map of the solved route.
+    from repro.analysis.plot import ascii_tour
+
+    print()
+    print(ascii_tour(result.tour, width=64, height=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scaling study: TAXI vs baselines as the problem grows.
+
+Sweeps the benchmark suite (up to a size cap), comparing TAXI against
+the Neuro-Ising surrogate and the classical SA baseline on quality and
+modeled runtime, and projecting the exact solver's cost — a compact
+reproduction of the paper's headline claims.
+
+Run:  python examples/scaling_study.py [max_size]
+"""
+
+import sys
+
+from repro import TAXIConfig, TAXISolver, load_benchmark
+from repro.analysis import ascii_table, format_seconds, geometric_mean
+from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
+from repro.baselines import NeuroIsingSolver, reference_length
+from repro.baselines.projections import exact_solver_seconds
+from repro.ising import SimulatedAnnealingTSP
+from repro.tsp.benchmarks import paper_sizes_up_to
+
+SWEEPS = 150
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 783
+    sizes = paper_sizes_up_to(max_size)
+    chip = ChipConfig()
+    sim = ArchSimulator(chip=chip)
+
+    rows = []
+    speedups = []
+    for size in sizes:
+        instance = load_benchmark(size)
+        reference = reference_length(instance)
+
+        taxi = TAXISolver(TAXIConfig(sweeps=SWEEPS, seed=0)).solve(instance)
+        report = sim.run(compile_level_stats(taxi.level_stats, chip, restarts=3))
+        taxi_total = (
+            taxi.phase_seconds.clustering
+            + taxi.phase_seconds.fixing
+            + report.latency
+        )
+
+        neuro = NeuroIsingSolver(sweeps=SWEEPS, seed=0).solve(instance)
+        sa = SimulatedAnnealingTSP(sweeps=120, seed=0).solve(instance)
+
+        speedups.append(neuro.modeled_seconds / taxi_total)
+        rows.append(
+            [
+                size,
+                f"{taxi.optimal_ratio(reference):.3f}",
+                f"{neuro.tour.length / reference:.3f}",
+                f"{sa.length / reference:.3f}",
+                format_seconds(taxi_total),
+                format_seconds(neuro.modeled_seconds),
+                format_seconds(exact_solver_seconds(size)),
+            ]
+        )
+
+    print(
+        ascii_table(
+            ["size", "TAXI ratio", "Neuro-Ising", "SA (CPU)",
+             "TAXI time", "Neuro-Ising time", "exact (proj.)"],
+            rows,
+            title="Scaling study (quality ratios vs Concorde-surrogate reference)",
+        )
+    )
+    print(f"\ngeomean TAXI speedup over Neuro-Ising: "
+          f"{geometric_mean(speedups):.1f}x (paper: 8x across 20 instances)")
+
+
+if __name__ == "__main__":
+    main()

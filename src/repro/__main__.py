@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # e.g. `python -m repro table1 | head`
+    code = 0
+sys.exit(code)

@@ -1,0 +1,28 @@
+"""Analysis & reporting: metrics, ASCII tables, CSV figure emitters."""
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    optimal_ratio,
+    percent_gap,
+    quality_degradation,
+    speedup,
+)
+from repro.analysis.reporting import (
+    CITED_ENERGY_TABLE,
+    ascii_table,
+    format_seconds,
+)
+from repro.analysis.figures import FigureSeries, write_csv
+
+__all__ = [
+    "optimal_ratio",
+    "percent_gap",
+    "quality_degradation",
+    "speedup",
+    "geometric_mean",
+    "ascii_table",
+    "format_seconds",
+    "CITED_ENERGY_TABLE",
+    "FigureSeries",
+    "write_csv",
+]

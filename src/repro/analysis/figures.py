@@ -1,0 +1,75 @@
+"""Figure data emitters: CSV series next to each bench's stdout table.
+
+Every benchmark prints the paper's rows/series and also persists them
+as CSV so the numbers can be plotted or diffed later without re-running
+the sweep.  Files land in ``REPRO_FIGURE_DIR`` (default ``figures/``).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_FIGURE_ENV = "REPRO_FIGURE_DIR"
+_DEFAULT_DIR = "figures"
+
+
+@dataclass
+class FigureSeries:
+    """One named series of (x, y) points for a figure."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def figure_dir() -> Path:
+    return Path(os.environ.get(_FIGURE_ENV, _DEFAULT_DIR))
+
+
+def write_csv(
+    figure_id: str,
+    headers: list[str],
+    rows: list[list[object]],
+    directory: str | Path | None = None,
+) -> Path | None:
+    """Write figure data as CSV; returns the path (or None on failure).
+
+    Best-effort: benches must not fail because the filesystem is
+    read-only.
+    """
+    target_dir = Path(directory) if directory is not None else figure_dir()
+    path = target_dir / f"{figure_id}.csv"
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+    except OSError:
+        return None
+    return path
+
+
+def series_to_rows(series_list: list[FigureSeries]) -> tuple[list[str], list[list[object]]]:
+    """Merge series sharing x values into CSV columns."""
+    if not series_list:
+        return [], []
+    xs = series_list[0].xs
+    for series in series_list[1:]:
+        if series.xs != xs:
+            raise ValueError("all series must share the same x values")
+    headers = ["x", *[s.name for s in series_list]]
+    rows: list[list[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x, *[s.ys[i] for s in series_list]])
+    return headers, rows

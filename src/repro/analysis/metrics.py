@@ -1,0 +1,55 @@
+"""Evaluation metrics used across the benchmarks.
+
+The paper's quality metric is the *optimal ratio* — solver tour length
+divided by the exact (Concorde) length; its Fig 5b reports *quality
+degradation* — the relative change when bit precision drops; its
+headline speed claim is the geometric-mean *speedup* over Neuro-Ising.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+def optimal_ratio(solver_length: float, reference_length: float) -> float:
+    """Solver length / reference length (>= 1 when reference is optimal)."""
+    if reference_length <= 0:
+        raise ReproError(f"reference length must be positive, got {reference_length}")
+    if solver_length < 0:
+        raise ReproError(f"solver length must be >= 0, got {solver_length}")
+    return solver_length / reference_length
+
+
+def percent_gap(solver_length: float, reference_length: float) -> float:
+    """Percent excess over the reference: 100 * (ratio - 1)."""
+    return 100.0 * (optimal_ratio(solver_length, reference_length) - 1.0)
+
+
+def quality_degradation(baseline_length: float, variant_length: float) -> float:
+    """Fig 5b's metric: relative change of tour length vs the baseline.
+
+    Positive = the variant is worse (longer tour).
+    """
+    if baseline_length <= 0:
+        raise ReproError(f"baseline length must be positive, got {baseline_length}")
+    return (variant_length - baseline_length) / baseline_length
+
+
+def speedup(slow_seconds: float, fast_seconds: float) -> float:
+    """How many times faster the second argument is."""
+    if slow_seconds < 0 or fast_seconds <= 0:
+        raise ReproError("speedup needs slow >= 0 and fast > 0")
+    return slow_seconds / fast_seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right average for ratios/speedups)."""
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,92 @@
+"""Terminal plots: ASCII tour maps and series charts.
+
+The repository is terminal-first (no matplotlib dependency); these
+helpers render tours and benchmark series as fixed-width character
+art, used by the examples and handy in notebooks/CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tsp.tour import Tour
+
+
+def ascii_tour(tour: Tour, width: int = 64, height: int = 24) -> str:
+    """Render a tour's cities ('o') and route (.) on a character grid."""
+    if width < 8 or height < 4:
+        raise ReproError("plot area too small")
+    instance = tour.instance
+    if instance.coords is None:
+        raise ReproError("ascii_tour needs coordinate instances")
+    coords = np.asarray(instance.coords, dtype=float)
+    mins = coords.min(axis=0)
+    spans = coords.max(axis=0) - mins
+    spans[spans == 0] = 1.0
+    xs = ((coords[:, 0] - mins[0]) / spans[0] * (width - 1)).astype(int)
+    ys = ((coords[:, 1] - mins[1]) / spans[1] * (height - 1)).astype(int)
+
+    grid = [[" "] * width for _ in range(height)]
+    # Route first so city markers overwrite it.
+    order = tour.order
+    edges = list(zip(order, np.roll(order, -1))) if tour.closed else list(
+        zip(order[:-1], order[1:])
+    )
+    for a, b in edges:
+        _draw_line(grid, xs[a], ys[a], xs[b], ys[b])
+    for i in range(instance.n):
+        grid[ys[i]][xs[i]] = "o"
+    # Flip vertically: row 0 at the top should be max y.
+    lines = ["".join(row) for row in reversed(grid)]
+    header = f"{instance.name}: length {tour.length:.0f}"
+    return "\n".join([header, *lines])
+
+
+def _draw_line(grid: list[list[str]], x0: int, y0: int, x1: int, y1: int) -> None:
+    """Bresenham-style line with '.' characters."""
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        if grid[y][x] == " ":
+            grid[y][x] = "."
+        if x == x1 and y == y1:
+            break
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy
+
+
+def ascii_series(
+    xs: list[float],
+    ys: list[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A minimal ASCII line chart of one (x, y) series ('*' markers)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("series needs >= 2 aligned points")
+    if width < 8 or height < 4:
+        raise ReproError("plot area too small")
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    x_span = xs_arr.max() - xs_arr.min() or 1.0
+    y_span = ys_arr.max() - ys_arr.min() or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs_arr, ys_arr):
+        col = int((x - xs_arr.min()) / x_span * (width - 1))
+        row = int((y - ys_arr.min()) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in reversed(grid)]
+    top = f"{label}  [y: {ys_arr.min():.3g} .. {ys_arr.max():.3g}]"
+    bottom = f"[x: {xs_arr.min():.3g} .. {xs_arr.max():.3g}]"
+    return "\n".join([top, *lines, bottom])

@@ -1,0 +1,92 @@
+"""Reconfiguration trade-off sweeps (paper Section VI-A).
+
+"Depending on the priority between the power budget and the solution
+quality, TAXI can be reconfigured" — lower W_D precision saves power
+and mapping traffic at some quality cost; larger clusters trade
+parallelism for fewer levels.  This module sweeps configurations and
+reports (quality, energy, latency) points, from which the Pareto
+frontier can be read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import ChipConfig
+from repro.arch.compiler import compile_level_stats
+from repro.arch.simulator import ArchSimulator
+from repro.core.config import TAXIConfig
+from repro.core.solver import TAXISolver
+from repro.errors import ConfigError
+from repro.tsp.instance import TSPInstance
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One configuration's quality/latency/energy outcome."""
+
+    bits: int
+    max_cluster_size: int
+    tour_length: float
+    chip_latency: float
+    chip_energy: float
+    per_macro_energy: float
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Pareto dominance on (length, energy): <= both, < at least one."""
+        no_worse = (
+            self.tour_length <= other.tour_length
+            and self.chip_energy <= other.chip_energy
+        )
+        better = (
+            self.tour_length < other.tour_length
+            or self.chip_energy < other.chip_energy
+        )
+        return no_worse and better
+
+
+def reconfiguration_sweep(
+    instance: TSPInstance,
+    precisions: tuple[int, ...] = (2, 3, 4),
+    cluster_sizes: tuple[int, ...] = (12,),
+    sweeps: int | None = 134,
+    seed: int = 0,
+    restarts: int = 3,
+) -> list[TradeoffPoint]:
+    """Solve ``instance`` under each configuration; return all points."""
+    if not precisions or not cluster_sizes:
+        raise ConfigError("need at least one precision and one cluster size")
+    points: list[TradeoffPoint] = []
+    for cluster_size in cluster_sizes:
+        for bits in precisions:
+            config = TAXIConfig(
+                max_cluster_size=cluster_size,
+                bits=bits,
+                sweeps=sweeps,
+                seed=seed,
+            )
+            result = TAXISolver(config).solve(instance)
+            chip = ChipConfig(macro_capacity=cluster_size, bits=bits)
+            program = compile_level_stats(result.level_stats, chip, restarts)
+            report = ArchSimulator(chip=chip).run(program)
+            points.append(
+                TradeoffPoint(
+                    bits=bits,
+                    max_cluster_size=cluster_size,
+                    tour_length=result.tour.length,
+                    chip_latency=report.latency,
+                    chip_energy=report.energy,
+                    per_macro_energy=report.per_macro_ising_energy,
+                )
+            )
+    return points
+
+
+def pareto_frontier(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """The non-dominated subset, sorted by tour length."""
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.tour_length)

@@ -1,0 +1,37 @@
+"""PUMA-style spatial architecture simulator (paper Section V).
+
+The paper instruments the PUMA in-memory-computing architecture [29]
+— a chip / tile / core / MVMU hierarchy with a compiler and
+cycle-accurate simulator — replacing the ReRAM MVMUs with TAXI's Ising
+macros and scaling 32 nm -> 65 nm.  This package reproduces that
+toolchain:
+
+* :mod:`~repro.arch.isa` — the instruction set (load, program, anneal,
+  readout, send/recv, barrier).
+* :mod:`~repro.arch.chip` — chip geometry and technology config.
+* :mod:`~repro.arch.memory` / :mod:`~repro.arch.noc` — off-chip memory
+  and on-chip network transfer models.
+* :mod:`~repro.arch.compiler` — maps a solved hierarchy's per-level
+  workload onto macro waves and emits a program.
+* :mod:`~repro.arch.simulator` — executes the program, accounting
+  latency and energy per phase (transfer, mapping, annealing, readout).
+"""
+
+from repro.arch.isa import Instruction, OpCode, Program
+from repro.arch.chip import ChipConfig
+from repro.arch.memory import OffChipMemory
+from repro.arch.noc import NoCModel
+from repro.arch.compiler import compile_level_stats
+from repro.arch.simulator import ArchReport, ArchSimulator
+
+__all__ = [
+    "OpCode",
+    "Instruction",
+    "Program",
+    "ChipConfig",
+    "OffChipMemory",
+    "NoCModel",
+    "compile_level_stats",
+    "ArchSimulator",
+    "ArchReport",
+]

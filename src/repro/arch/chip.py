@@ -1,0 +1,97 @@
+"""Chip geometry and technology configuration.
+
+PUMA organizes a chip as tiles x cores x MVMUs; TAXI replaces each
+MVMU with an Ising macro and rescales PUMA's 32 nm peripheral costs to
+65 nm.  Defaults give a mid-size accelerator: 8 tiles x 8 cores x
+8 macros = 512 macros per chip.
+
+The technology scale factor multiplies digital/peripheral latency and
+energy (wire-dominated structures scale roughly linearly with node for
+this first-order comparison; the macro's own numbers already come from
+the 65 nm circuit simulation, so they are *not* rescaled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+from repro.macro.energy import MacroEnergyModel
+from repro.macro.timing import MacroTiming
+
+
+#: PUMA's published node and TAXI's target node.
+PUMA_NODE_NM = 32.0
+TAXI_NODE_NM = 65.0
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Spatial accelerator configuration.
+
+    Parameters
+    ----------
+    tiles, cores_per_tile, macros_per_core:
+        Chip geometry (PUMA hierarchy with macros in MVMU slots).
+    macro_capacity:
+        Cities per macro (the max cluster size it can hold).
+    bits:
+        W_D precision programmed into the macros.
+    timing, energy_model:
+        Macro phase latency and power models (Table I).
+    tech_scale:
+        Peripheral latency/energy multiplier for 32 nm -> 65 nm.
+    """
+
+    tiles: int = 8
+    cores_per_tile: int = 8
+    macros_per_core: int = 8
+    macro_capacity: int = 12
+    bits: int = 4
+    timing: MacroTiming = field(default_factory=MacroTiming)
+    energy_model: MacroEnergyModel | None = None
+    tech_scale: float = TAXI_NODE_NM / PUMA_NODE_NM
+
+    def __post_init__(self) -> None:
+        for name in ("tiles", "cores_per_tile", "macros_per_core"):
+            if getattr(self, name) < 1:
+                raise ArchitectureError(f"{name} must be >= 1")
+        if self.macro_capacity < 2:
+            raise ArchitectureError("macro_capacity must be >= 2")
+        if not 1 <= self.bits <= 8:
+            raise ArchitectureError(f"bits must be in 1..8, got {self.bits}")
+        if self.tech_scale <= 0:
+            raise ArchitectureError("tech_scale must be positive")
+        if self.energy_model is None:
+            object.__setattr__(
+                self, "energy_model", MacroEnergyModel(timing=self.timing)
+            )
+
+    @property
+    def total_macros(self) -> int:
+        """Macros available for one parallel wave."""
+        return self.tiles * self.cores_per_tile * self.macros_per_core
+
+    def macro_location(self, macro_id: int) -> tuple[int, int, int]:
+        """(tile, core, slot) of a global macro index."""
+        if not 0 <= macro_id < self.total_macros:
+            raise ArchitectureError(
+                f"macro {macro_id} out of range 0..{self.total_macros - 1}"
+            )
+        per_tile = self.cores_per_tile * self.macros_per_core
+        tile = macro_id // per_tile
+        rem = macro_id % per_tile
+        return tile, rem // self.macros_per_core, rem % self.macros_per_core
+
+    def subproblem_bytes(self, n: int) -> int:
+        """Off-chip bytes for one sub-problem's W_D + metadata.
+
+        ``n^2`` weights of ``bits`` bits each, an ``n``-entry initial
+        order (2 bytes per entry), and a small header.
+        """
+        weight_bits = n * n * self.bits
+        return (weight_bits + 7) // 8 + 2 * n + 16
+
+    def solution_bytes(self, n: int) -> int:
+        """Bytes to read a solution back (order vector + header)."""
+        return 2 * n + 8

@@ -1,0 +1,102 @@
+"""Compiler: map a solved hierarchy's workload onto macro waves.
+
+The pipeline reports, per hierarchy level, the list of sub-problem
+sizes and the sweep count (:class:`repro.core.result.LevelStats`).  The
+compiler assigns sub-problems round-robin to the chip's macros; when a
+level has more sub-problems than macros, it emits multiple waves
+(levels are dependency barriers: a level's orders must be known before
+the next level's endpoint fixing).
+
+Per sub-problem the wave contains::
+
+    LOAD_WD   (off-chip fetch of W_D + initial order)
+    SEND      (NoC to the macro's tile)
+    PROGRAM   (write W_D + spin storage cells)
+    ANNEAL    (sweeps x optimizable orders iterations)
+    READOUT   (read the solution order)
+    STORE     (solution back to the host)
+"""
+
+from __future__ import annotations
+
+from repro.arch.chip import ChipConfig
+from repro.arch.isa import Instruction, OpCode, Program
+from repro.core.result import LevelStats
+from repro.errors import ArchitectureError
+
+
+def compile_level_stats(
+    level_stats: list[LevelStats],
+    chip: ChipConfig,
+    restarts: int = 1,
+) -> Program:
+    """Compile per-level workload statistics into a wave program.
+
+    Parameters
+    ----------
+    level_stats:
+        Pipeline output, top level first or in any order — waves keep
+        the given order (each level is a barrier anyway).
+    chip:
+        Target chip (geometry + costs).
+    restarts:
+        Macro replication factor: each sub-problem occupies this many
+        macros (the batch solver's replica policy).
+    """
+    if restarts < 1:
+        raise ArchitectureError(f"restarts must be >= 1, got {restarts}")
+    program = Program(comment=f"{len(level_stats)} levels, restarts={restarts}")
+    total_macros = chip.total_macros
+    for stats in level_stats:
+        if stats.n_subproblems != len(stats.subproblem_sizes):
+            raise ArchitectureError(
+                f"level {stats.level}: inconsistent sub-problem counts"
+            )
+        slots_needed = stats.n_subproblems * restarts
+        per_wave = max(1, total_macros // restarts)
+        sizes = list(stats.subproblem_sizes)
+        wave_start = 0
+        while wave_start < len(sizes):
+            wave_sizes = sizes[wave_start : wave_start + per_wave]
+            wave: list[Instruction] = []
+            for slot, n in enumerate(wave_sizes):
+                for replica in range(restarts):
+                    macro = (slot * restarts + replica) % total_macros
+                    positions = _optimizable(n, stats)
+                    wave.extend(
+                        _subproblem_instructions(
+                            chip, macro, n, stats.sweeps, positions
+                        )
+                    )
+            program.waves.append(wave)
+            wave_start += per_wave
+        del slots_needed
+    return program
+
+
+def _optimizable(n: int, stats: LevelStats) -> int:
+    """Optimizable orders per sub-problem (endpoint-fixed open path)."""
+    # Top-level closed tours optimize all n orders; lower levels fix
+    # two endpoints.  The compiler can't see closedness, so it uses the
+    # conservative open-path count except for single-problem levels
+    # (the top), which are closed tours.
+    if stats.n_subproblems == 1:
+        return n
+    return max(n - 2, 0)
+
+
+def _subproblem_instructions(
+    chip: ChipConfig, macro: int, n: int, sweeps: int, positions: int
+) -> list[Instruction]:
+    load_bytes = chip.subproblem_bytes(n)
+    out_bytes = chip.solution_bytes(n)
+    cells = n * n * (chip.bits + 1)
+    iterations = sweeps * positions
+    return [
+        Instruction(OpCode.LOAD_WD, macro, bytes_moved=load_bytes, n=n, bits=chip.bits),
+        Instruction(OpCode.SEND, macro, bytes_moved=load_bytes, n=n, bits=chip.bits),
+        Instruction(OpCode.PROGRAM, macro, cells=cells, n=n, bits=chip.bits),
+        Instruction(OpCode.ANNEAL, macro, iterations=iterations, n=n, bits=chip.bits),
+        Instruction(OpCode.READOUT, macro, bytes_moved=out_bytes, n=n, bits=chip.bits),
+        Instruction(OpCode.STORE, macro, bytes_moved=out_bytes, n=n, bits=chip.bits),
+    ]

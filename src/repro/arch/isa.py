@@ -1,0 +1,86 @@
+"""Instruction set of the TAXI spatial architecture.
+
+Mirrors PUMA's ISA style at the granularity the latency/energy study
+needs: data movement (LOAD/STORE/SEND/RECV), macro programming
+(PROGRAM), annealing execution (ANNEAL), solution readout (READOUT),
+and wave synchronization (BARRIER).  The compiler emits a linear
+program; the simulator interprets it with the chip's cost models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+
+
+class OpCode(enum.Enum):
+    """Architecture operations with latency/energy semantics."""
+
+    LOAD_WD = "load_wd"      # fetch a sub-problem's W_D from off-chip memory
+    SEND = "send"            # NoC transfer to a tile/core
+    PROGRAM = "program"      # write W_D + spin storage into a macro
+    ANNEAL = "anneal"        # run the annealing ramp on a macro
+    READOUT = "readout"      # read the solution from spin storage
+    STORE = "store"          # write the solution back off-chip
+    BARRIER = "barrier"      # wave boundary: wait for all macros
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One architecture instruction.
+
+    Parameters
+    ----------
+    op:
+        Operation code.
+    macro:
+        Target macro id (global index), or -1 for BARRIER.
+    bytes_moved:
+        Payload for data-movement ops (LOAD_WD/SEND/READOUT/STORE).
+    cells:
+        Programmed cells for PROGRAM.
+    iterations:
+        Macro iterations for ANNEAL (sweeps x optimizable orders).
+    n, bits:
+        Sub-problem size and precision (for energy lookup).
+    """
+
+    op: OpCode
+    macro: int = -1
+    bytes_moved: int = 0
+    cells: int = 0
+    iterations: int = 0
+    n: int = 0
+    bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0 or self.cells < 0 or self.iterations < 0:
+            raise ArchitectureError("instruction operands must be >= 0")
+
+
+@dataclass
+class Program:
+    """A compiled program: instructions grouped into parallel waves.
+
+    Each wave is a list of instructions that execute concurrently
+    across macros; waves are separated by implicit barriers (the
+    hierarchy's level-by-level dependency).
+    """
+
+    waves: list[list[Instruction]] = field(default_factory=list)
+    comment: str = ""
+
+    @property
+    def n_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(len(wave) for wave in self.waves)
+
+    def instructions(self):
+        """Iterate all instructions in execution order."""
+        for wave in self.waves:
+            yield from wave

@@ -1,0 +1,47 @@
+"""Off-chip memory model (DRAM interface).
+
+Sub-problem weight matrices stream from off-chip DRAM into the chip
+before each wave.  First-order model: fixed access latency plus a
+bandwidth-limited transfer term, with a per-byte transfer energy —
+the same granularity PUMA's simulator charges for its off-chip
+accesses (defaults are LPDDR4-class: 100 ns access, 25.6 GB/s,
+20 pJ/byte at the interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.utils.units import GIGA, NANO, PICO
+
+
+@dataclass(frozen=True)
+class OffChipMemory:
+    """DRAM interface cost model."""
+
+    access_latency: float = 100.0 * NANO
+    bandwidth_bytes_per_s: float = 25.6 * GIGA
+    energy_per_byte: float = 20.0 * PICO
+
+    def __post_init__(self) -> None:
+        if self.access_latency < 0:
+            raise ArchitectureError("access_latency must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ArchitectureError("bandwidth must be positive")
+        if self.energy_per_byte < 0:
+            raise ArchitectureError("energy_per_byte must be >= 0")
+
+    def transfer_latency(self, n_bytes: int) -> float:
+        """Seconds to move ``n_bytes`` (one access + streaming)."""
+        if n_bytes < 0:
+            raise ArchitectureError(f"n_bytes must be >= 0, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.access_latency + n_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy(self, n_bytes: int) -> float:
+        """Joules to move ``n_bytes`` across the DRAM interface."""
+        if n_bytes < 0:
+            raise ArchitectureError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes * self.energy_per_byte

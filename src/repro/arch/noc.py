@@ -1,0 +1,56 @@
+"""On-chip network model (tile/core interconnect).
+
+PUMA connects tiles with a mesh NoC and cores with tile-local buses.
+The simulator charges one hop per tile-distance step plus a per-byte
+serialization term, with per-byte-hop energy — first-order but enough
+to expose the data-movement share that motivates TAXI's in-macro spin
+storage (defaults: 2 ns/hop, 32 B/cycle at 1 GHz, 0.8 pJ/byte-hop,
+scaled by the chip's tech factor at the simulator level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.utils.units import NANO, PICO
+
+
+@dataclass(frozen=True)
+class NoCModel:
+    """Mesh NoC cost model."""
+
+    hop_latency: float = 2.0 * NANO
+    bytes_per_cycle: float = 32.0
+    cycle_time: float = 1.0 * NANO
+    energy_per_byte_hop: float = 0.8 * PICO
+
+    def __post_init__(self) -> None:
+        if self.hop_latency < 0 or self.cycle_time <= 0:
+            raise ArchitectureError("invalid NoC timing")
+        if self.bytes_per_cycle <= 0:
+            raise ArchitectureError("bytes_per_cycle must be positive")
+        if self.energy_per_byte_hop < 0:
+            raise ArchitectureError("energy_per_byte_hop must be >= 0")
+
+    def hops_for_tile(self, tile: int, mesh_side: int) -> int:
+        """Manhattan hop count from the chip I/O corner to ``tile``."""
+        if tile < 0 or mesh_side < 1:
+            raise ArchitectureError("invalid tile/mesh arguments")
+        x, y = tile % mesh_side, tile // mesh_side
+        return x + y
+
+    def transfer_latency(self, n_bytes: int, hops: int) -> float:
+        """Seconds for ``n_bytes`` over ``hops`` mesh hops (wormhole-style)."""
+        if n_bytes < 0 or hops < 0:
+            raise ArchitectureError("n_bytes and hops must be >= 0")
+        if n_bytes == 0:
+            return 0.0
+        serialization = (n_bytes / self.bytes_per_cycle) * self.cycle_time
+        return hops * self.hop_latency + serialization
+
+    def transfer_energy(self, n_bytes: int, hops: int) -> float:
+        """Joules for ``n_bytes`` over ``hops`` hops."""
+        if n_bytes < 0 or hops < 0:
+            raise ArchitectureError("n_bytes and hops must be >= 0")
+        return n_bytes * max(hops, 1) * self.energy_per_byte_hop

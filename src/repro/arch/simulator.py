@@ -1,0 +1,194 @@
+"""Architecture simulator: execute a program, account latency and energy.
+
+Execution model (PUMA-style, first-order):
+
+* within a wave, macros run in parallel — the wave's latency is the
+  maximum per-macro chain (load -> send -> program -> anneal -> readout
+  -> store), with off-chip loads serialized on the shared DRAM
+  interface (bandwidth contention);
+* waves and levels are barriers;
+* energy adds across everything.
+
+The report splits both latency and energy into *transfer* (off-chip +
+NoC), *mapping* (macro programming), *ising* (annealing), and
+*readout* — the decomposition behind Fig 6a/6b and Table II (which
+quotes TAXI's energy with and without mapping/transfer).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.arch.chip import ChipConfig
+from repro.arch.isa import Instruction, OpCode, Program
+from repro.arch.memory import OffChipMemory
+from repro.arch.noc import NoCModel
+from repro.errors import ArchitectureError
+from repro.utils.units import format_engineering
+
+
+@dataclass
+class ArchReport:
+    """Latency/energy accounting of one program execution."""
+
+    latency: float = 0.0
+    energy: float = 0.0
+    transfer_latency: float = 0.0
+    mapping_latency: float = 0.0
+    ising_latency: float = 0.0
+    readout_latency: float = 0.0
+    transfer_energy: float = 0.0
+    mapping_energy: float = 0.0
+    ising_energy: float = 0.0
+    readout_energy: float = 0.0
+    critical_ising_energy: float = 0.0
+    n_waves: int = 0
+    n_instructions: int = 0
+
+    @property
+    def energy_excluding_mapping(self) -> float:
+        """Whole-chip annealing + readout energy (all macros, all replicas)."""
+        return self.ising_energy + self.readout_energy
+
+    @property
+    def per_macro_ising_energy(self) -> float:
+        """Annealing energy along the critical macro chain (Table II basis).
+
+        IMA/CIMA report the energy of *one* annealing array executing
+        its stream, not the aggregate of every parallel array; the
+        paper's "excludes mapping" TAXI numbers follow the same
+        convention.  This accumulates, per wave, the annealing energy
+        of the wave's slowest macro.
+        """
+        return self.critical_ising_energy
+
+    def summary(self) -> str:
+        return (
+            f"latency={format_engineering(self.latency, 's')} "
+            f"(ising {format_engineering(self.ising_latency, 's')}, "
+            f"transfer {format_engineering(self.transfer_latency, 's')}), "
+            f"energy={format_engineering(self.energy, 'J')} "
+            f"(ising {format_engineering(self.ising_energy, 'J')}, "
+            f"mapping {format_engineering(self.mapping_energy, 'J')}, "
+            f"transfer {format_engineering(self.transfer_energy, 'J')})"
+        )
+
+
+@dataclass
+class ArchSimulator:
+    """Executes compiled programs against chip/memory/NoC cost models."""
+
+    chip: ChipConfig = field(default_factory=ChipConfig)
+    memory: OffChipMemory = field(default_factory=OffChipMemory)
+    noc: NoCModel = field(default_factory=NoCModel)
+
+    def run(self, program: Program) -> ArchReport:
+        """Simulate ``program``; returns the accounting report."""
+        report = ArchReport()
+        mesh_side = max(1, int(round(self.chip.tiles**0.5)))
+        for wave in program.waves:
+            wave_report = self._run_wave(wave, mesh_side)
+            report.latency += wave_report["latency"]
+            report.transfer_latency += wave_report["transfer_latency"]
+            report.mapping_latency += wave_report["mapping_latency"]
+            report.ising_latency += wave_report["ising_latency"]
+            report.readout_latency += wave_report["readout_latency"]
+            report.transfer_energy += wave_report["transfer_energy"]
+            report.mapping_energy += wave_report["mapping_energy"]
+            report.ising_energy += wave_report["ising_energy"]
+            report.readout_energy += wave_report["readout_energy"]
+            report.critical_ising_energy += wave_report["critical_ising_energy"]
+            report.n_waves += 1
+            report.n_instructions += len(wave)
+        report.energy = (
+            report.transfer_energy
+            + report.mapping_energy
+            + report.ising_energy
+            + report.readout_energy
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_wave(self, wave: list[Instruction], mesh_side: int) -> dict[str, float]:
+        chains: dict[int, dict[str, float]] = defaultdict(
+            lambda: {"transfer": 0.0, "mapping": 0.0, "ising": 0.0, "readout": 0.0}
+        )
+        energy = {"transfer": 0.0, "mapping": 0.0, "ising": 0.0, "readout": 0.0}
+        anneal_energy_per_macro: dict[int, float] = defaultdict(float)
+        shared_dram_bytes = 0
+        for instr in wave:
+            chain = chains[instr.macro]
+            if instr.op is OpCode.LOAD_WD or instr.op is OpCode.STORE:
+                shared_dram_bytes += instr.bytes_moved
+                chain["transfer"] += self.memory.transfer_latency(instr.bytes_moved)
+                energy["transfer"] += self.memory.transfer_energy(instr.bytes_moved)
+            elif instr.op is OpCode.SEND:
+                tile, _, _ = self.chip.macro_location(instr.macro)
+                hops = self.noc.hops_for_tile(tile, mesh_side)
+                scale = self.chip.tech_scale
+                chain["transfer"] += scale * self.noc.transfer_latency(
+                    instr.bytes_moved, hops
+                )
+                energy["transfer"] += scale * self.noc.transfer_energy(
+                    instr.bytes_moved, hops
+                )
+            elif instr.op is OpCode.PROGRAM:
+                latency = self.chip.timing.program_latency(instr.n, instr.bits)
+                chain["mapping"] += latency
+                energy["mapping"] += self.chip.energy_model.program_energy(
+                    instr.n, instr.bits
+                )
+            elif instr.op is OpCode.ANNEAL:
+                iter_latency = self.chip.timing.iteration_latency
+                chain["ising"] += instr.iterations * iter_latency
+                anneal_joules = instr.iterations * self.chip.energy_model.iteration_energy(
+                    max(instr.n, 2), instr.bits
+                )
+                energy["ising"] += anneal_joules
+                anneal_energy_per_macro[instr.macro] += anneal_joules
+            elif instr.op is OpCode.READOUT:
+                tile, _, _ = self.chip.macro_location(instr.macro)
+                hops = self.noc.hops_for_tile(tile, mesh_side)
+                scale = self.chip.tech_scale
+                chain["readout"] += scale * self.noc.transfer_latency(
+                    instr.bytes_moved, hops
+                )
+                energy["readout"] += scale * self.noc.transfer_energy(
+                    instr.bytes_moved, hops
+                )
+            elif instr.op is OpCode.BARRIER:
+                continue
+            else:  # pragma: no cover - exhaustive
+                raise ArchitectureError(f"unknown opcode {instr.op}")
+        # Parallel-wave latency: slowest macro chain; DRAM is shared, so
+        # the transfer portion cannot beat the aggregate bandwidth bound.
+        slowest_chain = max(
+            (sum(c.values()) for c in chains.values()), default=0.0
+        )
+        dram_bound = (
+            shared_dram_bytes / self.memory.bandwidth_bytes_per_s
+            if shared_dram_bytes
+            else 0.0
+        )
+        wave_latency = max(slowest_chain, dram_bound)
+        slowest = None
+        slowest_macro = -1
+        for macro, chain in chains.items():
+            if slowest is None or sum(chain.values()) > sum(slowest.values()):
+                slowest = chain
+                slowest_macro = macro
+        return {
+            "critical_ising_energy": anneal_energy_per_macro.get(slowest_macro, 0.0),
+            "latency": wave_latency,
+            "transfer_latency": max(
+                slowest["transfer"] if slowest else 0.0, dram_bound
+            ),
+            "mapping_latency": slowest["mapping"] if slowest else 0.0,
+            "ising_latency": slowest["ising"] if slowest else 0.0,
+            "readout_latency": slowest["readout"] if slowest else 0.0,
+            "transfer_energy": energy["transfer"],
+            "mapping_energy": energy["mapping"],
+            "ising_energy": energy["ising"],
+            "readout_energy": energy["readout"],
+        }

@@ -1,0 +1,46 @@
+"""Baseline and comparator solvers (paper Sections II-C and VI).
+
+Reference solvers:
+
+* :mod:`~repro.baselines.exact` — Held-Karp dynamic programming (exact,
+  small N) for tours and fixed-endpoint paths.
+* :mod:`~repro.baselines.concorde_surrogate` — the offline stand-in for
+  Concorde: space-filling-curve construction + neighbour-list 2-opt +
+  Or-opt, with cached reference lengths per benchmark instance.
+* :mod:`~repro.baselines.greedy` — nearest-neighbour and greedy-edge
+  construction heuristics.
+* :mod:`~repro.baselines.two_opt` — 2-opt / Or-opt local search used by
+  the surrogate and available standalone.
+
+Comparator systems re-implemented from their papers' algorithm
+descriptions (see DESIGN.md substitutions):
+
+* :mod:`~repro.baselines.hvc` — Hierarchical Vertex Clustering [4].
+* :mod:`~repro.baselines.neuro_ising` — Neuro-Ising [5].
+* :mod:`~repro.baselines.cima` — IMA [6] and CIMA [7] clustered
+  annealers.
+"""
+
+from repro.baselines.exact import held_karp_path, held_karp_tour
+from repro.baselines.greedy import greedy_edge_tour, nearest_neighbor_tour
+from repro.baselines.two_opt import or_opt_pass, two_opt, two_opt_pass
+from repro.baselines.concorde_surrogate import ConcordeSurrogate, reference_length
+from repro.baselines.hvc import HVCSolver
+from repro.baselines.neuro_ising import NeuroIsingSolver
+from repro.baselines.cima import CIMASolver, IMASolver
+
+__all__ = [
+    "held_karp_tour",
+    "held_karp_path",
+    "nearest_neighbor_tour",
+    "greedy_edge_tour",
+    "two_opt",
+    "two_opt_pass",
+    "or_opt_pass",
+    "ConcordeSurrogate",
+    "reference_length",
+    "HVCSolver",
+    "NeuroIsingSolver",
+    "IMASolver",
+    "CIMASolver",
+]

@@ -1,0 +1,145 @@
+"""Concorde surrogate: the offline reference solver.
+
+The paper's optimal ratios divide by Concorde's exact tour lengths
+[3], [30].  Concorde is unavailable offline, so the reference tour is
+produced by a strong classical pipeline:
+
+* construction — greedy-edge for small instances, Hilbert-curve order
+  for large ones;
+* improvement — neighbour-list 2-opt + Or-opt to a local optimum
+  (typically within a few percent of optimal on Euclidean instances);
+* for n <= 12, exact Held-Karp instead.
+
+Reference lengths are cached on disk (`.refcache/` next to the package
+user's working directory) keyed by instance name and solver settings,
+so benches do not recompute them on every run.  DESIGN.md documents the
+substitution; EXPERIMENTS.md reports ratios against this reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.exact import held_karp_tour
+from repro.baselines.greedy import greedy_edge_tour, space_filling_order
+from repro.baselines.two_opt import two_opt
+from repro.errors import SolverError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.neighbors import nearest_neighbor_lists
+from repro.tsp.tour import Tour
+
+_CACHE_ENV = "REPRO_REFCACHE"
+_DEFAULT_CACHE_DIR = ".refcache"
+
+
+@dataclass(frozen=True)
+class SurrogateSettings:
+    """Tuning of the reference pipeline (kept in the cache key)."""
+
+    neighbor_k: int = 10
+    max_rounds: int = 40
+    greedy_limit: int = 4096  # above this, Hilbert construction
+
+    @property
+    def cache_tag(self) -> str:
+        return f"k{self.neighbor_k}r{self.max_rounds}g{self.greedy_limit}"
+
+
+class ConcordeSurrogate:
+    """Reference tour producer with on-disk length caching."""
+
+    def __init__(
+        self,
+        settings: SurrogateSettings | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.settings = settings if settings is not None else SurrogateSettings()
+        if cache_dir is None:
+            cache_dir = os.environ.get(_CACHE_ENV, _DEFAULT_CACHE_DIR)
+        self.cache_dir = Path(cache_dir)
+
+    # ------------------------------------------------------------------
+    def solve(self, instance: TSPInstance) -> Tour:
+        """Compute the reference tour (no caching; returns the tour itself)."""
+        n = instance.n
+        if n <= 12:
+            order, _ = held_karp_tour(instance)
+            return Tour(instance, order)
+        if n <= self.settings.greedy_limit:
+            initial = greedy_edge_tour(instance)
+        else:
+            initial = space_filling_order(instance)
+        neighbors = nearest_neighbor_lists(
+            instance, min(self.settings.neighbor_k, n - 1)
+        )
+        improved = two_opt(
+            instance,
+            initial,
+            neighbors=neighbors,
+            max_rounds=self.settings.max_rounds,
+        )
+        return Tour(instance, improved)
+
+    def reference_length(self, instance: TSPInstance) -> float:
+        """The (cached) reference tour length for ``instance``.
+
+        Cache hits require an identical instance name, size, and
+        settings tag; the cache stores only lengths, never tours.
+        """
+        key = self._cache_key(instance)
+        cached = self._read_cache(key)
+        if cached is not None:
+            return cached
+        length = self.solve(instance).length
+        self._write_cache(key, length)
+        return length
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, instance: TSPInstance) -> str:
+        return f"{instance.name}_n{instance.n}_{instance.metric.value}_{self.settings.cache_tag}"
+
+    def _cache_file(self) -> Path:
+        return self.cache_dir / "reference_lengths.json"
+
+    def _read_cache(self, key: str) -> float | None:
+        path = self._cache_file()
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        value = data.get(key)
+        return float(value) if value is not None else None
+
+    def _write_cache(self, key: str, length: float) -> None:
+        path = self._cache_file()
+        data: dict[str, float] = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                data = {}
+        data[key] = length
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(data, indent=1, sort_keys=True))
+        except OSError:
+            pass  # caching is best-effort
+
+
+def reference_length(instance: TSPInstance) -> float:
+    """Module-level convenience wrapper with default settings."""
+    return ConcordeSurrogate().reference_length(instance)
+
+
+def reference_tour(instance: TSPInstance) -> Tour:
+    """Module-level convenience wrapper returning the tour itself."""
+    if instance.n < 2:
+        raise SolverError("reference tour needs at least 2 cities")
+    return ConcordeSurrogate().solve(instance)

@@ -1,0 +1,133 @@
+"""Exact TSP solvers for small instances (Held-Karp dynamic programming).
+
+The paper's optimal ratios divide by Concorde's exact solutions.  For
+the sub-problem sizes an Ising macro handles (<= 20 cities) exact DP is
+feasible and is the gold standard for our unit tests and for the
+smallest benchmark comparisons.
+
+Complexity: O(n^2 * 2^n) time, O(n * 2^n) memory — n is capped at 20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.tsp.instance import TSPInstance
+
+_MAX_EXACT = 20
+
+
+def held_karp_tour(instance_or_matrix: TSPInstance | np.ndarray) -> tuple[np.ndarray, float]:
+    """Exact shortest closed tour.  Returns (order, length)."""
+    dist = _as_matrix(instance_or_matrix)
+    n = dist.shape[0]
+    if n == 2:
+        return np.asarray([0, 1]), float(dist[0, 1] * 2)
+    # Fix city 0 as the start; DP over subsets of the rest.
+    m = n - 1  # cities 1..n-1
+    full = 1 << m
+    dp = np.full((full, m), np.inf)
+    parent = np.full((full, m), -1, dtype=np.int64)
+    for j in range(m):
+        dp[1 << j, j] = dist[0, j + 1]
+    for mask in range(1, full):
+        for j in range(m):
+            bit = 1 << j
+            if not mask & bit:
+                continue
+            cost = dp[mask, j]
+            if not np.isfinite(cost):
+                continue
+            rest = ~mask & (full - 1)
+            k = rest
+            while k:
+                nxt = (k & -k).bit_length() - 1
+                k &= k - 1
+                new_mask = mask | (1 << nxt)
+                new_cost = cost + dist[j + 1, nxt + 1]
+                if new_cost < dp[new_mask, nxt]:
+                    dp[new_mask, nxt] = new_cost
+                    parent[new_mask, nxt] = j
+    final = dp[full - 1] + dist[1:, 0]
+    last = int(np.argmin(final))
+    length = float(final[last])
+    order = _backtrack(parent, full - 1, last, m)
+    return np.asarray([0, *[c + 1 for c in order]]), length
+
+
+def held_karp_path(
+    instance_or_matrix: TSPInstance | np.ndarray,
+    start: int,
+    end: int,
+) -> tuple[np.ndarray, float]:
+    """Exact shortest open path from ``start`` to ``end`` visiting all cities."""
+    dist = _as_matrix(instance_or_matrix)
+    n = dist.shape[0]
+    if start == end:
+        raise SolverError("path endpoints must differ")
+    if n == 2:
+        return np.asarray([start, end]), float(dist[start, end])
+    middle = [c for c in range(n) if c not in (start, end)]
+    m = len(middle)
+    full = 1 << m
+    dp = np.full((full, m), np.inf)
+    parent = np.full((full, m), -1, dtype=np.int64)
+    for j in range(m):
+        dp[1 << j, j] = dist[start, middle[j]]
+    for mask in range(1, full):
+        for j in range(m):
+            bit = 1 << j
+            if not mask & bit:
+                continue
+            cost = dp[mask, j]
+            if not np.isfinite(cost):
+                continue
+            rest = ~mask & (full - 1)
+            k = rest
+            while k:
+                nxt = (k & -k).bit_length() - 1
+                k &= k - 1
+                new_mask = mask | (1 << nxt)
+                new_cost = cost + dist[middle[j], middle[nxt]]
+                if new_cost < dp[new_mask, nxt]:
+                    dp[new_mask, nxt] = new_cost
+                    parent[new_mask, nxt] = j
+    final = dp[full - 1] + np.asarray([dist[middle[j], end] for j in range(m)])
+    last = int(np.argmin(final))
+    length = float(final[last])
+    inner = _backtrack(parent, full - 1, last, m)
+    return np.asarray([start, *[middle[j] for j in inner], end]), length
+
+
+def _as_matrix(instance_or_matrix: TSPInstance | np.ndarray) -> np.ndarray:
+    if isinstance(instance_or_matrix, TSPInstance):
+        n = instance_or_matrix.n
+        if n > _MAX_EXACT:
+            raise SolverError(
+                f"Held-Karp limited to {_MAX_EXACT} cities (got {n})"
+            )
+        return instance_or_matrix.distance_matrix()
+    dist = np.asarray(instance_or_matrix, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise SolverError(f"distance matrix must be square, got {dist.shape}")
+    if dist.shape[0] > _MAX_EXACT:
+        raise SolverError(
+            f"Held-Karp limited to {_MAX_EXACT} cities (got {dist.shape[0]})"
+        )
+    if dist.shape[0] < 2:
+        raise SolverError("need at least 2 cities")
+    return dist
+
+
+def _backtrack(parent: np.ndarray, mask: int, last: int, m: int) -> list[int]:
+    order: list[int] = []
+    while last != -1:
+        order.append(last)
+        prev = int(parent[mask, last])
+        mask ^= 1 << last
+        last = prev
+    order.reverse()
+    if len(order) != m:
+        raise SolverError("Held-Karp backtracking failed")  # pragma: no cover
+    return order

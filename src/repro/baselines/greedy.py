@@ -1,0 +1,166 @@
+"""Greedy tour construction heuristics.
+
+* :func:`nearest_neighbor_tour` — repeatedly hop to the closest
+  unvisited city (KD-tree accelerated for coordinate instances).
+* :func:`greedy_edge_tour` — add shortest edges while keeping degree
+  <= 2 and no premature cycles (better than NN, still fast).
+* :func:`space_filling_order` — Hilbert-curve ordering; O(n log n),
+  used as the construction step for very large instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import SolverError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+
+def nearest_neighbor_tour(instance: TSPInstance, start: int = 0) -> np.ndarray:
+    """Nearest-neighbour construction from ``start``."""
+    n = instance.n
+    if not 0 <= start < n:
+        raise SolverError(f"start city {start} out of range")
+    if instance.coords is not None and instance.metric is not EdgeWeightType.EXPLICIT:
+        return _nn_kdtree(instance, start)
+    dist = instance.distance_matrix()
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=int)
+    order[0] = start
+    visited[start] = True
+    current = start
+    for i in range(1, n):
+        row = dist[current].copy()
+        row[visited] = np.inf
+        current = int(np.argmin(row))
+        order[i] = current
+        visited[current] = True
+    return order
+
+
+def _nn_kdtree(instance: TSPInstance, start: int) -> np.ndarray:
+    """KD-tree nearest-neighbour with periodic rebuild on the unvisited set."""
+    coords = np.asarray(instance.coords)
+    n = coords.shape[0]
+    unvisited = np.ones(n, dtype=bool)
+    order = np.empty(n, dtype=int)
+    order[0] = start
+    unvisited[start] = False
+    current = start
+    alive = np.flatnonzero(unvisited)
+    tree = cKDTree(coords[alive])
+    stale = 0
+    for i in range(1, n):
+        found = -1
+        k = 2
+        while found < 0:
+            k = min(k, alive.size)
+            _, idx = tree.query(coords[current], k=k)
+            idx = np.atleast_1d(idx)
+            for cand in idx:
+                if cand < alive.size and unvisited[alive[cand]]:
+                    found = int(alive[cand])
+                    break
+            if found < 0:
+                if k >= alive.size:
+                    remaining = np.flatnonzero(unvisited)
+                    block = instance.distance_block(
+                        np.asarray([current]), remaining
+                    )[0]
+                    found = int(remaining[np.argmin(block)])
+                    break
+                k *= 2
+        order[i] = found
+        unvisited[found] = False
+        current = found
+        stale += 1
+        if stale >= max(64, alive.size // 4) and i < n - 1:
+            alive = np.flatnonzero(unvisited)
+            tree = cKDTree(coords[alive])
+            stale = 0
+    return order
+
+
+def greedy_edge_tour(instance: TSPInstance) -> np.ndarray:
+    """Greedy-edge construction (shortest edges first, degree-capped).
+
+    Requires the full distance matrix, so it is limited to instances the
+    matrix guard allows.
+    """
+    n = instance.n
+    dist = instance.distance_matrix()
+    iu, ju = np.triu_indices(n, k=1)
+    edge_order = np.argsort(dist[iu, ju], kind="stable")
+    degree = np.zeros(n, dtype=int)
+    component = np.arange(n)
+
+    def find(x: int) -> int:
+        while component[x] != x:
+            component[x] = component[component[x]]
+            x = component[x]
+        return x
+
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    edges_added = 0
+    for e in edge_order:
+        a, b = int(iu[e]), int(ju[e])
+        if degree[a] >= 2 or degree[b] >= 2:
+            continue
+        ra, rb = find(a), find(b)
+        if ra == rb and edges_added < n - 1:
+            continue
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+        degree[a] += 1
+        degree[b] += 1
+        component[rb] = ra
+        edges_added += 1
+        if edges_added == n:
+            break
+    # Walk the cycle.
+    order = np.empty(n, dtype=int)
+    order[0] = 0
+    prev = -1
+    current = 0
+    for i in range(1, n):
+        nxt = adjacency[current][0] if adjacency[current][0] != prev else adjacency[current][1]
+        order[i] = nxt
+        prev, current = current, nxt
+    return order
+
+
+def space_filling_order(instance: TSPInstance, order_bits: int = 16) -> np.ndarray:
+    """Hilbert-curve visiting order (construction for huge instances)."""
+    if instance.coords is None:
+        raise SolverError("space-filling construction needs coordinates")
+    coords = np.asarray(instance.coords, dtype=float)
+    mins = coords.min(axis=0)
+    spans = coords.max(axis=0) - mins
+    spans[spans == 0] = 1.0
+    side = (1 << order_bits) - 1
+    grid = ((coords - mins) / spans * side).astype(np.int64)
+    keys = _hilbert_d(grid[:, 0], grid[:, 1], order_bits)
+    return np.argsort(keys, kind="stable")
+
+
+def _hilbert_d(x: np.ndarray, y: np.ndarray, order_bits: int) -> np.ndarray:
+    """Vectorized Hilbert-curve distance of grid points (standard rotation)."""
+    x = x.astype(np.int64).copy()
+    y = y.astype(np.int64).copy()
+    d = np.zeros_like(x)
+    s = np.int64(1) << (order_bits - 1)
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant so the curve stays continuous.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x[flip] = s - 1 - x[flip]
+        y[flip] = s - 1 - y[flip]
+        x_old = x[swap].copy()
+        x[swap] = y[swap]
+        y[swap] = x_old
+        s >>= 1
+    return d

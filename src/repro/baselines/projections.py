@@ -1,0 +1,41 @@
+"""Exact-solver cost projections (paper refs [3], [31], Fig 6b).
+
+Fig 6b compares TAXI's total latency against an exact solver whose
+cost at the largest instance is *projected*: the paper cites 136 years
+of single-core CPU time and 3.82e11 J for pla85900 [31], and Concorde
+handles small instances in fractions of a second.  We fit a power law
+through those two anchors — crude, but the figure only needs the
+diverging shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+#: Anchor points: (cities, seconds).  85,900 -> 136 years [31];
+#: 76 -> ~0.1 s (Concorde-class on a small instance).
+_SMALL_ANCHOR = (76.0, 0.1)
+_LARGE_ANCHOR = (85_900.0, 136.0 * 365.25 * 24 * 3600.0)
+
+#: Energy anchor: 3.82e11 J at 85,900 cities [31]; assumed proportional
+#: to runtime at fixed CPU power.
+_LARGE_ENERGY = 3.82e11
+
+_ALPHA = math.log(_LARGE_ANCHOR[1] / _SMALL_ANCHOR[1]) / math.log(
+    _LARGE_ANCHOR[0] / _SMALL_ANCHOR[0]
+)
+_CPU_POWER = _LARGE_ENERGY / _LARGE_ANCHOR[1]  # implied watts
+
+
+def exact_solver_seconds(n: int) -> float:
+    """Projected single-core exact-solver runtime for ``n`` cities."""
+    if n < 2:
+        raise ReproError(f"n must be >= 2, got {n}")
+    return _SMALL_ANCHOR[1] * (n / _SMALL_ANCHOR[0]) ** _ALPHA
+
+
+def exact_solver_energy(n: int) -> float:
+    """Projected exact-solver energy (runtime x implied CPU power)."""
+    return exact_solver_seconds(n) * _CPU_POWER

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     solve a benchmark size (or a TSPLIB file) with TAXI
+``compare``   run TAXI against the comparator solvers on one instance
+``table1``    print the Table I circuit-simulation reproduction
+``devices``   print the SOT-MRAM switching operating points
+``bench-info``  list the benchmark registry
+
+Examples::
+
+    python -m repro solve --size 1060 --bits 4 --sweeps 300
+    python -m repro solve --tsplib path/to/instance.tsp
+    python -m repro compare --size 318
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import ascii_table, format_seconds
+from repro.core import TAXIConfig, TAXISolver
+from repro.tsp import load_benchmark, read_tsplib
+from repro.tsp.benchmarks import BENCHMARK_SIZES, benchmark_spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAXI (DAC 2025) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one instance with TAXI")
+    _instance_args(solve)
+    solve.add_argument("--cluster-size", type=int, default=12,
+                       help="maximum cluster size (macro capacity)")
+    solve.add_argument("--bits", type=int, default=4, help="W_D bit precision")
+    solve.add_argument("--sweeps", type=int, default=None,
+                       help="annealing sweeps (default: full 1341-sweep ramp)")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--clustering", choices=("ward", "kmeans"), default="ward")
+    solve.add_argument("--no-fixing", action="store_true",
+                       help="disable inter-cluster endpoint fixing")
+    solve.add_argument("--reference", action="store_true",
+                       help="also compute the Concorde-surrogate reference")
+
+    compare = sub.add_parser("compare", help="TAXI vs comparator solvers")
+    _instance_args(compare)
+    compare.add_argument("--sweeps", type=int, default=134)
+    compare.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="print the Table I reproduction")
+    sub.add_parser("devices", help="print SOT-MRAM operating points")
+    sub.add_parser("bench-info", help="list the benchmark registry")
+    return parser
+
+
+def _instance_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=False)
+    group.add_argument("--size", type=int, help="benchmark registry size")
+    group.add_argument("--tsplib", type=str, help="path to a TSPLIB file")
+
+
+def _load_instance(args: argparse.Namespace):
+    if getattr(args, "tsplib", None):
+        return read_tsplib(args.tsplib)
+    size = getattr(args, "size", None) or 318
+    return load_benchmark(size)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    config = TAXIConfig(
+        max_cluster_size=args.cluster_size,
+        bits=args.bits,
+        sweeps=args.sweeps,
+        seed=args.seed,
+        clustering=args.clustering,
+        endpoint_fixing=not args.no_fixing,
+    )
+    result = TAXISolver(config).solve(instance)
+    print(f"instance      : {instance.name} ({instance.n} cities)")
+    print(f"tour length   : {result.tour.length:.0f}")
+    print(f"hierarchy     : {result.hierarchy_depth} levels, "
+          f"{result.total_subproblems} sub-problems")
+    for phase, seconds in result.phase_seconds.as_dict().items():
+        print(f"  {phase:<10s}: {format_seconds(seconds)}")
+    if args.reference:
+        from repro.baselines import reference_length
+
+        reference = reference_length(instance)
+        print(f"reference     : {reference:.0f}")
+        print(f"optimal ratio : {result.optimal_ratio(reference):.4f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        CIMASolver,
+        HVCSolver,
+        IMASolver,
+        NeuroIsingSolver,
+        reference_length,
+    )
+
+    instance = _load_instance(args)
+    reference = reference_length(instance)
+    rows = []
+    taxi = TAXISolver(TAXIConfig(sweeps=args.sweeps, seed=args.seed)).solve(instance)
+    rows.append(["TAXI", f"{taxi.tour.length:.0f}",
+                 f"{taxi.tour.length / reference:.3f}"])
+    for solver in (
+        HVCSolver(sweeps=args.sweeps, seed=args.seed),
+        IMASolver(sweeps=args.sweeps, seed=args.seed),
+        CIMASolver(sweeps=args.sweeps, seed=args.seed),
+        NeuroIsingSolver(sweeps=args.sweeps, seed=args.seed),
+    ):
+        result = solver.solve(instance)
+        rows.append([solver.name, f"{result.tour.length:.0f}",
+                     f"{result.tour.length / reference:.3f}"])
+    print(ascii_table(["solver", "length", "ratio vs reference"], rows,
+                      title=f"{instance.name} ({instance.n} cities)"))
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.macro.circuit_sim import CircuitSimulator
+
+    print(CircuitSimulator.format_table(CircuitSimulator().table_i()))
+    return 0
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    from repro.devices import (
+        DETERMINISTIC_MIN_CURRENT,
+        STOCHASTIC_CURRENT_RANGE,
+        SwitchingCharacteristic,
+    )
+    from repro.utils.units import MICRO
+
+    ch = SwitchingCharacteristic.from_paper_anchors()
+    rows = [
+        [f"{ua} uA", f"{100 * ch.probability(ua * MICRO):.2f} %"]
+        for ua in (300, 353, 380, 420, 500, 650)
+    ]
+    print(ascii_table(["I_write", "P_sw"], rows, title="SOT-MRAM switching"))
+    low, high = STOCHASTIC_CURRENT_RANGE
+    print(f"stochastic window : {low / MICRO:.0f}-{high / MICRO:.0f} uA")
+    print(f"deterministic     : > {DETERMINISTIC_MIN_CURRENT / MICRO:.0f} uA")
+    return 0
+
+
+def cmd_bench_info(_args: argparse.Namespace) -> int:
+    rows = []
+    for size in BENCHMARK_SIZES:
+        spec = benchmark_spec(size)
+        rows.append([spec.name, size, spec.real_name, spec.family])
+    print(ascii_table(["name", "size", "stands in for", "family"], rows,
+                      title="benchmark registry (synthetic, seeded)"))
+    return 0
+
+
+_COMMANDS = {
+    "solve": cmd_solve,
+    "compare": cmd_compare,
+    "table1": cmd_table1,
+    "devices": cmd_devices,
+    "bench-info": cmd_bench_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Ward-linkage agglomerative clustering, from scratch.
+
+The paper clusters with *agglomerative* hierarchical clustering under
+Ward linkage (Section IV-3), preferring its compact irregular clusters
+over k-means' spherical ones.  This implementation uses the
+nearest-neighbour-chain algorithm with the centroid/size form of the
+Ward dissimilarity:
+
+    d(A, B) = |A||B| / (|A| + |B|) * ||centroid_A - centroid_B||^2
+
+which equals the increase in total within-cluster variance caused by
+merging A and B.  NN-chain needs only O(n) memory (no distance matrix)
+and O(n^2) time, and Ward linkage is *reducible*, so the dendrogram it
+produces is exactly the one a naive greedy merge would build.
+
+Scalability: exact NN-chain is used up to ``exact_threshold`` points;
+beyond that the point set is recursively median-split (KD fashion) into
+blocks that are clustered exactly, a standard locality approximation
+whose only error is at block boundaries (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+#: Largest level clustered by exact NN-chain before KD-splitting kicks in.
+DEFAULT_EXACT_THRESHOLD = 4096
+
+
+def ward_linkage_matrix(points: np.ndarray) -> np.ndarray:
+    """The full Ward dendrogram as an ``(n-1, 4)`` scipy-style linkage.
+
+    Columns: merged cluster ids (original points are 0..n-1, merges are
+    n, n+1, ...), merge dissimilarity (sqrt of the Ward distance, the
+    scipy convention), and new cluster size.
+    """
+    points = _check_points(points)
+    n = points.shape[0]
+    merges = _nn_chain_merges(points)
+    # Convert to scipy convention: sort merges by height, relabel.
+    order = np.argsort([m[2] for m in merges], kind="stable")
+    linkage = np.zeros((n - 1, 4))
+    cluster_ids = {i: i for i in range(n)}  # slot -> current dendrogram id
+    sizes = {i: 1 for i in range(n)}
+    next_id = n
+    for row, merge_idx in enumerate(order):
+        a, b, height, new_size = merges[merge_idx]
+        ida, idb = cluster_ids[a], cluster_ids[b]
+        linkage[row] = (min(ida, idb), max(ida, idb), np.sqrt(height), new_size)
+        cluster_ids[a] = next_id
+        sizes[next_id] = new_size
+        next_id += 1
+    return linkage
+
+
+def ward_labels(
+    points: np.ndarray,
+    n_clusters: int,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+) -> np.ndarray:
+    """Cluster ``points`` into ``n_clusters`` groups under Ward linkage.
+
+    Returns integer labels ``0..n_clusters-1`` (label ids are dense but
+    arbitrary).  Uses exact NN-chain up to ``exact_threshold`` points
+    and KD-split blocks beyond.
+    """
+    points = _check_points(points)
+    n = points.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ClusteringError(
+            f"n_clusters must be in 1..{n}, got {n_clusters}"
+        )
+    if n_clusters == n:
+        return np.arange(n)
+    if n <= exact_threshold:
+        return _ward_labels_exact(points, n_clusters)
+    return _ward_labels_kdsplit(points, n_clusters, exact_threshold)
+
+
+def cluster_with_max_size(
+    points: np.ndarray,
+    max_size: int,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+) -> np.ndarray:
+    """Ward clustering into ceil(n / max_size) groups, none exceeding ``max_size``.
+
+    Ward merging alone does not bound cluster sizes, so oversized
+    clusters are recursively re-split with Ward until every cluster
+    fits an Ising macro (the paper's "maximum TSP size confidently
+    solvable by an Ising macro").
+    """
+    points = _check_points(points)
+    if max_size < 1:
+        raise ClusteringError(f"max_size must be >= 1, got {max_size}")
+    n = points.shape[0]
+    n_clusters = int(np.ceil(n / max_size))
+    labels = ward_labels(points, n_clusters, exact_threshold)
+    return _split_oversized(points, labels, max_size, exact_threshold)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _check_points(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] < 1:
+        raise ClusteringError(f"points must be (n, d) with n >= 1, got {points.shape}")
+    return points
+
+
+def _ward_distance_rows(
+    centroid: np.ndarray, size: float, centroids: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Ward dissimilarity from one cluster to many (vectorized)."""
+    diff = centroids - centroid
+    sq = (diff * diff).sum(axis=1)
+    return (size * sizes) / (size + sizes) * sq
+
+
+def _nn_chain_merges(points: np.ndarray) -> list[tuple[int, int, float, int]]:
+    """All n-1 merges via NN-chain: (slot_a, slot_b, ward_dist, new_size).
+
+    Slot ``a`` survives each merge (holding the union), slot ``b``
+    deactivates.  Merge heights are *not* sorted.
+    """
+    n = points.shape[0]
+    centroids = points.copy()
+    sizes = np.ones(n)
+    active = np.ones(n, dtype=bool)
+    merges: list[tuple[int, int, float, int]] = []
+    chain: list[int] = []
+    remaining = n
+    while remaining > 1:
+        if not chain:
+            chain.append(int(np.flatnonzero(active)[0]))
+        top = chain[-1]
+        dists = _ward_distance_rows(centroids[top], sizes[top], centroids, sizes)
+        dists[~active] = np.inf
+        dists[top] = np.inf
+        nearest = int(np.argmin(dists))
+        if len(chain) >= 2 and nearest == chain[-2]:
+            a, b = chain.pop(), chain.pop()
+            height = float(
+                _ward_distance_rows(
+                    centroids[a], sizes[a], centroids[b : b + 1], sizes[b : b + 1]
+                )[0]
+            )
+            total = sizes[a] + sizes[b]
+            centroids[a] = (sizes[a] * centroids[a] + sizes[b] * centroids[b]) / total
+            sizes[a] = total
+            active[b] = False
+            merges.append((a, b, height, int(total)))
+            remaining -= 1
+        else:
+            chain.append(nearest)
+    return merges
+
+
+def _ward_labels_exact(points: np.ndarray, n_clusters: int) -> np.ndarray:
+    n = points.shape[0]
+    merges = _nn_chain_merges(points)
+    order = np.argsort([m[2] for m in merges], kind="stable")
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    # Apply the n - n_clusters cheapest merges (dendrogram cut).
+    for merge_idx in order[: n - n_clusters]:
+        a, b, _, _ = merges[merge_idx]
+        ra, rb = find(a), find(b)
+        parent[rb] = ra
+    roots = np.fromiter((find(i) for i in range(n)), dtype=int, count=n)
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+def _ward_labels_kdsplit(
+    points: np.ndarray, n_clusters: int, exact_threshold: int
+) -> np.ndarray:
+    """Locality-approximate Ward for very large point sets.
+
+    Recursively median-split along the widest axis until blocks fit the
+    exact solver, allocate each block a share of clusters proportional
+    to its size, and cluster blocks independently.
+    """
+    n = points.shape[0]
+    labels = np.empty(n, dtype=int)
+
+    def recurse(indices: np.ndarray, k: int, next_label: int) -> int:
+        if k <= 1:
+            labels[indices] = next_label
+            return next_label + 1
+        if indices.size <= exact_threshold:
+            sub = _ward_labels_exact(points[indices], min(k, indices.size))
+            labels[indices] = sub + next_label
+            return next_label + int(sub.max()) + 1
+        block = points[indices]
+        axis = int(np.argmax(block.max(axis=0) - block.min(axis=0)))
+        median = np.median(block[:, axis])
+        left_mask = block[:, axis] <= median
+        # Guard against degenerate splits on duplicated coordinates.
+        if left_mask.all() or not left_mask.any():
+            half = indices.size // 2
+            sorted_idx = np.argsort(block[:, axis], kind="stable")
+            left_mask = np.zeros(indices.size, dtype=bool)
+            left_mask[sorted_idx[:half]] = True
+        left = indices[left_mask]
+        right = indices[~left_mask]
+        k_left = max(1, min(k - 1, int(round(k * left.size / indices.size))))
+        k_right = k - k_left
+        next_label = recurse(left, k_left, next_label)
+        return recurse(right, k_right, next_label)
+
+    recurse(np.arange(n), n_clusters, 0)
+    return labels
+
+
+def _split_oversized(
+    points: np.ndarray, labels: np.ndarray, max_size: int, exact_threshold: int
+) -> np.ndarray:
+    """Recursively re-split any cluster larger than ``max_size``."""
+    labels = labels.copy()
+    next_label = int(labels.max()) + 1
+    # Iterate until fixed point; each pass strictly shrinks violators.
+    while True:
+        sizes = np.bincount(labels)
+        oversized = np.flatnonzero(sizes > max_size)
+        if oversized.size == 0:
+            return labels
+        for label in oversized:
+            members = np.flatnonzero(labels == label)
+            parts = int(np.ceil(members.size / max_size))
+            sub = ward_labels(points[members], parts, exact_threshold)
+            # Part 0 keeps the old label, the rest get fresh ones.
+            for part in range(1, parts):
+                labels[members[sub == part]] = next_label
+                next_label += 1

@@ -1,0 +1,123 @@
+"""Inter-cluster endpoint fixing (paper Section IV-2).
+
+Unlike HVC, which co-optimizes intra- and inter-cluster routes on one
+sparse crossbar, TAXI *fixes* each cluster's first and last cities
+before solving it: for consecutive clusters (A, B) in the current route
+order, the closest leaf-city pair (a in A, b in B) pins ``a`` as A's
+exit and ``b`` as B's entry.  Sub-problem solutions therefore can never
+degrade the inter-cluster route, and every cluster of a level can be
+solved in parallel.
+
+Conflict handling (the paper leaves it unspecified): if a cluster's
+chosen exit would fall in the same child sub-cluster as its entry while
+other children exist, the next-closest pair avoiding that child is
+used, so the child path has distinct first/last children whenever
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.neighbors import closest_pair_between
+
+
+@dataclass(frozen=True)
+class EndpointFixing:
+    """Endpoint assignment for one cluster in the route order.
+
+    ``entry_leaf``/``exit_leaf`` are original city ids; for the cyclic
+    top level every cluster has both.
+    """
+
+    entry_leaf: int
+    exit_leaf: int
+
+
+def fix_level_endpoints(
+    instance: TSPInstance,
+    leaves_in_order: list[np.ndarray],
+    child_of_leaf: list[dict[int, int]] | None = None,
+) -> list[EndpointFixing]:
+    """Fix entry/exit leaves for an ordered (cyclic) cluster sequence.
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance (for distances).
+    leaves_in_order:
+        ``leaves_in_order[t]`` are the original city ids under the
+        ``t``-th cluster of the route.  The sequence is treated as
+        cyclic (the global tour is a cycle at every level).
+    child_of_leaf:
+        Optional per-cluster map from leaf id to the child sub-cluster
+        index containing it; enables the entry/exit child-conflict
+        avoidance described in the module docstring.
+
+    Returns
+    -------
+    One :class:`EndpointFixing` per cluster, aligned with the input.
+    """
+    count = len(leaves_in_order)
+    if count < 2:
+        raise ClusteringError("endpoint fixing needs at least 2 clusters")
+    # pair[t] joins cluster t to cluster (t+1) % count.
+    exit_leaf = [-1] * count
+    entry_leaf = [-1] * count
+    for t in range(count):
+        nxt = (t + 1) % count
+        group_a = leaves_in_order[t]
+        group_b = leaves_in_order[nxt]
+        forbidden_child = None
+        if child_of_leaf is not None and entry_leaf[t] >= 0:
+            forbidden_child = child_of_leaf[t].get(entry_leaf[t])
+        a, b = _closest_pair_avoiding(
+            instance,
+            group_a,
+            group_b,
+            child_of_leaf[t] if child_of_leaf is not None else None,
+            forbidden_child,
+        )
+        exit_leaf[t] = a
+        entry_leaf[nxt] = b
+    return [EndpointFixing(entry_leaf[t], exit_leaf[t]) for t in range(count)]
+
+
+def _closest_pair_avoiding(
+    instance: TSPInstance,
+    group_a: np.ndarray,
+    group_b: np.ndarray,
+    child_map: dict[int, int] | None,
+    forbidden_child: int | None,
+) -> tuple[int, int]:
+    """Closest pair with A's leaf preferably outside ``forbidden_child``."""
+    if (
+        child_map is not None
+        and forbidden_child is not None
+        and group_a.size > 1
+    ):
+        allowed = np.asarray(
+            [leaf for leaf in group_a if child_map.get(int(leaf)) != forbidden_child]
+        )
+        if allowed.size > 0:
+            a, b, _ = closest_pair_between(instance, allowed, group_b)
+            return a, b
+    a, b, _ = closest_pair_between(instance, group_a, group_b)
+    return a, b
+
+
+def centroid_distance_matrix(centroids: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between cluster centroids.
+
+    Upper hierarchy levels order *clusters*, whose pairwise distances
+    the paper takes between centroids.
+    """
+    centroids = np.asarray(centroids, dtype=float)
+    if centroids.ndim != 2:
+        raise ClusteringError(f"centroids must be (k, 2), got {centroids.shape}")
+    diff = centroids[:, None, :] - centroids[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))

@@ -1,0 +1,170 @@
+"""Bottom-up cluster hierarchy (paper Section IV-1).
+
+Level 0 holds the cities themselves.  Each higher level clusters the
+previous level's nodes (by their centroids) into groups of at most
+``max_cluster_size``; the group centroids become the next level's
+nodes.  Building stops when a level has no more nodes than one Ising
+macro can hold — that level's single closed tour is the top problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.clustering.agglomerative import cluster_with_max_size
+from repro.errors import ClusteringError
+from repro.tsp.instance import TSPInstance
+
+
+@dataclass
+class HierarchyLevel:
+    """One level of the hierarchy.
+
+    Attributes
+    ----------
+    level:
+        0 for cities, increasing upward.
+    centroids:
+        ``(k, 2)`` node centroid coordinates.
+    children:
+        For level > 0: ``children[i]`` lists the previous level's node
+        indices grouped into node ``i``.  Empty for level 0.
+    leaves:
+        ``leaves[i]`` is the array of original city ids under node ``i``.
+    """
+
+    level: int
+    centroids: np.ndarray
+    children: list[np.ndarray] = field(default_factory=list)
+    leaves: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+@dataclass
+class Hierarchy:
+    """The full bottom-up hierarchy for one instance."""
+
+    instance: TSPInstance
+    max_cluster_size: int
+    levels: list[HierarchyLevel]
+
+    @property
+    def depth(self) -> int:
+        """Number of levels including level 0 (the cities)."""
+        return len(self.levels)
+
+    @property
+    def top(self) -> HierarchyLevel:
+        return self.levels[-1]
+
+    def validate(self) -> None:
+        """Check structural invariants (used by tests and after building)."""
+        n = self.instance.n
+        if self.levels[0].n_nodes != n:
+            raise ClusteringError("level 0 must hold every city")
+        for level in self.levels[1:]:
+            child_total = sum(len(c) for c in level.children)
+            if child_total != self.levels[level.level - 1].n_nodes:
+                raise ClusteringError(
+                    f"level {level.level} children do not partition level "
+                    f"{level.level - 1}"
+                )
+            leaf_total = sum(len(leaf) for leaf in level.leaves)
+            if leaf_total != n:
+                raise ClusteringError(
+                    f"level {level.level} leaves do not cover all cities"
+                )
+            for children in level.children:
+                if len(children) > self.max_cluster_size:
+                    raise ClusteringError(
+                        f"level {level.level} has a cluster of {len(children)} "
+                        f"children (max {self.max_cluster_size})"
+                    )
+        if self.top.n_nodes > self.max_cluster_size:
+            raise ClusteringError("top level exceeds macro capacity")
+
+
+def build_hierarchy(
+    instance: TSPInstance,
+    max_cluster_size: int,
+    cluster_fn: Callable[[np.ndarray, int], np.ndarray] | None = None,
+) -> Hierarchy:
+    """Build the bottom-up hierarchy for ``instance``.
+
+    Parameters
+    ----------
+    max_cluster_size:
+        Macro capacity (the paper sweeps 12-20 in Fig 5a).
+    cluster_fn:
+        ``cluster_fn(points, max_size) -> labels`` override; defaults to
+        Ward agglomerative
+        (:func:`~repro.clustering.agglomerative.cluster_with_max_size`).
+        The K-means baseline passes
+        :func:`~repro.clustering.kmeans.kmeans_with_max_size`.
+    """
+    if max_cluster_size < 2:
+        raise ClusteringError(
+            f"max_cluster_size must be >= 2, got {max_cluster_size}"
+        )
+    if instance.coords is None:
+        raise ClusteringError(
+            "hierarchical clustering requires coordinate instances"
+        )
+    if cluster_fn is None:
+        cluster_fn = cluster_with_max_size
+
+    n = instance.n
+    levels = [
+        HierarchyLevel(
+            level=0,
+            centroids=np.asarray(instance.coords, dtype=float).copy(),
+            children=[],
+            leaves=[np.asarray([i]) for i in range(n)],
+        )
+    ]
+    while levels[-1].n_nodes > max_cluster_size:
+        below = levels[-1]
+        labels = np.asarray(cluster_fn(below.centroids, max_cluster_size))
+        if labels.shape != (below.n_nodes,):
+            raise ClusteringError(
+                f"cluster_fn returned labels of shape {labels.shape} for "
+                f"{below.n_nodes} nodes"
+            )
+        unique = np.unique(labels)
+        children: list[np.ndarray] = []
+        leaves: list[np.ndarray] = []
+        centroids = np.empty((unique.size, 2))
+        for new_idx, label in enumerate(unique):
+            members = np.flatnonzero(labels == label)
+            if members.size > max_cluster_size:
+                raise ClusteringError(
+                    f"cluster_fn produced a cluster of {members.size} nodes "
+                    f"(max {max_cluster_size})"
+                )
+            children.append(members)
+            member_leaves = np.concatenate([below.leaves[i] for i in members])
+            leaves.append(member_leaves)
+            # Leaf-weighted centroid = mean of the original cities.
+            centroids[new_idx] = instance.coords[member_leaves].mean(axis=0)
+        if unique.size >= below.n_nodes:
+            raise ClusteringError(
+                "clustering failed to reduce the level size; "
+                f"{below.n_nodes} -> {unique.size}"
+            )
+        levels.append(
+            HierarchyLevel(
+                level=len(levels),
+                centroids=centroids,
+                children=children,
+                leaves=leaves,
+            )
+        )
+    hierarchy = Hierarchy(instance, max_cluster_size, levels)
+    hierarchy.validate()
+    return hierarchy

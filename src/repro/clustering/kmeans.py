@@ -1,0 +1,115 @@
+"""K-means clustering (the baselines' clustering choice).
+
+HVC [4], IMA [6], and CIMA [7] all cluster with k-means; the paper
+argues Ward agglomerative produces compact *irregular* clusters that
+suit TSP decomposition better than k-means' spherical ones
+(Section IV-3).  This Lloyd's-algorithm implementation with k-means++
+seeding powers those baselines and the clustering ablation (E9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.utils.rng import ensure_rng
+
+
+def kmeans_labels(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: int | None | np.random.Generator = 0,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> np.ndarray:
+    """Lloyd's k-means with k-means++ initialization.
+
+    Returns dense integer labels.  Empty clusters are re-seeded from
+    the point currently farthest from its centroid.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] < 1:
+        raise ClusteringError(f"points must be (n, d), got {points.shape}")
+    n = points.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ClusteringError(f"n_clusters must be in 1..{n}, got {n_clusters}")
+    if n_clusters == n:
+        return np.arange(n)
+    rng = ensure_rng(seed)
+    centroids = _kmeanspp_init(points, n_clusters, rng)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iter):
+        distances = _sq_distances(points, centroids)
+        new_labels = np.argmin(distances, axis=1)
+        # Re-seed empty clusters from the worst-served point.
+        counts = np.bincount(new_labels, minlength=n_clusters)
+        for empty in np.flatnonzero(counts == 0):
+            worst = int(np.argmax(distances[np.arange(n), new_labels]))
+            new_labels[worst] = empty
+            counts = np.bincount(new_labels, minlength=n_clusters)
+        shift = 0.0
+        for k in range(n_clusters):
+            members = points[new_labels == k]
+            if members.size:
+                new_centroid = members.mean(axis=0)
+                shift = max(shift, float(((new_centroid - centroids[k]) ** 2).sum()))
+                centroids[k] = new_centroid
+        labels = new_labels
+        if shift < tol:
+            break
+    return labels
+
+
+def kmeans_with_max_size(
+    points: np.ndarray,
+    max_size: int,
+    seed: int | None | np.random.Generator = 0,
+) -> np.ndarray:
+    """K-means into ceil(n/max_size) clusters with oversized re-splits.
+
+    The k-means counterpart of
+    :func:`repro.clustering.agglomerative.cluster_with_max_size`,
+    used by the IMA/CIMA baselines and the clustering ablation.
+    """
+    points = np.asarray(points, dtype=float)
+    if max_size < 1:
+        raise ClusteringError(f"max_size must be >= 1, got {max_size}")
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    labels = kmeans_labels(points, int(np.ceil(n / max_size)), rng)
+    next_label = int(labels.max()) + 1
+    while True:
+        sizes = np.bincount(labels)
+        oversized = np.flatnonzero(sizes > max_size)
+        if oversized.size == 0:
+            return labels
+        for label in oversized:
+            members = np.flatnonzero(labels == label)
+            parts = int(np.ceil(members.size / max_size))
+            sub = kmeans_labels(points[members], parts, rng)
+            for part in range(1, parts):
+                labels[members[sub == part]] = next_label
+                next_label += 1
+
+
+def _kmeanspp_init(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = points.shape[0]
+    centroids = np.empty((n_clusters, points.shape[1]))
+    centroids[0] = points[rng.integers(n)]
+    closest_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for k in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            centroids[k:] = points[rng.integers(n, size=n_clusters - k)]
+            break
+        probs = closest_sq / total
+        choice = rng.choice(n, p=probs)
+        centroids[k] = points[choice]
+        closest_sq = np.minimum(closest_sq, ((points - centroids[k]) ** 2).sum(axis=1))
+    return centroids
+
+
+def _sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    return ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)

@@ -1,0 +1,25 @@
+"""TAXI's public end-to-end solver API (the paper's primary contribution).
+
+Typical use::
+
+    from repro.core import TAXIConfig, TAXISolver
+    from repro.tsp import load_benchmark
+
+    instance = load_benchmark(1060)
+    result = TAXISolver(TAXIConfig(max_cluster_size=12, bits=4, seed=0)).solve(instance)
+    print(result.tour.length, result.phase_seconds)
+"""
+
+from repro.core.config import TAXIConfig
+from repro.core.result import LevelStats, PhaseTimes, TAXIResult
+from repro.core.solver import TAXISolver
+from repro.core.pipeline import solve_hierarchical
+
+__all__ = [
+    "TAXIConfig",
+    "TAXISolver",
+    "TAXIResult",
+    "PhaseTimes",
+    "LevelStats",
+    "solve_hierarchical",
+]

@@ -1,0 +1,79 @@
+"""End-to-end TAXI solver configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.macro.config import MacroConfig
+from repro.macro.schedule import AnnealSchedule, paper_schedule
+from repro.xbar.crossbar import CrossbarConfig
+
+
+@dataclass(frozen=True)
+class TAXIConfig:
+    """Configuration of the full hierarchical solver.
+
+    Parameters
+    ----------
+    max_cluster_size:
+        Ising macro capacity; the paper's Fig 5a sweeps {12, 14, 16,
+        18, 20} and settles on 12.
+    bits:
+        W_D bit precision (Fig 5b evaluates 2/3/4; 4 is the headline).
+    sweeps:
+        Annealing sweeps per sub-problem.  ``None`` uses the paper's
+        exact 50 nA ramp (1341 sweeps); smaller values keep the same
+        ramp endpoints with a coarser step.
+    clustering:
+        ``"ward"`` (the paper's agglomerative choice) or ``"kmeans"``
+        (the baselines'; exposed for the E9 ablation).
+    endpoint_fixing:
+        Fix inter-cluster entry/exit cities before solving clusters
+        (Section IV-2).  Disabling reverts to free sub-tours joined at
+        centroid-nearest cities — the ablation case.
+    crossbar:
+        Electrical model shared by every macro.
+    guarded_updates, wta_resolution:
+        Forwarded to :class:`~repro.macro.config.MacroConfig`.
+    seed:
+        Master seed for every stochastic component.
+    """
+
+    max_cluster_size: int = 12
+    bits: int = 4
+    sweeps: int | None = None
+    clustering: str = "ward"
+    endpoint_fixing: bool = True
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    guarded_updates: bool = True
+    wta_resolution: float = 1e-3
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.max_cluster_size < 4:
+            raise ConfigError(
+                f"max_cluster_size must be >= 4, got {self.max_cluster_size}"
+            )
+        if not 1 <= self.bits <= 8:
+            raise ConfigError(f"bits must be in 1..8, got {self.bits}")
+        if self.sweeps is not None and self.sweeps < 2:
+            raise ConfigError(f"sweeps must be >= 2, got {self.sweeps}")
+        if self.clustering not in ("ward", "kmeans"):
+            raise ConfigError(
+                f"clustering must be 'ward' or 'kmeans', got {self.clustering!r}"
+            )
+
+    def macro_config(self) -> MacroConfig:
+        """The per-macro configuration implied by this solver config."""
+        return MacroConfig(
+            max_cities=self.max_cluster_size,
+            bits=self.bits,
+            crossbar=self.crossbar,
+            wta_resolution=self.wta_resolution,
+            guarded_updates=self.guarded_updates,
+        )
+
+    def schedule(self) -> AnnealSchedule:
+        """The annealing schedule implied by this solver config."""
+        return paper_schedule(self.sweeps)

@@ -1,0 +1,261 @@
+"""Top-down hierarchical solve (paper Section IV-2, Fig 1).
+
+Given a bottom-up hierarchy, the pipeline:
+
+1. solves the **top level** as one closed tour over the top nodes'
+   centroids (one macro problem);
+2. walking **down** one level at a time, fixes every consecutive
+   cluster pair's entry/exit cities (closest leaf pairs), then orders
+   each cluster's children as an open path between the children holding
+   the entry and exit leaves — all clusters of a level in one batched
+   macro wave (the chip's parallelism);
+3. at level 0 the node sequence *is* the city tour.
+
+Distances: child orderings at levels >= 2 use centroid distances;
+level-1 clusters order actual cities with the instance metric.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.clustering.fixing import (
+    EndpointFixing,
+    centroid_distance_matrix,
+    fix_level_endpoints,
+)
+from repro.clustering.hierarchy import Hierarchy
+from repro.core.result import LevelStats, PhaseTimes
+from repro.errors import SolverError
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.schedule import AnnealSchedule
+
+
+def solve_hierarchical(
+    hierarchy: Hierarchy,
+    solver: BatchedMacroSolver,
+    schedule: AnnealSchedule,
+    endpoint_fixing: bool = True,
+) -> tuple[np.ndarray, PhaseTimes, list[LevelStats]]:
+    """Solve the hierarchy top-down; returns (city order, times, stats)."""
+    instance = hierarchy.instance
+    times = PhaseTimes()
+    level_stats: list[LevelStats] = []
+
+    sequence = _solve_top_level(hierarchy, solver, schedule, times, level_stats)
+
+    for level_idx in range(hierarchy.depth - 1, 0, -1):
+        level = hierarchy.levels[level_idx]
+        fixings = _fix_endpoints_for(
+            hierarchy, level, sequence, endpoint_fixing, times
+        )
+        sequence = _order_children(
+            hierarchy, level, sequence, fixings, solver, schedule,
+            endpoint_fixing, times, level_stats,
+        )
+    order = np.asarray(sequence, dtype=int)
+    if np.unique(order).size != instance.n:
+        raise SolverError(
+            "pipeline produced an invalid tour "
+            f"({np.unique(order).size} unique of {instance.n})"
+        )
+    return order, times, level_stats
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+def _solve_top_level(
+    hierarchy: Hierarchy,
+    solver: BatchedMacroSolver,
+    schedule: AnnealSchedule,
+    times: PhaseTimes,
+    level_stats: list[LevelStats],
+) -> list[int]:
+    top = hierarchy.top
+    k = top.n_nodes
+    if k == 1:
+        return [0]
+    if k <= 3:
+        # Any cyclic order of <= 3 nodes has the same length.
+        return list(range(k))
+    start = time.perf_counter()
+    problem = SubProblem(
+        centroid_distance_matrix(top.centroids),
+        closed=True,
+        fixed_first=False,
+        fixed_last=False,
+        tag="top",
+    )
+    solution = solver.solve_all([problem], schedule)[0]
+    times.ising += time.perf_counter() - start
+    level_stats.append(
+        LevelStats(
+            level=hierarchy.depth - 1,
+            n_subproblems=1,
+            subproblem_sizes=[k],
+            sweeps=solution.sweeps,
+            total_iterations=solution.iterations,
+        )
+    )
+    return [int(c) for c in solution.order]
+
+
+def _fix_endpoints_for(
+    hierarchy: Hierarchy,
+    level,
+    sequence: list[int],
+    endpoint_fixing: bool,
+    times: PhaseTimes,
+) -> list[EndpointFixing] | None:
+    if not endpoint_fixing or len(sequence) < 2:
+        return None
+    start = time.perf_counter()
+    below = hierarchy.levels[level.level - 1]
+    leaves_in_order = [level.leaves[node] for node in sequence]
+    child_maps = []
+    for node in sequence:
+        mapping: dict[int, int] = {}
+        for child_pos, child in enumerate(level.children[node]):
+            for leaf in below.leaves[child]:
+                mapping[int(leaf)] = child_pos
+        child_maps.append(mapping)
+    fixings = fix_level_endpoints(hierarchy.instance, leaves_in_order, child_maps)
+    times.fixing += time.perf_counter() - start
+    return fixings
+
+
+def _order_children(
+    hierarchy: Hierarchy,
+    level,
+    sequence: list[int],
+    fixings: list[EndpointFixing] | None,
+    solver: BatchedMacroSolver,
+    schedule: AnnealSchedule,
+    endpoint_fixing: bool,
+    times: PhaseTimes,
+    level_stats: list[LevelStats],
+) -> list[int]:
+    instance = hierarchy.instance
+    below = hierarchy.levels[level.level - 1]
+    problems: list[SubProblem] = []
+    placements: list[tuple[int, np.ndarray] | tuple[int, None]] = []
+
+    build_start = time.perf_counter()
+    for position, node in enumerate(sequence):
+        children = level.children[node]
+        if children.size == 1:
+            placements.append((position, children))
+            continue
+        entry_child = exit_child = None
+        if fixings is not None:
+            fixing = fixings[position]
+            entry_child = _locate_child(below, children, fixing.entry_leaf)
+            exit_child = _locate_child(below, children, fixing.exit_leaf)
+        if level.level == 1:
+            dist = instance.distance_submatrix(children)
+        else:
+            dist = centroid_distance_matrix(below.centroids[children])
+        initial, fixed_first, fixed_last = _initial_child_order(
+            children.size, entry_child, exit_child, dist
+        )
+        problems.append(
+            SubProblem(
+                dist,
+                initial_order=initial,
+                closed=False,
+                fixed_first=fixed_first,
+                fixed_last=fixed_last,
+                tag=position,
+            )
+        )
+        placements.append((position, None))
+    times.merge += time.perf_counter() - build_start
+
+    solve_start = time.perf_counter()
+    solutions = solver.solve_all(problems, schedule) if problems else []
+    times.ising += time.perf_counter() - solve_start
+
+    solved_orders: dict[int, np.ndarray] = {}
+    for problem, solution in zip(problems, solutions):
+        solved_orders[problem.tag] = solution.order
+
+    merge_start = time.perf_counter()
+    new_sequence: list[int] = []
+    for position, direct in placements:
+        node = sequence[position]
+        children = level.children[node]
+        if direct is not None:
+            new_sequence.extend(int(c) for c in direct)
+            continue
+        local_order = solved_orders[position]
+        new_sequence.extend(int(children[i]) for i in local_order)
+    times.merge += time.perf_counter() - merge_start
+
+    if problems:
+        level_stats.append(
+            LevelStats(
+                level=level.level,
+                n_subproblems=len(problems),
+                subproblem_sizes=[p.n for p in problems],
+                sweeps=max((s.sweeps for s in solutions), default=0),
+                total_iterations=sum(s.iterations for s in solutions),
+            )
+        )
+    return new_sequence
+
+
+def _locate_child(below, children: np.ndarray, leaf: int) -> int:
+    """Which local child index contains the given leaf city."""
+    for local, child in enumerate(children):
+        if leaf in below.leaves[child]:
+            return local
+    raise SolverError(f"leaf {leaf} not found under the expected cluster")
+
+
+def _initial_child_order(
+    count: int,
+    entry_child: int | None,
+    exit_child: int | None,
+    dist: np.ndarray,
+) -> tuple[np.ndarray, bool, bool]:
+    """Initial visiting order ("input order") for one sub-problem.
+
+    The paper initializes each macro with the input order; the pipeline
+    defines that input as a nearest-neighbour chain from the entry
+    child (ending at the exit child when one is pinned) — a cheap
+    host-side construction that every solver variant shares.
+    """
+    if entry_child is None or exit_child is None:
+        start = 0 if entry_child is None else entry_child
+        chain = _nn_chain(dist, start, None)
+        return chain, entry_child is not None, False
+    if entry_child == exit_child:
+        # Conflict (same child holds both endpoints): pin the entry side
+        # only; the annealer may choose the exit child freely.
+        chain = _nn_chain(dist, entry_child, None)
+        return chain, True, False
+    chain = _nn_chain(dist, entry_child, exit_child)
+    return chain, True, True
+
+
+def _nn_chain(dist: np.ndarray, start: int, end: int | None) -> np.ndarray:
+    """Greedy nearest-neighbour order from ``start`` (optionally ending at ``end``)."""
+    count = dist.shape[0]
+    visited = np.zeros(count, dtype=bool)
+    order = [start]
+    visited[start] = True
+    if end is not None:
+        visited[end] = True
+    current = start
+    for _ in range(count - 1 - (1 if end is not None else 0)):
+        row = dist[current].copy()
+        row[visited] = np.inf
+        current = int(np.argmin(row))
+        order.append(current)
+        visited[current] = True
+    if end is not None:
+        order.append(end)
+    return np.asarray(order, dtype=int)

@@ -1,0 +1,80 @@
+"""Solve results: tour, phase timing, per-level statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tsp.tour import Tour
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds per pipeline phase (the Fig 6b breakdown).
+
+    ``clustering`` and ``fixing`` run in software (host CPU) in TAXI
+    too; ``ising`` here is the *simulation* wall-clock of the macro
+    annealing — the modelled hardware latency lives in the architecture
+    simulator's report.
+    """
+
+    clustering: float = 0.0
+    fixing: float = 0.0
+    ising: float = 0.0
+    merge: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.clustering + self.fixing + self.ising + self.merge
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "clustering": self.clustering,
+            "fixing": self.fixing,
+            "ising": self.ising,
+            "merge": self.merge,
+        }
+
+
+@dataclass
+class LevelStats:
+    """Workload shape of one hierarchy level's solve wave.
+
+    The architecture simulator consumes these to model latency/energy
+    of mapping and annealing the level's clusters on parallel macros.
+    """
+
+    level: int
+    n_subproblems: int
+    subproblem_sizes: list[int]
+    sweeps: int
+    total_iterations: int
+
+
+@dataclass
+class TAXIResult:
+    """Everything produced by one end-to-end solve."""
+
+    tour: Tour
+    phase_seconds: PhaseTimes
+    level_stats: list[LevelStats] = field(default_factory=list)
+    hierarchy_depth: int = 0
+    max_cluster_size: int = 0
+    bits: int = 0
+
+    @property
+    def length(self) -> float:
+        return self.tour.length
+
+    @property
+    def total_subproblems(self) -> int:
+        return sum(stats.n_subproblems for stats in self.level_stats)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(stats.total_iterations for stats in self.level_stats)
+
+    def optimal_ratio(self, reference_length: float) -> float:
+        """Tour length divided by a reference (exact or surrogate) length."""
+        if reference_length <= 0:
+            raise ValueError(f"reference length must be positive: {reference_length}")
+        return self.tour.length / reference_length

@@ -1,0 +1,88 @@
+"""TAXISolver: the end-to-end public API."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.clustering.agglomerative import cluster_with_max_size
+from repro.clustering.hierarchy import build_hierarchy
+from repro.clustering.kmeans import kmeans_with_max_size
+from repro.core.config import TAXIConfig
+from repro.core.pipeline import solve_hierarchical
+from repro.core.result import TAXIResult
+from repro.errors import SolverError
+from repro.macro.batch import BatchedMacroSolver
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import Tour
+from repro.utils.rng import ensure_rng
+
+
+class TAXISolver:
+    """Hierarchical-clustering + Ising-macro TSP solver (the paper's system).
+
+    Usage::
+
+        result = TAXISolver(TAXIConfig(seed=0)).solve(instance)
+        result.tour.length, result.phase_seconds.as_dict()
+
+    The solver is deterministic for a given (config, instance) pair.
+    """
+
+    def __init__(self, config: TAXIConfig | None = None) -> None:
+        self.config = config if config is not None else TAXIConfig()
+
+    def solve(self, instance: TSPInstance) -> TAXIResult:
+        """Solve ``instance`` and return the tour with phase statistics."""
+        config = self.config
+        if instance.n <= 3:
+            # Degenerate: any permutation is optimal.
+            tour = Tour(instance, np.arange(instance.n))
+            from repro.core.result import PhaseTimes
+
+            return TAXIResult(
+                tour=tour,
+                phase_seconds=PhaseTimes(),
+                hierarchy_depth=1,
+                max_cluster_size=config.max_cluster_size,
+                bits=config.bits,
+            )
+        if instance.coords is None:
+            raise SolverError(
+                "TAXI requires coordinate instances (clustering operates "
+                "on city coordinates)"
+            )
+        rng = ensure_rng(config.seed)
+
+        cluster_seed = int(rng.integers(0, 2**31 - 1))
+        if config.clustering == "ward":
+            cluster_fn = cluster_with_max_size
+        else:
+            def cluster_fn(points: np.ndarray, max_size: int) -> np.ndarray:
+                return kmeans_with_max_size(points, max_size, seed=cluster_seed)
+
+        start = time.perf_counter()
+        hierarchy = build_hierarchy(
+            instance, config.max_cluster_size, cluster_fn
+        )
+        clustering_seconds = time.perf_counter() - start
+
+        macro_solver = BatchedMacroSolver(config.macro_config(), seed=rng)
+        order, times, level_stats = solve_hierarchical(
+            hierarchy,
+            macro_solver,
+            config.schedule(),
+            endpoint_fixing=config.endpoint_fixing,
+        )
+        times.clustering = clustering_seconds
+
+        tour = Tour(instance, order, closed=True)
+        return TAXIResult(
+            tour=tour,
+            phase_seconds=times,
+            level_stats=level_stats,
+            hierarchy_depth=hierarchy.depth,
+            max_cluster_size=config.max_cluster_size,
+            bits=config.bits,
+        )

@@ -1,0 +1,36 @@
+"""Device models (paper Section III-C3, Fig 4c).
+
+* :class:`~repro.devices.mtj.MTJ` — magnetic tunnel junction resistance
+  states (R_P / R_AP from TMR).
+* :class:`~repro.devices.sot_mram.SOTDevice` — spin-orbit-torque MRAM
+  cell with the sigmoidal switching probability P_sw(I_write) the paper
+  leverages for "natural annealing" (calibrated to the paper's anchor
+  points: 353 uA -> 1 %, 420 uA -> 20 %, deterministic above 650 uA).
+* :class:`~repro.devices.rng.StochasticBitSource` — N parallel SOT units
+  producing the stochastic binary mask vector.
+* :class:`~repro.devices.rng.CMOSRng` — CMOS true-RNG baseline with the
+  area/throughput figures the paper cites ([8], [9]).
+* :mod:`~repro.devices.variation` — device-to-device variation models.
+"""
+
+from repro.devices.mtj import MTJ, MTJState
+from repro.devices.sot_mram import (
+    DETERMINISTIC_MIN_CURRENT,
+    STOCHASTIC_CURRENT_RANGE,
+    SOTDevice,
+    SwitchingCharacteristic,
+)
+from repro.devices.rng import CMOSRng, StochasticBitSource
+from repro.devices.variation import DeviceVariation
+
+__all__ = [
+    "MTJ",
+    "MTJState",
+    "SOTDevice",
+    "SwitchingCharacteristic",
+    "STOCHASTIC_CURRENT_RANGE",
+    "DETERMINISTIC_MIN_CURRENT",
+    "StochasticBitSource",
+    "CMOSRng",
+    "DeviceVariation",
+]

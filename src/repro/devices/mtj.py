@@ -1,0 +1,74 @@
+"""Magnetic tunnel junction (MTJ) resistance model.
+
+An MTJ has two ferromagnetic layers separated by a thin insulator; its
+resistance depends on whether the free layer's magnetic moment is
+parallel (R_P, low resistance) or anti-parallel (R_AP, high resistance)
+to the fixed layer.  The ratio is set by the tunnel magnetoresistance:
+
+    TMR = (R_AP - R_P) / R_P
+
+Default values are representative of the field-free perpendicular
+SOT-MRAM demonstrated in the paper's device reference [19] (IEDM 2022):
+R_P = 5 kOhm, TMR = 150 %.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.utils.units import KILO
+from repro.utils.validation import check_positive
+
+
+class MTJState(enum.Enum):
+    """Magnetization alignment of the free layer."""
+
+    PARALLEL = "P"
+    ANTI_PARALLEL = "AP"
+
+    def flipped(self) -> "MTJState":
+        if self is MTJState.PARALLEL:
+            return MTJState.ANTI_PARALLEL
+        return MTJState.PARALLEL
+
+
+@dataclass(frozen=True)
+class MTJ:
+    """Resistance model of one MTJ stack.
+
+    Parameters
+    ----------
+    r_parallel:
+        Low resistance state R_P in ohms.
+    tmr:
+        Tunnel magnetoresistance ratio, e.g. ``1.5`` for 150 %.
+    """
+
+    r_parallel: float = 5.0 * KILO
+    tmr: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_positive("r_parallel", self.r_parallel, DeviceError)
+        check_positive("tmr", self.tmr, DeviceError)
+
+    @property
+    def r_antiparallel(self) -> float:
+        """High resistance state R_AP = R_P * (1 + TMR)."""
+        return self.r_parallel * (1.0 + self.tmr)
+
+    def resistance(self, state: MTJState) -> float:
+        """Resistance in the given state."""
+        if state is MTJState.PARALLEL:
+            return self.r_parallel
+        return self.r_antiparallel
+
+    def conductance(self, state: MTJState) -> float:
+        """Conductance in siemens in the given state."""
+        return 1.0 / self.resistance(state)
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Conductance ratio G_P / G_AP = R_AP / R_P."""
+        return self.r_antiparallel / self.r_parallel

@@ -1,0 +1,124 @@
+"""Random-bit sources: SOT-MRAM stochastic units vs CMOS RNG baseline.
+
+The macro's stochastic mask (paper III-C3) is produced by N identical
+SOT units switched in parallel with a shared write current; each unit
+that switches passes its column's current to the ArgMax stage.
+:class:`StochasticBitSource` models that vector sampling, including the
+paper's NAND fallback (if no unit switched, all columns pass).
+
+:class:`CMOSRng` carries the area/throughput/energy figures of the CMOS
+true-RNGs the paper compares against ([8]: >375 um^2, 23 Mb/s, 23 pJ/b
+in 65nm; [9]: 2.4 Gb/s, 7 mW, 45 nm) so the architecture model can
+quantify the SOT advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.sot_mram import SwitchingCharacteristic
+from repro.errors import DeviceError
+from repro.utils.rng import ensure_rng
+from repro.utils.units import MEGA, MICRO, PICO
+
+
+@dataclass
+class StochasticBitSource:
+    """N parallel SOT units sampled with a shared write current.
+
+    Parameters
+    ----------
+    n:
+        Vector width (the macro's problem size).
+    characteristic:
+        Shared switching curve; per-unit midpoint variation can be
+        injected via ``midpoint_sigma`` (fractional std-dev).
+    seed:
+        RNG seed or generator.
+    midpoint_sigma:
+        Device-to-device variation of the logistic midpoint current, as
+        a fraction (e.g. 0.02 for 2 %).
+    """
+
+    n: int
+    characteristic: SwitchingCharacteristic = field(
+        default_factory=SwitchingCharacteristic.from_paper_anchors
+    )
+    seed: int | None | np.random.Generator = None
+    midpoint_sigma: float = 0.0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _midpoints: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise DeviceError(f"vector width must be >= 1, got {self.n}")
+        if self.midpoint_sigma < 0:
+            raise DeviceError(f"midpoint_sigma must be >= 0, got {self.midpoint_sigma}")
+        self._rng = ensure_rng(self.seed)
+        base = self.characteristic.midpoint_current
+        if self.midpoint_sigma > 0:
+            self._midpoints = self._rng.normal(
+                base, self.midpoint_sigma * base, size=self.n
+            )
+        else:
+            self._midpoints = np.full(self.n, base)
+
+    def probabilities(self, current: float) -> np.ndarray:
+        """Per-unit switching probability at the shared write current."""
+        if current < 0:
+            raise DeviceError(f"write current must be >= 0, got {current}")
+        z = (current - self._midpoints) / self.characteristic.slope_current
+        return 1.0 / (1.0 + np.exp(-z))
+
+    def sample_mask(self, current: float) -> np.ndarray:
+        """One stochastic binary mask (paper's vector of switched units).
+
+        Applies the NAND fallback: if no unit switched, every column
+        passes (an all-ones mask), exactly as in Fig 4c.
+        """
+        p = self.probabilities(current)
+        mask = self._rng.random(self.n) < p
+        if not mask.any():
+            return np.ones(self.n, dtype=bool)
+        return mask
+
+    def expected_ones(self, current: float) -> float:
+        """Expected number of 1s in the mask (before the NAND fallback)."""
+        return float(self.probabilities(current).sum())
+
+
+@dataclass(frozen=True)
+class CMOSRng:
+    """A CMOS true-RNG operating point for comparison (paper refs [8], [9]).
+
+    Attributes are the figures the paper quotes when arguing CMOS RNGs
+    are "bulky and sluggish": area, throughput, and energy per bit.
+    """
+
+    name: str = "28nm-synthesized-trng"
+    area_um2: float = 375.0
+    throughput_bps: float = 23.0 * MEGA
+    energy_per_bit: float = 23.0 * PICO
+
+    def __post_init__(self) -> None:
+        if self.area_um2 <= 0 or self.throughput_bps <= 0 or self.energy_per_bit <= 0:
+            raise DeviceError("CMOSRng figures must all be positive")
+
+    def time_for_bits(self, bits: int) -> float:
+        """Seconds needed to produce ``bits`` random bits."""
+        if bits < 0:
+            raise DeviceError(f"bits must be >= 0, got {bits}")
+        return bits / self.throughput_bps
+
+    def energy_for_bits(self, bits: int) -> float:
+        """Joules consumed producing ``bits`` random bits."""
+        if bits < 0:
+            raise DeviceError(f"bits must be >= 0, got {bits}")
+        return bits * self.energy_per_bit
+
+
+#: The two CMOS RNG design points cited by the paper.
+CMOS_RNG_YANG_ISSCC14 = CMOSRng("28nm-synthesized-trng", 375.0, 23.0 * MEGA, 23.0 * PICO)
+CMOS_RNG_MATHEW_JSSC12 = CMOSRng("45nm-all-digital-trng", 4004.0, 2400.0 * MEGA, 2.9 * PICO)

@@ -1,0 +1,156 @@
+"""SOT-MRAM cell with current-controlled stochastic switching.
+
+The Spin Hall effect in the heavy-metal layer under the free ferromagnet
+switches the MTJ with a probability that grows sigmoidally with the
+write current (paper Fig 4c inset, device of [19]).  TAXI exploits the
+*stochastic* region of that curve as a natural annealing knob:
+
+* 353 uA  -> P_sw =  1 %   (the paper's annealing stop point)
+* 420 uA  -> P_sw = 20 %   (the paper's annealing start point)
+* >650 uA -> deterministic switching (crossbar writes)
+* stochastic operating range quoted as 300 uA - 650 uA
+
+We model P_sw(I) as a logistic curve fitted exactly through the two
+quoted (current, probability) anchor points; the resulting curve is
+saturated (>99.99 %) at 650 uA and negligible (<0.1 %) at 300 uA,
+consistent with the quoted regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.mtj import MTJ, MTJState
+from repro.errors import DeviceError
+from repro.utils.rng import ensure_rng
+from repro.utils.units import MICRO
+from repro.utils.validation import check_probability
+
+#: Stochastic switching operating window quoted in the paper (amperes).
+STOCHASTIC_CURRENT_RANGE: tuple[float, float] = (300.0 * MICRO, 650.0 * MICRO)
+
+#: Above this write current the paper treats switching as deterministic.
+DETERMINISTIC_MIN_CURRENT: float = 650.0 * MICRO
+
+# Paper anchor points used for the logistic fit.
+_ANCHOR_LOW = (353.0 * MICRO, 0.01)
+_ANCHOR_HIGH = (420.0 * MICRO, 0.20)
+
+
+def _logit(p: float) -> float:
+    return math.log(p / (1.0 - p))
+
+
+def _fit_logistic(
+    anchor_low: tuple[float, float], anchor_high: tuple[float, float]
+) -> tuple[float, float]:
+    """Solve midpoint current I0 and slope k of p = 1/(1+exp(-(I-I0)/k))."""
+    (i_low, p_low), (i_high, p_high) = anchor_low, anchor_high
+    k = (i_high - i_low) / (_logit(p_high) - _logit(p_low))
+    i0 = i_high - k * _logit(p_high)
+    return i0, k
+
+
+@dataclass(frozen=True)
+class SwitchingCharacteristic:
+    """Logistic P_sw(I_write) curve of a SOT device.
+
+    Parameters
+    ----------
+    midpoint_current:
+        Current at which P_sw = 50 % (amperes).
+    slope_current:
+        Logistic slope parameter (amperes); smaller = steeper.
+    """
+
+    midpoint_current: float
+    slope_current: float
+
+    @classmethod
+    def from_paper_anchors(cls) -> "SwitchingCharacteristic":
+        """The curve through the paper's (353 uA, 1 %) and (420 uA, 20 %) points."""
+        i0, k = _fit_logistic(_ANCHOR_LOW, _ANCHOR_HIGH)
+        return cls(i0, k)
+
+    def probability(self, current: float | np.ndarray) -> float | np.ndarray:
+        """Switching probability at the given write current(s)."""
+        z = (np.asarray(current, dtype=float) - self.midpoint_current) / self.slope_current
+        p = 1.0 / (1.0 + np.exp(-z))
+        if np.ndim(current) == 0:
+            return float(p)
+        return p
+
+    def current_for(self, probability: float) -> float:
+        """Inverse curve: the write current that yields ``probability``."""
+        check_probability("probability", probability, DeviceError)
+        if not 0.0 < probability < 1.0:
+            raise DeviceError(
+                f"inverse only defined on (0, 1), got {probability}"
+            )
+        return self.midpoint_current + self.slope_current * _logit(probability)
+
+
+@dataclass
+class SOTDevice:
+    """One 3T-1M SOT-MRAM cell: an MTJ plus its switching characteristic.
+
+    The cell is the unit of both the crossbar array (operated in the
+    deterministic regime, > 650 uA) and the stochastic mask circuit
+    (operated in the stochastic regime).
+    """
+
+    mtj: MTJ = field(default_factory=MTJ)
+    characteristic: SwitchingCharacteristic = field(
+        default_factory=SwitchingCharacteristic.from_paper_anchors
+    )
+    state: MTJState = MTJState.ANTI_PARALLEL
+
+    def switching_probability(self, current: float) -> float:
+        """P_sw at ``current``; raises if the current is negative."""
+        if current < 0:
+            raise DeviceError(f"write current must be >= 0, got {current}")
+        return float(self.characteristic.probability(current))
+
+    def apply_write(
+        self, current: float, rng: int | None | np.random.Generator = None
+    ) -> bool:
+        """Attempt a switch with write current ``current``.
+
+        Returns ``True`` if the device switched state.  Above the
+        deterministic threshold this always switches; below, it switches
+        with probability P_sw(I).
+        """
+        p = self.switching_probability(current)
+        if current >= DETERMINISTIC_MIN_CURRENT:
+            switched = True
+        else:
+            switched = bool(ensure_rng(rng).random() < p)
+        if switched:
+            self.state = self.state.flipped()
+        return switched
+
+    def write_deterministic(self, target: MTJState) -> None:
+        """Force the device into ``target`` (models a >650 uA directed write)."""
+        self.state = target
+
+    @property
+    def resistance(self) -> float:
+        """Current resistance given the magnetization state."""
+        return self.mtj.resistance(self.state)
+
+    @property
+    def conductance(self) -> float:
+        """Current conductance given the magnetization state."""
+        return self.mtj.conductance(self.state)
+
+    def is_deterministic(self, current: float) -> bool:
+        """Whether ``current`` is in the deterministic write regime."""
+        return current >= DETERMINISTIC_MIN_CURRENT
+
+    def is_stochastic(self, current: float) -> bool:
+        """Whether ``current`` falls in the quoted stochastic window."""
+        low, high = STOCHASTIC_CURRENT_RANGE
+        return low <= current < high

@@ -1,0 +1,97 @@
+"""Device-to-device and cycle-to-cycle variation models.
+
+The paper's simulations "consider ON/OFF resistance of SOT-MRAM and
+transistors and wire resistance" for realism.  This module provides the
+variation knobs the crossbar model consumes:
+
+* lognormal resistance variation (device-to-device, frozen at program
+  time);
+* additive Gaussian read noise (cycle-to-cycle, fresh every MAC);
+* stuck-at-fault injection for robustness testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class DeviceVariation:
+    """Variation parameters applied to a programmed conductance matrix.
+
+    Parameters
+    ----------
+    resistance_sigma:
+        Std-dev of lognormal device-to-device conductance variation
+        (fraction, e.g. 0.05 for ~5 %).  Applied once at program time.
+    read_noise_sigma:
+        Std-dev of Gaussian cycle-to-cycle noise as a fraction of each
+        cell's conductance.  Applied per read.
+    stuck_off_rate, stuck_on_rate:
+        Probability that a cell is stuck at G_off / G_on regardless of
+        programming.
+    """
+
+    resistance_sigma: float = 0.0
+    read_noise_sigma: float = 0.0
+    stuck_off_rate: float = 0.0
+    stuck_on_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("resistance_sigma", "read_noise_sigma", "stuck_off_rate", "stuck_on_rate"):
+            value = getattr(self, name)
+            if value < 0:
+                raise DeviceError(f"{name} must be >= 0, got {value}")
+        if self.stuck_off_rate + self.stuck_on_rate > 1.0:
+            raise DeviceError("stuck_off_rate + stuck_on_rate must not exceed 1")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every knob is zero (fast path: no sampling needed)."""
+        return (
+            self.resistance_sigma == 0.0
+            and self.read_noise_sigma == 0.0
+            and self.stuck_off_rate == 0.0
+            and self.stuck_on_rate == 0.0
+        )
+
+    def apply_programming(
+        self,
+        conductances: np.ndarray,
+        g_on: float,
+        g_off: float,
+        rng: int | None | np.random.Generator = None,
+    ) -> np.ndarray:
+        """Perturb a programmed conductance matrix (device-to-device).
+
+        Lognormal multiplicative variation plus stuck-at faults; the
+        result stays within ``[0, g_on]``.
+        """
+        rng = ensure_rng(rng)
+        out = np.asarray(conductances, dtype=float).copy()
+        if self.resistance_sigma > 0:
+            out *= rng.lognormal(0.0, self.resistance_sigma, size=out.shape)
+        fault_rate = self.stuck_off_rate + self.stuck_on_rate
+        if fault_rate > 0:
+            u = rng.random(out.shape)
+            out[u < self.stuck_off_rate] = g_off
+            stuck_on = (u >= self.stuck_off_rate) & (u < fault_rate)
+            out[stuck_on] = g_on
+        return np.clip(out, 0.0, g_on * (1.0 + 5.0 * self.resistance_sigma))
+
+    def apply_read_noise(
+        self,
+        currents: np.ndarray,
+        rng: int | None | np.random.Generator = None,
+    ) -> np.ndarray:
+        """Add cycle-to-cycle noise to a vector of read currents."""
+        if self.read_noise_sigma == 0.0:
+            return currents
+        rng = ensure_rng(rng)
+        noise = rng.normal(0.0, self.read_noise_sigma, size=np.shape(currents))
+        return currents * (1.0 + noise)

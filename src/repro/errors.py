@@ -1,0 +1,57 @@
+"""Exception hierarchy for the TAXI reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from data and simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class TSPLIBError(ReproError):
+    """A TSPLIB file could not be parsed or describes an unsupported case."""
+
+
+class InstanceError(ReproError):
+    """A TSP instance is malformed (bad coordinates, sizes, or metric)."""
+
+
+class TourError(ReproError):
+    """A tour is not a valid permutation of the instance's cities."""
+
+
+class EncodingError(ReproError):
+    """A problem could not be encoded into QUBO/Ising form."""
+
+
+class DeviceError(ReproError):
+    """A device model was driven outside its physical operating range."""
+
+
+class CrossbarError(ReproError):
+    """A crossbar operation was issued against an incompatible array."""
+
+
+class MacroError(ReproError):
+    """An Ising macro was misused (bad problem size, missing programming)."""
+
+
+class ClusteringError(ReproError):
+    """Hierarchical clustering failed or produced an invalid hierarchy."""
+
+
+class ArchitectureError(ReproError):
+    """The architecture simulator was given an invalid program or config."""
+
+
+class SolverError(ReproError):
+    """An end-to-end solve failed to produce a valid tour."""

@@ -1,0 +1,31 @@
+"""Ising/QUBO substrate (paper Section II-A).
+
+Provides the general Ising Hamiltonian machinery (eqs. 1-3 of the
+paper), QUBO<->Ising conversion, the textbook N^2-spin TSP encoding,
+and two software annealers used as baselines:
+
+* :class:`~repro.ising.annealer.MetropolisAnnealer` — spin-flip
+  simulated annealing over an arbitrary :class:`IsingModel`.
+* :class:`~repro.ising.sa_tsp.SimulatedAnnealingTSP` — classic 2-opt
+  simulated annealing directly on tours (the "CPU annealer" baseline).
+"""
+
+from repro.ising.model import IsingModel
+from repro.ising.qubo import QUBO, ising_to_qubo, qubo_to_ising
+from repro.ising.tsp_encoding import TSPEncoding, decode_tour, encode_tsp
+from repro.ising.annealer import AnnealResult, MetropolisAnnealer, TemperatureSchedule
+from repro.ising.sa_tsp import SimulatedAnnealingTSP
+
+__all__ = [
+    "IsingModel",
+    "QUBO",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "TSPEncoding",
+    "encode_tsp",
+    "decode_tour",
+    "MetropolisAnnealer",
+    "TemperatureSchedule",
+    "AnnealResult",
+    "SimulatedAnnealingTSP",
+]

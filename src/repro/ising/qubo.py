@@ -1,0 +1,96 @@
+"""QUBO form and exact QUBO <-> Ising conversion.
+
+TSP constraints are most naturally written in QUBO form (binary x in
+{0, 1}); Ising hardware wants spins in {-1, +1}.  The standard affine
+substitution ``x = (1 + s) / 2`` maps between them while preserving the
+objective up to a constant offset, which both classes carry explicitly
+so energies match exactly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.ising.model import IsingModel
+from repro.utils.validation import check_square_matrix
+
+
+@dataclass
+class QUBO:
+    """Quadratic unconstrained binary optimization problem.
+
+    Objective: ``E(x) = x' Q x + offset`` with ``x`` binary and ``Q``
+    symmetric (the diagonal holds the linear terms, the off-diagonal is
+    counted once per ordered pair in the quadratic form).
+    """
+
+    q: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.q = np.asarray(check_square_matrix("q", self.q, EncodingError), dtype=float)
+        if not np.allclose(self.q, self.q.T, atol=1e-9):
+            raise EncodingError("QUBO matrix must be symmetric")
+
+    @property
+    def n(self) -> int:
+        return int(self.q.shape[0])
+
+    def energy(self, x: np.ndarray) -> float:
+        """Objective value for a binary assignment ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise EncodingError(f"x must have shape ({self.n},), got {x.shape}")
+        if not np.all(np.isin(x, (0.0, 1.0))):
+            raise EncodingError("QUBO variables must be 0 or 1")
+        return float(x @ self.q @ x + self.offset)
+
+
+def qubo_to_ising(qubo: QUBO) -> IsingModel:
+    """Convert a QUBO to the equivalent Ising model.
+
+    With ``x = (1 + s) / 2``::
+
+        x'Qx = 1/4 sum_ij Q_ij (1 + s_i)(1 + s_j)
+
+    which yields ``J_ij = -Q_ij / 2`` (i != j, our energy counts each
+    unordered pair once as ``-1/2 s'Js``), fields
+    ``h_i = -(Q_ii / 2 + sum_{j != i} Q_ij / 2)``, and a constant offset
+    stored on the returned model as :attr:`IsingModel.offset`.
+    """
+    q = qubo.q
+    n = qubo.n
+    off_diag = q - np.diag(np.diag(q))
+    couplings = -0.5 * off_diag
+    fields = -(np.diag(q) / 2.0 + off_diag.sum(axis=1) / 2.0)
+    offset = float(
+        qubo.offset + np.diag(q).sum() / 2.0 + off_diag.sum() / 4.0
+    )
+    return IsingModel(couplings, fields, offset=offset)
+
+
+def ising_to_qubo(model: IsingModel) -> QUBO:
+    """Convert an Ising model back to QUBO form (inverse of the above).
+
+    With ``s = 2x - 1``::
+
+        E(s) = -1/2 s'Js - h's
+
+    becomes ``x'Qx + offset`` with ``Q_ij = -2 J_ij`` (i != j),
+    ``Q_ii = 2 sum_j J_ij - 2 h_i``, and
+    ``offset = -1/2 sum_ij J_ij / ... `` — computed exactly below.
+    """
+    j = model.couplings
+    h = model.fields
+    q = -2.0 * (j - np.diag(np.diag(j)))
+    diag = 2.0 * j.sum(axis=1) - 2.0 * h
+    q = q + np.diag(diag)
+    offset = float(-0.5 * j.sum() + h.sum())
+    return QUBO(_symmetrize(q), offset + model.offset)
+
+
+def _symmetrize(q: np.ndarray) -> np.ndarray:
+    return 0.5 * (q + q.T)

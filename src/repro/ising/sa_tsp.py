@@ -1,0 +1,103 @@
+"""Classic simulated annealing directly on tours (CPU baseline).
+
+Anneals over the 2-opt neighbourhood of closed tours.  This is the
+software point of comparison for the Ising-hardware solvers: same
+stochastic-acceptance idea, but executed sequentially on a CPU with
+full-precision distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import Tour
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class SimulatedAnnealingTSP:
+    """2-opt simulated annealing for closed tours.
+
+    Parameters
+    ----------
+    sweeps:
+        Number of temperature steps; each step proposes ``n`` moves.
+    t_start_frac, t_end_frac:
+        Temperature endpoints as fractions of the average edge length of
+        the initial tour (scale-free across instances).
+    seed:
+        RNG seed or generator.
+    """
+
+    sweeps: int = 400
+    t_start_frac: float = 1.0
+    t_end_frac: float = 0.001
+    seed: int | None | np.random.Generator = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sweeps < 1:
+            raise ConfigError(f"sweeps must be >= 1, got {self.sweeps}")
+        if not 0 < self.t_end_frac <= self.t_start_frac:
+            raise ConfigError("need 0 < t_end_frac <= t_start_frac")
+        self._rng = ensure_rng(self.seed)
+
+    def solve(self, instance: TSPInstance, initial: np.ndarray | None = None) -> Tour:
+        """Anneal from ``initial`` (or a random permutation) and return the best tour."""
+        rng = self._rng
+        n = instance.n
+        order = (
+            rng.permutation(n) if initial is None else np.asarray(initial, dtype=int).copy()
+        )
+        dist = _distance_lookup(instance)
+        length = instance.tour_length(order)
+        avg_edge = length / n
+        t_start = self.t_start_frac * avg_edge
+        t_end = self.t_end_frac * avg_edge
+        ratio = (t_end / t_start) ** (1.0 / max(self.sweeps - 1, 1))
+
+        best_order = order.copy()
+        best_length = length
+        temperature = t_start
+        for _ in range(self.sweeps):
+            ii = rng.integers(0, n, size=n)
+            jj = rng.integers(0, n, size=n)
+            log_u = np.log(rng.random(n))
+            for k in range(n):
+                i, j = int(ii[k]), int(jj[k])
+                if i == j:
+                    continue
+                if i > j:
+                    i, j = j, i
+                if i == 0 and j == n - 1:
+                    continue  # reversing the whole tour is a no-op
+                a, b = int(order[(i - 1) % n]), int(order[i])
+                c, d = int(order[j]), int(order[(j + 1) % n])
+                delta = dist(a, c) + dist(b, d) - dist(a, b) - dist(c, d)
+                if delta <= 0.0 or log_u[k] < -delta / temperature:
+                    order[i : j + 1] = order[i : j + 1][::-1]
+                    length += delta
+                    if length < best_length:
+                        best_length = length
+                        best_order = order.copy()
+            temperature *= ratio
+        return Tour(instance, best_order, closed=True)
+
+
+def _distance_lookup(instance: TSPInstance):
+    """An O(1) pairwise distance callable (matrix-backed when feasible)."""
+    if instance.n <= 4096:
+        matrix = instance.distance_matrix()
+        return lambda a, b: float(matrix[a, b])
+    coords = instance.coords
+    if coords is None:
+        return instance.distance
+    # Large coordinate instances: compute single pairs directly.
+    def pair(a: int, b: int) -> float:
+        return float(instance._edge_lengths(np.asarray([a]), np.asarray([b]))[0])
+
+    return pair

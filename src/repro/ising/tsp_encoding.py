@@ -1,0 +1,156 @@
+"""Textbook N^2-spin TSP encoding (QUBO / Ising).
+
+This is the classical encoding the paper's Section II background refers
+to: binary variable ``x[v, p]`` is 1 iff city ``v`` is visited at
+position ``p``.  The objective is
+
+    sum_p sum_{u != v} d(u, v) x[u, p] x[v, p+1]        (tour length)
+  + A * sum_v (sum_p x[v, p] - 1)^2                     (each city once)
+  + A * sum_p (sum_v x[v, p] - 1)^2                     (each slot once)
+
+It needs N^2 spins and O(N^4) couplings, which is exactly the
+quadratic-connection blow-up the paper cites as the reason small Ising
+crossbars cannot scale — and the reason TAXI's clustering + in-macro
+solver exists.  We keep it as a baseline and for validating the Ising
+substrate on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.ising.model import IsingModel
+from repro.ising.qubo import QUBO, qubo_to_ising
+from repro.tsp.instance import TSPInstance
+
+_MAX_ENCODED_CITIES = 64  # N^2 spins, N^4 couplings: keep it honest
+
+
+@dataclass(frozen=True)
+class TSPEncoding:
+    """A TSP instance encoded as QUBO and Ising models.
+
+    Attributes
+    ----------
+    instance:
+        The encoded TSP instance.
+    qubo, ising:
+        The two equivalent formulations (energies match exactly).
+    penalty:
+        The constraint penalty weight ``A`` used.
+    """
+
+    instance: TSPInstance
+    qubo: QUBO
+    ising: IsingModel
+    penalty: float
+
+    @property
+    def n_spins(self) -> int:
+        return self.qubo.n
+
+    def spin_index(self, city: int, position: int) -> int:
+        """Flat spin index of variable ``x[city, position]``."""
+        n = self.instance.n
+        if not (0 <= city < n and 0 <= position < n):
+            raise EncodingError(f"city/position out of range: ({city}, {position})")
+        return city * n + position
+
+
+def encode_tsp(instance: TSPInstance, penalty: float | None = None) -> TSPEncoding:
+    """Encode ``instance`` into the N^2-variable QUBO and Ising forms.
+
+    Parameters
+    ----------
+    penalty:
+        Constraint weight ``A``.  Defaults to ``2 * max_distance``,
+        which strictly dominates any single-edge gain so constraint
+        violations are never energetically favourable.
+    """
+    n = instance.n
+    if n > _MAX_ENCODED_CITIES:
+        raise EncodingError(
+            f"direct encoding limited to {_MAX_ENCODED_CITIES} cities "
+            f"(requested {n}); use the hierarchical TAXI solver instead"
+        )
+    dist = instance.distance_matrix()
+    if penalty is None:
+        penalty = 2.0 * float(dist.max())
+    if penalty <= 0:
+        raise EncodingError(f"penalty must be positive, got {penalty}")
+
+    n_vars = n * n
+    q = np.zeros((n_vars, n_vars))
+
+    def var(city: int, pos: int) -> int:
+        return city * n + pos
+
+    # Tour-length term: consecutive positions (cyclic).
+    for p in range(n):
+        p_next = (p + 1) % n
+        for u in range(n):
+            for v in range(n):
+                if u == v:
+                    continue
+                q[var(u, p), var(v, p_next)] += dist[u, v]
+
+    q = 0.5 * (q + q.T)
+
+    # Constraint: each city appears in exactly one position.
+    # (sum_p x - 1)^2 = sum_p x + 2*sum_{p<p'} x x' - 2*sum_p x + 1
+    offset = 0.0
+    for v in range(n):
+        for p in range(n):
+            q[var(v, p), var(v, p)] -= penalty
+            for p2 in range(p + 1, n):
+                q[var(v, p), var(v, p2)] += penalty
+                q[var(v, p2), var(v, p)] += penalty
+        offset += penalty
+
+    # Constraint: each position holds exactly one city.
+    for p in range(n):
+        for v in range(n):
+            q[var(v, p), var(v, p)] -= penalty
+            for v2 in range(v + 1, n):
+                q[var(v, p), var(v2, p)] += penalty
+                q[var(v2, p), var(v, p)] += penalty
+        offset += penalty
+
+    qubo = QUBO(q, offset=offset)
+    return TSPEncoding(instance, qubo, qubo_to_ising(qubo), penalty)
+
+
+def decode_tour(encoding: TSPEncoding, assignment: np.ndarray) -> np.ndarray | None:
+    """Decode a binary (or spin) assignment back into a visiting order.
+
+    Returns the order array if the assignment satisfies both one-hot
+    constraints, otherwise ``None``.
+    """
+    n = encoding.instance.n
+    x = np.asarray(assignment, dtype=float)
+    if x.shape != (n * n,):
+        raise EncodingError(f"assignment must have shape ({n * n},), got {x.shape}")
+    if np.all(np.isin(x, (-1.0, 1.0))):
+        x = (1.0 + x) / 2.0
+    if not np.all(np.isin(x, (0.0, 1.0))):
+        raise EncodingError("assignment must be binary or spin valued")
+    grid = x.reshape(n, n)  # [city, position]
+    if not (np.all(grid.sum(axis=0) == 1.0) and np.all(grid.sum(axis=1) == 1.0)):
+        return None
+    order = np.argmax(grid, axis=0)
+    return order.astype(int)
+
+
+def tour_to_assignment(encoding: TSPEncoding, order: np.ndarray) -> np.ndarray:
+    """The binary assignment corresponding to a visiting order."""
+    n = encoding.instance.n
+    order = np.asarray(order, dtype=int)
+    if sorted(order.tolist()) != list(range(n)):
+        raise EncodingError("order must be a permutation of all cities")
+    x = np.zeros(n * n)
+    for pos, city in enumerate(order):
+        x[city * n + pos] = 1.0
+    return x

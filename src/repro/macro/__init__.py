@@ -1,0 +1,48 @@
+"""The Ising macro: an in-memory TSP sub-solver (paper Section III).
+
+* :mod:`~repro.macro.schedule` — the I_write annealing ramp (420 uA ->
+  353 uA at 50 nA/iteration) and ablation alternatives.
+* :class:`~repro.macro.ising_macro.IsingMacro` — the faithful
+  single-macro model: superpose -> distance MAC -> stochastic mask ->
+  WTA ArgMax -> spin-storage update, per Fig 4.
+* :class:`~repro.macro.batch.BatchedMacroSolver` — the same algorithm
+  vectorized across many sub-problems (models a chip full of macros
+  annealing in lock-step).
+* :mod:`~repro.macro.timing` / :mod:`~repro.macro.energy` — per-phase
+  latency and per-iteration power/energy models (Table I).
+* :mod:`~repro.macro.circuit_sim` — the behavioural circuit simulation
+  that regenerates Table I.
+"""
+
+from repro.macro.schedule import (
+    AnnealSchedule,
+    CurrentRampSchedule,
+    ExponentialProbabilitySchedule,
+    LinearProbabilitySchedule,
+    paper_schedule,
+)
+from repro.macro.config import MacroConfig, UpdateMode
+from repro.macro.ising_macro import IsingMacro, MacroRunStats
+from repro.macro.batch import BatchedMacroSolver, SubProblem, SubSolution
+from repro.macro.timing import MacroTiming
+from repro.macro.energy import MacroEnergyModel
+from repro.macro.circuit_sim import CircuitSimReport, CircuitSimulator
+
+__all__ = [
+    "AnnealSchedule",
+    "CurrentRampSchedule",
+    "LinearProbabilitySchedule",
+    "ExponentialProbabilitySchedule",
+    "paper_schedule",
+    "MacroConfig",
+    "UpdateMode",
+    "IsingMacro",
+    "MacroRunStats",
+    "BatchedMacroSolver",
+    "SubProblem",
+    "SubSolution",
+    "MacroTiming",
+    "MacroEnergyModel",
+    "CircuitSimulator",
+    "CircuitSimReport",
+]

@@ -1,0 +1,98 @@
+"""Behavioural circuit simulation of one macro iteration (Table I).
+
+The paper runs Cadence Spectre on the full macro (TSMC 65 nm,
+Verilog-A SOT model) for one complete iteration — superposition,
+optimization, spin-storage update — at a problem size of 12, and
+reports array size, power, per-phase latency, and energy for 2/3/4-bit
+precision.  This module regenerates that table from the library's
+device + timing + energy models (see :mod:`repro.macro.energy` for the
+calibration note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.macro.config import MacroConfig
+from repro.macro.energy import MacroEnergyModel, PAPER_CIRCUIT_N
+from repro.macro.timing import MacroTiming
+from repro.utils.units import format_engineering
+
+
+@dataclass(frozen=True)
+class CircuitSimReport:
+    """One column of Table I."""
+
+    bits: int
+    n: int
+    array_rows: int
+    array_cols: int
+    power: float
+    superpose_latency: float
+    optimize_latency: float
+    update_latency: float
+    energy: float
+
+    @property
+    def iteration_latency(self) -> float:
+        return self.superpose_latency + self.optimize_latency + self.update_latency
+
+    @property
+    def array_size(self) -> str:
+        return f"{self.array_rows} x {self.array_cols}"
+
+
+@dataclass
+class CircuitSimulator:
+    """Regenerates the paper's Table I from the behavioural models."""
+
+    timing: MacroTiming = field(default_factory=MacroTiming)
+    energy_model: MacroEnergyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.energy_model is None:
+            self.energy_model = MacroEnergyModel(timing=self.timing)
+
+    def simulate_iteration(self, bits: int, n: int = PAPER_CIRCUIT_N) -> CircuitSimReport:
+        """Simulate one complete iteration at the given precision."""
+        if n < 2:
+            raise ConfigError(f"n must be >= 2, got {n}")
+        config = MacroConfig(max_cities=n, bits=bits)
+        rows, cols = config.array_shape
+        power = self.energy_model.total_power(n, bits)
+        energy = self.energy_model.iteration_energy(n, bits)
+        return CircuitSimReport(
+            bits=bits,
+            n=n,
+            array_rows=rows,
+            array_cols=cols,
+            power=power,
+            superpose_latency=self.timing.superpose_latency,
+            optimize_latency=self.timing.optimize_latency,
+            update_latency=self.timing.update_latency,
+            energy=energy,
+        )
+
+    def table_i(self, precisions: tuple[int, ...] = (2, 3, 4)) -> list[CircuitSimReport]:
+        """The full Table I (one report per precision)."""
+        return [self.simulate_iteration(bits) for bits in precisions]
+
+    @staticmethod
+    def format_table(reports: list[CircuitSimReport]) -> str:
+        """Render reports in the paper's Table I layout."""
+        header = ["", *[f"{r.bits} bit" for r in reports]]
+        rows = [
+            ["Array Size", *[r.array_size for r in reports]],
+            ["Power [mW]", *[f"{r.power * 1e3:.3f}" for r in reports]],
+            ["Superposition [ns]", *[f"{r.superpose_latency * 1e9:.0f}" for r in reports]],
+            ["Optimization [ns]", *[f"{r.optimize_latency * 1e9:.0f}" for r in reports]],
+            ["Storage Update [ns]", *[f"{r.update_latency * 1e9:.0f}" for r in reports]],
+            ["Energy [pJ]", *[f"{r.energy * 1e12:.2f}" for r in reports]],
+        ]
+        widths = [max(len(row[i]) for row in [header, *rows]) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in [header, *rows]
+        ]
+        return "\n".join(lines)

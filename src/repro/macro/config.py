@@ -1,0 +1,88 @@
+"""Macro configuration: precision, electrical model, update semantics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.xbar.crossbar import CrossbarConfig
+
+
+class UpdateMode(enum.Enum):
+    """Spin-storage update semantics (see DESIGN.md interpretation notes).
+
+    The paper's III-C5 says the optimized order's column is reset and
+    the ArgMax winner written.  Taken literally this can duplicate a
+    city across two orders, so:
+
+    * ``SWAP`` (default) — if city ``c`` (currently at order ``j``) wins
+      order ``i``, columns ``i`` and ``j`` are exchanged; the
+      permutation stays valid at every step.
+    * ``RESET_WRITE_REPAIR`` — the literal reset+write, followed by a
+      repair step that moves the orphaned city into the winner's old
+      column (physically: the same two column writes, ordered
+      differently).  Kept for ablation; produces identical tours to
+      SWAP but models the worst-case write count.
+    """
+
+    SWAP = "swap"
+    RESET_WRITE_REPAIR = "reset_write_repair"
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Static configuration of one Ising macro.
+
+    Parameters
+    ----------
+    max_cities:
+        Largest sub-problem the macro can hold (the paper's "maximum
+        TSP size confidently solvable"; Fig 5a sweeps 12-20).
+    bits:
+        W_D bit precision B (the paper evaluates 2, 3, 4).
+    crossbar:
+        Electrical model of the weight partitions.
+    wta_resolution:
+        Relative resolution of the ArgMax stage.
+    update_mode:
+        Spin-storage update semantics.
+    guarded_updates:
+        When True (default), an update commits only if it does not
+        reduce the tour's total attraction current, unless the
+        write-path SOT stochastically overrides the guard (probability
+        P_sw of the sweep's write current).  False gives the unguarded
+        literal write-back for ablation.
+    restarts:
+        Macro replication factor: each sub-problem is annealed on this
+        many replica macros with independent stochastic streams and the
+        best replica is selected by a digital readout comparison of the
+        quantized attraction totals (chip-level policy exploiting idle
+        macros; see DESIGN.md interpretation notes).  1 disables
+        replication.
+    """
+
+    max_cities: int = 12
+    bits: int = 4
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    wta_resolution: float = 1e-3
+    update_mode: UpdateMode = UpdateMode.SWAP
+    guarded_updates: bool = True
+    restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_cities < 2:
+            raise ConfigError(f"max_cities must be >= 2, got {self.max_cities}")
+        if not 1 <= self.bits <= 8:
+            raise ConfigError(f"bits must be in 1..8, got {self.bits}")
+        if self.wta_resolution < 0:
+            raise ConfigError(
+                f"wta_resolution must be >= 0, got {self.wta_resolution}"
+            )
+        if self.restarts < 1:
+            raise ConfigError(f"restarts must be >= 1, got {self.restarts}")
+
+    @property
+    def array_shape(self) -> tuple[int, int]:
+        """Physical crossbar size N x N*(B+1) (weights + spin storage)."""
+        return (self.max_cities, self.max_cities * (self.bits + 1))

@@ -1,0 +1,146 @@
+"""Per-iteration power/energy model of the Ising macro (Table I).
+
+Power is split into two parts:
+
+* **array power** — computed from the programmed conductances of the
+  actual sub-problem (read voltage, on/off resistances, active rows),
+  exactly what the crossbar model exposes;
+* **peripheral power** — comparators, mirrors, WTA, stochastic units,
+  write drivers.  The paper reports only total power from its Spectre
+  runs (4.202 / 5.033 / 5.11 mW at 2/3/4-bit), so the peripheral part
+  is *calibrated* per bit precision as (paper total − computed array
+  power) at the paper's 12-city operating point, and interpolated
+  linearly in B elsewhere.  DESIGN.md lists this as a datasheet-style
+  substitution.
+
+Energy per iteration is power x iteration latency (9 ns), which
+reproduces Table I's 37.82 / 45.3 / 45.98 pJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.macro.timing import MacroTiming
+from repro.tsp.generators import uniform_instance
+from repro.utils.units import MILLI
+from repro.xbar.crossbar import CrossbarConfig
+from repro.xbar.quantize import bit_slices, inverse_distance_levels
+
+#: Total power reported by the paper's circuit simulation (Table I),
+#: keyed by bit precision, for a 12-city macro.
+PAPER_TOTAL_POWER = {2: 4.202 * MILLI, 3: 5.033 * MILLI, 4: 5.11 * MILLI}
+
+#: Problem size of the paper's circuit simulation.
+PAPER_CIRCUIT_N = 12
+
+#: Seed for the representative workload used to estimate bit densities.
+_REPRESENTATIVE_SEED = 12
+
+
+def representative_bit_density(bits: int, n: int = PAPER_CIRCUIT_N) -> float:
+    """Mean programmed-bit density of a representative uniform instance.
+
+    Used to estimate average array conductance without requiring the
+    caller's specific sub-problem.
+    """
+    if bits < 1:
+        raise ConfigError(f"bits must be >= 1, got {bits}")
+    inst = uniform_instance(n, seed=_REPRESENTATIVE_SEED)
+    levels = inverse_distance_levels(inst.distance_matrix(), bits)
+    return float(bit_slices(levels, bits).mean())
+
+
+@dataclass(frozen=True)
+class MacroEnergyModel:
+    """Power/energy of one macro iteration.
+
+    Parameters
+    ----------
+    crossbar:
+        Electrical configuration (read voltage, MTJ resistances).
+    timing:
+        Phase latency model (sets the power -> energy conversion).
+    active_rows:
+        Rows driven during the distance MAC (2: the superposed
+        neighbour orders).
+    """
+
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    timing: MacroTiming = field(default_factory=MacroTiming)
+    active_rows: int = 2
+
+    def array_power(self, n: int, bits: int, bit_density: float | None = None) -> float:
+        """Ohmic read power of the weight partitions during one MAC."""
+        if n < 2:
+            raise ConfigError(f"n must be >= 2, got {n}")
+        if bit_density is None:
+            bit_density = representative_bit_density(bits, n)
+        g_on = 1.0 / self.crossbar.mtj.r_parallel
+        g_off = 1.0 / self.crossbar.mtj.r_antiparallel
+        g_mean = g_off + bit_density * (g_on - g_off)
+        total_conductance = self.active_rows * (n * bits) * g_mean
+        return self.crossbar.read_voltage**2 * total_conductance
+
+    def peripheral_power(self, n: int, bits: int) -> float:
+        """Calibrated peripheral power, scaled linearly with macro width.
+
+        At the paper's 12-city point this equals (paper total − array
+        power); peripheral circuitry (comparators, mirrors, WTA inputs,
+        stochastic units) is per-column, so it scales with ``n``.
+        """
+        residual = self._calibrated_residual(bits)
+        return residual * (n / PAPER_CIRCUIT_N)
+
+    def _calibrated_residual(self, bits: int) -> float:
+        known = sorted(PAPER_TOTAL_POWER)
+        points = {
+            b: PAPER_TOTAL_POWER[b]
+            - self.array_power(PAPER_CIRCUIT_N, b)
+            for b in known
+        }
+        if bits in points:
+            return points[bits]
+        # Linear interpolation / extrapolation on the nearest pair.
+        xs = np.asarray(known, dtype=float)
+        ys = np.asarray([points[b] for b in known])
+        if bits < xs[0]:
+            lo, hi = 0, 1
+        elif bits > xs[-1]:
+            lo, hi = len(xs) - 2, len(xs) - 1
+        else:
+            hi = int(np.searchsorted(xs, bits))
+            lo = hi - 1
+        slope = (ys[hi] - ys[lo]) / (xs[hi] - xs[lo])
+        return float(max(ys[lo] + slope * (bits - xs[lo]), 0.0))
+
+    def total_power(self, n: int, bits: int, bit_density: float | None = None) -> float:
+        """Total macro power during one iteration (watts)."""
+        return self.array_power(n, bits, bit_density) + self.peripheral_power(n, bits)
+
+    def iteration_energy(self, n: int, bits: int, bit_density: float | None = None) -> float:
+        """Energy of one complete iteration (joules): power x 9 ns."""
+        return self.total_power(n, bits, bit_density) * self.timing.iteration_latency
+
+    def anneal_energy(
+        self, n: int, bits: int, optimizable_orders: int, sweeps: int
+    ) -> float:
+        """Energy of a full annealing run on one macro."""
+        if optimizable_orders < 0 or sweeps < 0:
+            raise ConfigError("optimizable_orders and sweeps must be >= 0")
+        return self.iteration_energy(n, bits) * optimizable_orders * sweeps
+
+    def program_energy(self, n: int, bits: int) -> float:
+        """Energy to program a sub-problem's W_D + spin storage.
+
+        Each written cell draws the deterministic write current through
+        the heavy metal for the per-cell write time.
+        """
+        cells = n * n * (bits + 1)
+        write_current = 650e-6
+        write_voltage = 0.3  # heavy-metal write path drop
+        per_cell = write_current * write_voltage * self.timing.program_latency_per_cell
+        return cells * per_cell

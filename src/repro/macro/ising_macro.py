@@ -1,0 +1,326 @@
+"""The Ising macro: one crossbar TSP sub-solver (paper Fig 4).
+
+One annealing *iteration* for one visiting order ``i`` executes the
+paper's five phases:
+
+1. **Superpose** (III-C1): activate spin-storage columns ``i-1`` and
+   ``i+1``; the row currents, binarized by the current comparator, give
+   the visiting vector of the neighbouring orders, held in the D-latch.
+2. **Calculate distance** (III-C2): feed the latched vector to the
+   rows of the B weight partitions; column currents scaled by the
+   2^(b-1) mirrors give each city's proximity score (eq. 5).
+3. **Stochastic binary vector** (III-C3): N SOT units switched with the
+   sweep's write current gate which cities may win (NAND fallback: all
+   pass if none switched).
+4. **ArgMax** (III-C4): the WTA circuit picks the largest gated score.
+5. **Update spin storage** (III-C5): the winner is written into order
+   ``i`` (swap semantics preserve the permutation; see MacroConfig).
+
+A *sweep* applies one iteration to every optimizable order; the
+schedule's current ramp decreases P_sw after each sweep ("natural
+annealing", III-C6).
+
+Guarded updates
+---------------
+Section II of the paper ascribes two joint mechanisms to the Ising
+search (its Fig 2): *energy minimization* — every deterministic spin
+update descends H_total — and *stochastic updates* that violate the
+descent to escape local minima.  In the macro, the update commit is
+therefore **guarded**: the winner is written only if the swap does not
+decrease the tour's total attraction current (the quantity the macro's
+current comparator can measure), *unless* the write-path SOT device
+stochastically switches anyway — which it does with the same P_sw(I)
+as the mask units, so descent violations anneal away along the ramp.
+``MacroConfig(guarded_updates=False)`` recovers the unguarded literal
+write for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.rng import StochasticBitSource
+from repro.errors import MacroError
+from repro.macro.config import MacroConfig, UpdateMode
+from repro.macro.schedule import AnnealSchedule, paper_schedule
+from repro.utils.rng import ensure_rng
+from repro.xbar.argmax import WTAArgMax
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.periph import DLatch
+from repro.xbar.quantize import inverse_distance_levels
+from repro.xbar.spin_storage import SpinStorage
+
+
+@dataclass
+class MacroRunStats:
+    """Counters from one macro anneal (consumed by the timing/energy models)."""
+
+    sweeps: int = 0
+    iterations: int = 0
+    stochastic_bits: int = 0
+    spin_writes: int = 0
+    accepted_moves: int = 0
+
+    @property
+    def moves_per_iteration(self) -> float:
+        return self.accepted_moves / self.iterations if self.iterations else 0.0
+
+
+class IsingMacro:
+    """A single Xbar-based Ising macro solving one TSP sub-problem.
+
+    Usage::
+
+        macro = IsingMacro(MacroConfig(max_cities=12, bits=4), seed=7)
+        macro.load_problem(distances, closed=False, fixed_first=True,
+                           fixed_last=True)
+        order = macro.anneal(paper_schedule())
+
+    ``distances`` is the sub-problem's full distance matrix; the city
+    indices of the sub-problem are positional (0..n-1) and mapping back
+    to global city ids is the caller's business (the hierarchy layer).
+    """
+
+    def __init__(
+        self,
+        config: MacroConfig | None = None,
+        seed: int | None | np.random.Generator = None,
+    ) -> None:
+        self.config = config if config is not None else MacroConfig()
+        self._rng = ensure_rng(seed)
+        self.n: int | None = None
+        self._closed = True
+        self._fixed_first = False
+        self._fixed_last = False
+        self._crossbar: CrossbarArray | None = None
+        self._storage: SpinStorage | None = None
+        self._latch: DLatch | None = None
+        self._stoch: StochasticBitSource | None = None
+        self._wta: WTAArgMax | None = None
+        self._levels: np.ndarray | None = None
+        self.stats = MacroRunStats()
+
+    # ------------------------------------------------------------------
+    # problem loading
+    # ------------------------------------------------------------------
+    def load_problem(
+        self,
+        distances: np.ndarray,
+        initial_order: np.ndarray | None = None,
+        closed: bool = True,
+        fixed_first: bool = False,
+        fixed_last: bool = False,
+    ) -> None:
+        """Program a sub-problem into the macro.
+
+        Parameters
+        ----------
+        distances:
+            ``(n, n)`` symmetric distance matrix of the sub-problem.
+        initial_order:
+            Starting visiting order (defaults to identity — the paper's
+            "visiting order initialized by input order").
+        closed:
+            ``True`` for a cyclic tour (the hierarchy's top level),
+            ``False`` for an open path (clusters with fixed endpoints).
+        fixed_first, fixed_last:
+            Pin the first/last visiting order (the endpoint-fixing of
+            Section IV-2).  Only meaningful for open paths.
+        """
+        distances = np.asarray(distances, dtype=float)
+        if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+            raise MacroError(f"distances must be square, got {distances.shape}")
+        n = distances.shape[0]
+        if n < 2:
+            raise MacroError(f"sub-problem needs >= 2 cities, got {n}")
+        if n > self.config.max_cities:
+            raise MacroError(
+                f"sub-problem of {n} cities exceeds macro capacity "
+                f"{self.config.max_cities}"
+            )
+        if closed and (fixed_first or fixed_last):
+            raise MacroError("fixed endpoints require an open path (closed=False)")
+        self.n = n
+        self._closed = closed
+        self._fixed_first = fixed_first
+        self._fixed_last = fixed_last
+        self._levels = inverse_distance_levels(distances, self.config.bits)
+        self._crossbar = CrossbarArray(
+            n, self.config.bits, self.config.crossbar, self._rng
+        )
+        self._crossbar.program(self._levels)
+        self._storage = SpinStorage(n)
+        order = np.arange(n) if initial_order is None else np.asarray(initial_order, int)
+        self._storage.program_order(order)
+        self._latch = DLatch(n)
+        self._stoch = StochasticBitSource(n, seed=self._rng)
+        self._wta = WTAArgMax(
+            resolution=self.config.wta_resolution, seed=self._rng
+        )
+        # Endpoint cities pinned by the fixing step may never be chosen
+        # for another order (their spin rows are not write-enabled).
+        self._allowed_cities = np.ones(n, dtype=bool)
+        if not closed and fixed_first:
+            self._allowed_cities[order[0]] = False
+        if not closed and fixed_last:
+            self._allowed_cities[order[-1]] = False
+        # Effective weights collapse the analog MAC; used by the guard's
+        # current comparison (identical to the crossbar's scores).
+        self._weights = self._crossbar.effective_weights()
+        self._proxy = self._order_proxy(order)
+        self.stats = MacroRunStats()
+
+    @property
+    def is_loaded(self) -> bool:
+        return self.n is not None
+
+    def _require_loaded(self) -> None:
+        if not self.is_loaded:
+            raise MacroError("no problem loaded; call load_problem() first")
+
+    # ------------------------------------------------------------------
+    # the five phases of one iteration
+    # ------------------------------------------------------------------
+    def optimizable_orders(self) -> np.ndarray:
+        """The visiting orders the annealer may rewrite."""
+        self._require_loaded()
+        n = int(self.n)  # type: ignore[arg-type]
+        if self._closed:
+            return np.arange(n)
+        start = 1 if self._fixed_first else 0
+        stop = n - 1 if self._fixed_last else n
+        return np.arange(start, stop)
+
+    def superpose(self, order_idx: int) -> np.ndarray:
+        """Phase 1: latch the binary visiting vector of orders i-1 and i+1."""
+        self._require_loaded()
+        n = int(self.n)  # type: ignore[arg-type]
+        prev_col = (order_idx - 1) % n
+        next_col = (order_idx + 1) % n
+        if not self._closed:
+            # Open path: order 0 has no predecessor and order n-1 no
+            # successor; superpose the one existing neighbour twice.
+            prev_col = order_idx - 1 if order_idx > 0 else order_idx + 1
+            next_col = order_idx + 1 if order_idx < n - 1 else order_idx - 1
+        visiting = self._storage.superpose(prev_col, next_col)  # type: ignore[union-attr]
+        self._latch.store(visiting)  # type: ignore[union-attr]
+        return visiting
+
+    def distance_scores(self) -> np.ndarray:
+        """Phase 2: MAC the latched vector against the weight partitions."""
+        self._require_loaded()
+        return self._crossbar.mac_scores(self._latch.read().astype(float))  # type: ignore[union-attr]
+
+    def stochastic_mask(self, current: float) -> np.ndarray:
+        """Phase 3: sample the SOT stochastic gating vector."""
+        self._require_loaded()
+        self.stats.stochastic_bits += int(self.n)  # type: ignore[arg-type]
+        return self._stoch.sample_mask(current)  # type: ignore[union-attr]
+
+    def choose_city(self, scores: np.ndarray, mask: np.ndarray) -> int:
+        """Phase 4: WTA ArgMax over the gated scores.
+
+        Pinned endpoint cities are excluded; if the stochastic mask left
+        no eligible city, the NAND fallback admits all eligible ones.
+        """
+        self._require_loaded()
+        allowed = mask.astype(bool) & self._allowed_cities
+        if not allowed.any():
+            allowed = self._allowed_cities.copy()
+        return self._wta.winner(scores, allowed)  # type: ignore[union-attr]
+
+    def update_spin_storage(
+        self, order_idx: int, city: int, override_probability: float = 0.0
+    ) -> bool:
+        """Phase 5: write the winner; returns True if the order changed.
+
+        With guarded updates (the default), the swap commits only if the
+        total attraction current does not decrease — unless the
+        write-path SOT stochastically overrides the guard, which happens
+        with ``override_probability`` (P_sw of the sweep's current).
+        """
+        self._require_loaded()
+        storage = self._storage
+        current_city = storage.city_at(order_idx)  # type: ignore[union-attr]
+        if current_city == city:
+            return False
+        prev_order = self._order_of_city(city)
+        if self.config.guarded_updates:
+            candidate = storage.read_order()  # type: ignore[union-attr]
+            candidate[order_idx], candidate[prev_order] = (
+                candidate[prev_order],
+                candidate[order_idx],
+            )
+            new_proxy = self._order_proxy(candidate)
+            if new_proxy < self._proxy and not (
+                override_probability > 0
+                and self._rng.random() < override_probability
+            ):
+                return False
+            self._proxy = new_proxy
+        if self.config.update_mode is UpdateMode.SWAP:
+            storage.swap_columns(order_idx, prev_order)  # type: ignore[union-attr]
+            self.stats.spin_writes += 2
+        else:
+            # Literal reset+write on both affected columns (same result,
+            # modelled as the hardware's two-column write sequence).
+            one_hot_new = np.zeros(int(self.n))  # type: ignore[arg-type]
+            one_hot_new[city] = self._wta.output_current  # type: ignore[union-attr]
+            one_hot_old = np.zeros(int(self.n))  # type: ignore[arg-type]
+            one_hot_old[current_city] = self._wta.output_current  # type: ignore[union-attr]
+            storage.reset_column(order_idx)  # type: ignore[union-attr]
+            storage.write_column(order_idx, one_hot_new)  # type: ignore[union-attr]
+            storage.reset_column(prev_order)  # type: ignore[union-attr]
+            storage.write_column(prev_order, one_hot_old)  # type: ignore[union-attr]
+            self.stats.spin_writes += 2
+        if not self.config.guarded_updates:
+            self._proxy = self._order_proxy(self.read_solution())
+        self.stats.accepted_moves += 1
+        return True
+
+    def _order_proxy(self, order: np.ndarray) -> float:
+        """Total attraction current of a visiting order (the guard metric)."""
+        w = self._weights
+        total = float(w[order[:-1], order[1:]].sum())
+        if self._closed:
+            total += float(w[order[-1], order[0]])
+        return total
+
+    def _order_of_city(self, city: int) -> int:
+        grid = self._storage.grid()  # type: ignore[union-attr]
+        cols = np.flatnonzero(grid[city])
+        if cols.size != 1:
+            raise MacroError(f"city {city} row is not one-hot in spin storage")
+        return int(cols[0])
+
+    # ------------------------------------------------------------------
+    # annealing
+    # ------------------------------------------------------------------
+    def iterate_order(self, order_idx: int, write_current: float) -> bool:
+        """One full iteration (phases 1-5) for one visiting order."""
+        self.superpose(order_idx)
+        scores = self.distance_scores()
+        mask = self.stochastic_mask(write_current)
+        city = self.choose_city(scores, mask)
+        p_sw = float(self._stoch.characteristic.probability(write_current))  # type: ignore[union-attr]
+        changed = self.update_spin_storage(order_idx, city, p_sw)
+        self.stats.iterations += 1
+        return changed
+
+    def anneal(self, schedule: AnnealSchedule | None = None) -> np.ndarray:
+        """Run the full annealing ramp; returns the final visiting order."""
+        self._require_loaded()
+        schedule = schedule if schedule is not None else paper_schedule()
+        orders = self.optimizable_orders()
+        for current in schedule.currents():
+            for order_idx in orders:
+                self.iterate_order(int(order_idx), float(current))
+            self.stats.sweeps += 1
+        return self.read_solution()
+
+    def read_solution(self) -> np.ndarray:
+        """Retrieve the visiting order stored in the spin storage."""
+        self._require_loaded()
+        return self._storage.read_order()  # type: ignore[union-attr]

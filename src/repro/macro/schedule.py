@@ -1,0 +1,155 @@
+"""Annealing schedules: the I_write ramp and ablation alternatives.
+
+The paper's "natural annealing" (III-C6): I_write starts at 420 uA
+(P_sw = 20 %), decreases linearly by 50 nA per iteration, and the run
+stops at 353 uA (P_sw = 1 %).  Because P_sw(I) is sigmoidal, a *linear*
+current ramp yields a *non-linear* stochasticity decay — fast early,
+slow late — which the paper argues gives short latency without losing
+solution quality.
+
+For the schedule ablation (DESIGN.md E8) we also provide schedules
+defined directly in probability space (linear and exponential decay,
+mapped back through the device's inverse curve), so all schedules share
+the same endpoints and iteration count but differ in decay shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.sot_mram import SwitchingCharacteristic
+from repro.errors import ConfigError
+from repro.utils.units import MICRO, NANO
+
+
+@dataclass(frozen=True)
+class AnnealSchedule:
+    """Base class: a fixed sequence of write currents (one per sweep).
+
+    Subclasses only need to produce :meth:`currents`; probabilities are
+    derived through the device characteristic.
+    """
+
+    characteristic: SwitchingCharacteristic = field(
+        default_factory=SwitchingCharacteristic.from_paper_anchors
+    )
+
+    def currents(self) -> np.ndarray:
+        """Write current for each annealing sweep (amperes)."""
+        raise NotImplementedError
+
+    def probabilities(self) -> np.ndarray:
+        """Switching probability for each sweep."""
+        return np.asarray(self.characteristic.probability(self.currents()))
+
+    @property
+    def sweeps(self) -> int:
+        """Number of annealing sweeps."""
+        return int(self.currents().size)
+
+
+@dataclass(frozen=True)
+class CurrentRampSchedule(AnnealSchedule):
+    """The paper's linear current ramp (420 uA -> 353 uA, 50 nA steps).
+
+    Parameters
+    ----------
+    start_current, stop_current:
+        Ramp endpoints (amperes); start must exceed stop.
+    step_current:
+        Per-iteration decrement (amperes).  The paper uses 50 nA
+        (1340 sweeps); benches on huge instances use a coarser step,
+        which keeps the same P_sw trajectory shape.
+    """
+
+    start_current: float = 420.0 * MICRO
+    stop_current: float = 353.0 * MICRO
+    step_current: float = 50.0 * NANO
+
+    def __post_init__(self) -> None:
+        if self.stop_current <= 0 or self.start_current <= self.stop_current:
+            raise ConfigError(
+                "need start_current > stop_current > 0, got "
+                f"{self.start_current} / {self.stop_current}"
+            )
+        if self.step_current <= 0:
+            raise ConfigError(f"step_current must be positive, got {self.step_current}")
+
+    def currents(self) -> np.ndarray:
+        span = self.start_current - self.stop_current
+        steps = int(np.floor(span / self.step_current + 1e-9)) + 1
+        return self.start_current - self.step_current * np.arange(steps)
+
+    def with_sweeps(self, sweeps: int) -> "CurrentRampSchedule":
+        """Same endpoints, coarser/finer step to hit ``sweeps`` iterations."""
+        if sweeps < 2:
+            raise ConfigError(f"sweeps must be >= 2, got {sweeps}")
+        span = self.start_current - self.stop_current
+        return CurrentRampSchedule(
+            characteristic=self.characteristic,
+            start_current=self.start_current,
+            stop_current=self.stop_current,
+            step_current=span / (sweeps - 1),
+        )
+
+
+@dataclass(frozen=True)
+class LinearProbabilitySchedule(AnnealSchedule):
+    """P_sw decays linearly from ``p_start`` to ``p_end`` (ablation)."""
+
+    p_start: float = 0.20
+    p_end: float = 0.01
+    n_sweeps: int = 1340
+
+    def __post_init__(self) -> None:
+        _check_probability_endpoints(self.p_start, self.p_end, self.n_sweeps)
+
+    def currents(self) -> np.ndarray:
+        probs = np.linspace(self.p_start, self.p_end, self.n_sweeps)
+        return np.asarray([self.characteristic.current_for(p) for p in probs])
+
+    def probabilities(self) -> np.ndarray:
+        return np.linspace(self.p_start, self.p_end, self.n_sweeps)
+
+
+@dataclass(frozen=True)
+class ExponentialProbabilitySchedule(AnnealSchedule):
+    """P_sw decays geometrically from ``p_start`` to ``p_end`` (ablation)."""
+
+    p_start: float = 0.20
+    p_end: float = 0.01
+    n_sweeps: int = 1340
+
+    def __post_init__(self) -> None:
+        _check_probability_endpoints(self.p_start, self.p_end, self.n_sweeps)
+
+    def currents(self) -> np.ndarray:
+        probs = self.probabilities()
+        return np.asarray([self.characteristic.current_for(p) for p in probs])
+
+    def probabilities(self) -> np.ndarray:
+        return np.geomspace(self.p_start, self.p_end, self.n_sweeps)
+
+
+def _check_probability_endpoints(p_start: float, p_end: float, sweeps: int) -> None:
+    if not 0.0 < p_end <= p_start < 1.0:
+        raise ConfigError(
+            f"need 0 < p_end <= p_start < 1, got {p_start} / {p_end}"
+        )
+    if sweeps < 2:
+        raise ConfigError(f"n_sweeps must be >= 2, got {sweeps}")
+
+
+def paper_schedule(sweeps: int | None = None) -> CurrentRampSchedule:
+    """The paper's schedule; optionally re-stepped to ``sweeps`` iterations.
+
+    ``paper_schedule()`` is the exact 50 nA ramp (1340 sweeps);
+    ``paper_schedule(134)`` keeps the endpoints (420 -> 353 uA) but uses
+    a 10x coarser step for fast benches.
+    """
+    base = CurrentRampSchedule()
+    if sweeps is None:
+        return base
+    return base.with_sweeps(sweeps)

@@ -1,0 +1,83 @@
+"""Per-phase latency model of one macro iteration (Table I).
+
+The paper's pre-layout circuit simulation (TSMC 65 nm) reports, for one
+complete iteration on a 12-city problem, phase latencies independent of
+bit precision:
+
+    superposition   3 ns
+    optimization    4 ns   (distance MAC + stochastic gate + WTA)
+    storage update  2 ns
+
+Latency is flat across B because the phases are limited by the sense /
+WTA settling, not by the extra partition columns.  The model keeps the
+phases parameterizable for technology exploration; defaults reproduce
+Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.units import NANO
+
+
+@dataclass(frozen=True)
+class MacroTiming:
+    """Phase latencies of one iteration (seconds).
+
+    Parameters
+    ----------
+    superpose_latency, optimize_latency, update_latency:
+        The three phases of Table I.
+    program_latency_per_cell:
+        Deterministic write time per crossbar cell when mapping a new
+        sub-problem onto the macro (W_D programming); consumed by the
+        architecture model's mapping cost.
+    """
+
+    superpose_latency: float = 3.0 * NANO
+    optimize_latency: float = 4.0 * NANO
+    update_latency: float = 2.0 * NANO
+    program_latency_per_cell: float = 2.0 * NANO
+
+    def __post_init__(self) -> None:
+        for name in (
+            "superpose_latency",
+            "optimize_latency",
+            "update_latency",
+            "program_latency_per_cell",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def iteration_latency(self) -> float:
+        """One complete iteration: superpose + optimize + update."""
+        return self.superpose_latency + self.optimize_latency + self.update_latency
+
+    def sweep_latency(self, optimizable_orders: int) -> float:
+        """One annealing sweep = one iteration per optimizable order."""
+        if optimizable_orders < 0:
+            raise ConfigError(
+                f"optimizable_orders must be >= 0, got {optimizable_orders}"
+            )
+        return optimizable_orders * self.iteration_latency
+
+    def anneal_latency(self, optimizable_orders: int, sweeps: int) -> float:
+        """Full annealing run of ``sweeps`` sweeps."""
+        if sweeps < 0:
+            raise ConfigError(f"sweeps must be >= 0, got {sweeps}")
+        return sweeps * self.sweep_latency(optimizable_orders)
+
+    def program_latency(self, n: int, bits: int) -> float:
+        """Time to program a sub-problem's W_D into the macro.
+
+        Cells are written column-parallel per bit partition row — the
+        model charges one write slot per weight column (n * B columns)
+        plus one per spin-storage column.
+        """
+        if n < 1 or bits < 1:
+            raise ConfigError("n and bits must be >= 1")
+        columns = n * bits + n
+        return columns * self.program_latency_per_cell

@@ -1,0 +1,51 @@
+"""TSP substrate: instances, metrics, tours, TSPLIB I/O, generators.
+
+This subpackage is the data layer every solver in the library builds on.
+It provides:
+
+* :class:`~repro.tsp.instance.TSPInstance` — coordinates or explicit
+  matrices plus the TSPLIB edge-weight metrics (EUC_2D, CEIL_2D, ATT,
+  GEO, EXPLICIT).
+* :class:`~repro.tsp.tour.Tour` — validated city permutations with
+  length evaluation for closed tours and open paths.
+* :mod:`~repro.tsp.tsplib` — a TSPLIB95 parser/writer.
+* :mod:`~repro.tsp.generators` — seeded synthetic instance families.
+* :mod:`~repro.tsp.benchmarks` — the 20 paper-scale benchmark instances.
+"""
+
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.tour import Tour, tour_length
+from repro.tsp.tsplib import dumps_tsplib, loads_tsplib, read_tsplib, write_tsplib
+from repro.tsp.generators import (
+    clustered_instance,
+    drilling_instance,
+    grid_instance,
+    uniform_instance,
+)
+from repro.tsp.benchmarks import (
+    BENCHMARK_SIZES,
+    BenchmarkSpec,
+    benchmark_names,
+    load_benchmark,
+)
+from repro.tsp.neighbors import nearest_neighbor_lists
+
+__all__ = [
+    "EdgeWeightType",
+    "TSPInstance",
+    "Tour",
+    "tour_length",
+    "read_tsplib",
+    "write_tsplib",
+    "loads_tsplib",
+    "dumps_tsplib",
+    "uniform_instance",
+    "clustered_instance",
+    "grid_instance",
+    "drilling_instance",
+    "BENCHMARK_SIZES",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "load_benchmark",
+    "nearest_neighbor_lists",
+]

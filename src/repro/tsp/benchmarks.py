@@ -1,0 +1,144 @@
+"""The paper's 20-instance benchmark suite, rebuilt synthetically.
+
+The paper evaluates on TSPLIB instances of sizes 76, 101, 200, 262,
+318, 442, 575, 666, 783, 1002, 1060, 2392, 3038, 4461, 5915, 5934,
+11849, 18512, 33810, and 85900 (Fig 5 / Fig 6 x-axes).  The real files
+are not available offline, so this registry generates one seeded
+synthetic instance per size, family-matched to the real instance's
+geometry class (see DESIGN.md, Substitutions):
+
+======== ============== ========================== =====================
+size     real instance  geometry family             generator
+======== ============== ========================== =====================
+76       pr76           uniform metro points        uniform
+101      eil101         small clustered region     clustered
+200      kroA200        uniform                    uniform
+262      gil262         clustered                  clustered
+318      lin318         semi-structured layout     grid
+442      pcb442         PCB drill grid             grid
+575      rat575         rattled grid               grid
+666      gr666          world cities (clustered)   clustered
+783      rat783         rattled grid               grid
+1002     pr1002         uniform                    uniform
+1060     u1060          uniform/structured         uniform
+2392     pr2392         uniform                    uniform
+3038     pcb3038        PCB drill grid             grid
+4461     fnl4461        country towns (clustered)  clustered
+5915     rl5915         uniform                    uniform
+5934     rl5934         uniform                    uniform
+11849    rl11849        uniform                    uniform
+18512    d18512         country towns (clustered)  clustered
+33810    pla33810       PLA drilling blocks        drilling
+85900    pla85900       PLA drilling blocks        drilling
+======== ============== ========================== =====================
+
+Each instance is deterministic given the registry seed, so the
+reference lengths computed by the Concorde-surrogate solver are stable
+across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InstanceError
+from repro.tsp.generators import (
+    clustered_instance,
+    drilling_instance,
+    grid_instance,
+    uniform_instance,
+)
+from repro.tsp.instance import TSPInstance
+
+_REGISTRY_SEED = 20250417  # arXiv submission date of the paper
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Metadata for one benchmark instance."""
+
+    name: str
+    size: int
+    real_name: str
+    family: str
+    generator: Callable[..., TSPInstance]
+
+
+def _spec(name: str, size: int, real: str, family: str) -> BenchmarkSpec:
+    generator = {
+        "uniform": uniform_instance,
+        "clustered": clustered_instance,
+        "grid": grid_instance,
+        "drilling": drilling_instance,
+    }[family]
+    return BenchmarkSpec(name, size, real, family, generator)
+
+
+_SPECS: tuple[BenchmarkSpec, ...] = (
+    _spec("syn76", 76, "pr76", "uniform"),
+    _spec("syn101", 101, "eil101", "clustered"),
+    _spec("syn200", 200, "kroA200", "uniform"),
+    _spec("syn262", 262, "gil262", "clustered"),
+    _spec("syn318", 318, "lin318", "grid"),
+    _spec("syn442", 442, "pcb442", "grid"),
+    _spec("syn575", 575, "rat575", "grid"),
+    _spec("syn666", 666, "gr666", "clustered"),
+    _spec("syn783", 783, "rat783", "grid"),
+    _spec("syn1002", 1002, "pr1002", "uniform"),
+    _spec("syn1060", 1060, "u1060", "uniform"),
+    _spec("syn2392", 2392, "pr2392", "uniform"),
+    _spec("syn3038", 3038, "pcb3038", "grid"),
+    _spec("syn4461", 4461, "fnl4461", "clustered"),
+    _spec("syn5915", 5915, "rl5915", "uniform"),
+    _spec("syn5934", 5934, "rl5934", "uniform"),
+    _spec("syn11849", 11849, "rl11849", "uniform"),
+    _spec("syn18512", 18512, "d18512", "clustered"),
+    _spec("syn33810", 33810, "pla33810", "drilling"),
+    _spec("syn85900", 85900, "pla85900", "drilling"),
+)
+
+BENCHMARK_SIZES: tuple[int, ...] = tuple(spec.size for spec in _SPECS)
+
+_BY_SIZE = {spec.size: spec for spec in _SPECS}
+_BY_NAME = {spec.name: spec for spec in _SPECS}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """Names of all registered benchmark instances, smallest first."""
+    return tuple(spec.name for spec in _SPECS)
+
+
+def benchmark_spec(size_or_name: int | str) -> BenchmarkSpec:
+    """Look up a benchmark spec by its size or its ``syn*`` name."""
+    if isinstance(size_or_name, str):
+        spec = _BY_NAME.get(size_or_name)
+    else:
+        spec = _BY_SIZE.get(int(size_or_name))
+    if spec is None:
+        raise InstanceError(
+            f"unknown benchmark {size_or_name!r}; known sizes: {BENCHMARK_SIZES}"
+        )
+    return spec
+
+
+def load_benchmark(size_or_name: int | str) -> TSPInstance:
+    """Generate the registered benchmark instance for a size or name.
+
+    Deterministic: the instance for a given size is identical across
+    calls, processes, and machines.
+    """
+    spec = benchmark_spec(size_or_name)
+    seed = _REGISTRY_SEED + spec.size
+    instance = spec.generator(spec.size, seed=seed, name=spec.name)
+    instance.comment = (
+        f"synthetic stand-in for TSPLIB {spec.real_name} ({spec.family} family)"
+    )
+    return instance
+
+
+def paper_sizes_up_to(limit: int) -> tuple[int, ...]:
+    """The paper's benchmark sizes that do not exceed ``limit``."""
+    return tuple(size for size in BENCHMARK_SIZES if size <= limit)

@@ -1,0 +1,161 @@
+"""Seeded synthetic TSP instance generators.
+
+The paper evaluates on 20 TSPLIB instances (76 to 85,900 cities).  The
+real files are not redistributable here, so the benchmark registry
+(:mod:`repro.tsp.benchmarks`) generates *family-matched* synthetic
+instances with these generators:
+
+* :func:`uniform_instance` — i.i.d. uniform points (``rat*``, ``pr*``
+  style geometry).
+* :func:`clustered_instance` — Gaussian city clusters (``eil*``/``gil*``
+  style regional structure, and the regime where hierarchical clustering
+  shines).
+* :func:`grid_instance` — jittered grid (``pcb*`` drill boards).
+* :func:`drilling_instance` — blocks of dense hole patterns mimicking
+  the ``pla*`` programmed-logic-array drilling boards (the paper's two
+  largest instances, pla33810 and pla85900).
+
+All generators take a seed, so the whole evaluation is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InstanceError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.utils.rng import ensure_rng
+
+
+def uniform_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    extent: float = 10_000.0,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D,
+) -> TSPInstance:
+    """``n`` cities uniformly distributed over an ``extent x extent`` square."""
+    _check_n(n)
+    rng = ensure_rng(seed)
+    coords = rng.uniform(0.0, extent, size=(n, 2))
+    return TSPInstance(name or f"uniform{n}", coords, metric)
+
+
+def clustered_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    n_clusters: int | None = None,
+    extent: float = 10_000.0,
+    spread: float = 0.04,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D,
+) -> TSPInstance:
+    """``n`` cities drawn from Gaussian blobs scattered over the square.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of blobs; defaults to ``max(2, round(sqrt(n) / 2))``.
+    spread:
+        Blob standard deviation as a fraction of ``extent``.
+    """
+    _check_n(n)
+    rng = ensure_rng(seed)
+    if n_clusters is None:
+        n_clusters = max(2, int(round(np.sqrt(n) / 2)))
+    if n_clusters < 1:
+        raise InstanceError(f"n_clusters must be >= 1, got {n_clusters}")
+    centers = rng.uniform(0.12 * extent, 0.88 * extent, size=(n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n)
+    coords = centers[assignment] + rng.normal(0.0, spread * extent, size=(n, 2))
+    coords = np.clip(coords, 0.0, extent)
+    return TSPInstance(name or f"clustered{n}", coords, metric)
+
+
+def grid_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    extent: float = 10_000.0,
+    jitter: float = 0.15,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D,
+) -> TSPInstance:
+    """``n`` cities on a jittered square grid (PCB drill-board style).
+
+    ``jitter`` is the per-point displacement as a fraction of the grid
+    pitch.  The grid is truncated to exactly ``n`` points by randomly
+    dropping surplus grid sites.
+    """
+    _check_n(n)
+    rng = ensure_rng(seed)
+    side = int(np.ceil(np.sqrt(n)))
+    pitch = extent / side
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+    points = np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+    points = (points + 0.5) * pitch
+    keep = rng.permutation(points.shape[0])[:n]
+    coords = points[np.sort(keep)]
+    coords = coords + rng.normal(0.0, jitter * pitch, size=coords.shape)
+    coords = np.clip(coords, 0.0, extent)
+    return TSPInstance(name or f"grid{n}", coords, metric)
+
+
+def drilling_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    extent: float = 100_000.0,
+    block_fill: float = 0.55,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.CEIL_2D,
+) -> TSPInstance:
+    """``n`` drill holes arranged in dense rectangular blocks.
+
+    Mimics the ``pla*`` programmed-logic-array boards: many rectangular
+    blocks, each containing a dense sub-grid of holes, separated by
+    empty routing channels.  Uses CEIL_2D like the real ``pla``
+    instances.
+
+    Parameters
+    ----------
+    block_fill:
+        Fraction of each block's grid sites that receive a hole.
+    """
+    _check_n(n)
+    if not 0.0 < block_fill <= 1.0:
+        raise InstanceError(f"block_fill must be in (0, 1], got {block_fill}")
+    rng = ensure_rng(seed)
+    # Choose a block grid so each block holds a few hundred holes.
+    holes_per_block = min(max(n // 24, 64), 512)
+    n_blocks = max(1, int(np.ceil(n / holes_per_block)))
+    blocks_side = int(np.ceil(np.sqrt(n_blocks)))
+    block_extent = extent / blocks_side
+    sub_side = int(np.ceil(np.sqrt(holes_per_block / block_fill)))
+    pitch = 0.72 * block_extent / max(sub_side, 1)
+
+    coords_parts: list[np.ndarray] = []
+    remaining = n
+    for bx in range(blocks_side):
+        for by in range(blocks_side):
+            if remaining <= 0:
+                break
+            take = min(remaining, holes_per_block)
+            origin = np.array(
+                [bx * block_extent + 0.14 * block_extent, by * block_extent + 0.14 * block_extent]
+            )
+            xs, ys = np.meshgrid(np.arange(sub_side), np.arange(sub_side))
+            sites = np.column_stack([xs.ravel(), ys.ravel()]).astype(float) * pitch
+            chosen = rng.permutation(sites.shape[0])[:take]
+            block_coords = origin + sites[np.sort(chosen)]
+            coords_parts.append(block_coords)
+            remaining -= take
+        if remaining <= 0:
+            break
+    coords = np.vstack(coords_parts)[:n]
+    # Deterministic shuffle so city index does not encode block order.
+    coords = coords[rng.permutation(n)]
+    return TSPInstance(name or f"drill{n}", coords, metric)
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise InstanceError(f"instance size must be >= 2, got {n}")

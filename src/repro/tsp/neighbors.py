@@ -1,0 +1,78 @@
+"""Nearest-neighbor candidate lists for large instances.
+
+Local-search baselines (2-opt, Or-opt) and the inter-cluster endpoint
+fixing step need "closest cities" queries at scale.  This module wraps
+:class:`scipy.spatial.cKDTree` for coordinate instances and falls back
+to the explicit matrix otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import InstanceError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+
+def nearest_neighbor_lists(instance: TSPInstance, k: int) -> np.ndarray:
+    """For each city, its ``k`` nearest other cities, nearest first.
+
+    Returns an ``(n, k)`` int array.  For coordinate instances the
+    neighbors are computed in Euclidean space (a faithful proxy for all
+    supported coordinate metrics, which are monotone in Euclidean
+    distance except GEO, where it remains a good candidate heuristic).
+    """
+    n = instance.n
+    if k < 1:
+        raise InstanceError(f"k must be >= 1, got {k}")
+    k = min(k, n - 1)
+    if instance.coords is not None and instance.metric is not EdgeWeightType.EXPLICIT:
+        tree = cKDTree(instance.coords)
+        # k+1 because each point's nearest neighbor is itself.
+        _, idx = tree.query(instance.coords, k=k + 1, workers=-1)
+        idx = np.atleast_2d(idx)
+        neighbors = np.empty((n, k), dtype=int)
+        for i in range(n):
+            row = idx[i]
+            row = row[row != i][:k]
+            neighbors[i, : row.size] = row
+            if row.size < k:  # degenerate duplicates; pad with nearest found
+                neighbors[i, row.size :] = row[-1] if row.size else (i + 1) % n
+        return neighbors
+    matrix = instance.distance_matrix().copy()
+    np.fill_diagonal(matrix, np.inf)
+    return np.argsort(matrix, axis=1)[:, :k]
+
+
+def closest_pair_between(
+    instance: TSPInstance,
+    group_a: np.ndarray,
+    group_b: np.ndarray,
+) -> tuple[int, int, float]:
+    """The closest city pair ``(a, b)`` with ``a`` in group A, ``b`` in group B.
+
+    Returns ``(a, b, distance)`` using the instance metric.  Used by the
+    endpoint-fixing step (Section IV-2 of the paper).
+    """
+    group_a = np.asarray(group_a, dtype=int)
+    group_b = np.asarray(group_b, dtype=int)
+    if group_a.size == 0 or group_b.size == 0:
+        raise InstanceError("closest_pair_between requires non-empty groups")
+    if (
+        instance.coords is not None
+        and instance.metric is not EdgeWeightType.EXPLICIT
+        and group_a.size * group_b.size > 4096
+    ):
+        # KD-tree path for big groups: query B against a tree on A.
+        tree = cKDTree(instance.coords[group_a])
+        dists, idx = tree.query(instance.coords[group_b], k=1, workers=-1)
+        best_b = int(np.argmin(dists))
+        best_a = int(idx[best_b])
+        a_city, b_city = int(group_a[best_a]), int(group_b[best_b])
+        return a_city, b_city, float(instance.distance(a_city, b_city))
+    block = instance.distance_block(group_a, group_b)
+    flat = int(np.argmin(block))
+    ai, bi = np.unravel_index(flat, block.shape)
+    a_city, b_city = int(group_a[ai]), int(group_b[bi])
+    return a_city, b_city, float(block[ai, bi])

@@ -1,0 +1,112 @@
+"""Tours: validated permutations of a TSP instance's cities.
+
+A :class:`Tour` wraps a visiting order plus the instance it belongs to,
+validates permutation-ness once at construction, and caches its length.
+Solvers that mutate orders in tight loops work on raw numpy arrays and
+only wrap the final result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tsp.instance import TSPInstance
+
+
+def validate_permutation(order: np.ndarray, n: int) -> np.ndarray:
+    """Check that ``order`` is a permutation of ``0..n-1``; return it as int array."""
+    order = np.asarray(order, dtype=int)
+    if order.ndim != 1:
+        raise TourError(f"tour order must be 1-D, got shape {order.shape}")
+    if order.size != n:
+        raise TourError(f"tour visits {order.size} cities but instance has {n}")
+    seen = np.zeros(n, dtype=bool)
+    if order.min(initial=0) < 0 or order.max(initial=0) >= n:
+        raise TourError("tour contains out-of-range city indices")
+    seen[order] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise TourError(f"tour is not a permutation (city {missing} missing)")
+    return order
+
+
+def tour_length(instance: TSPInstance, order: np.ndarray, closed: bool = True) -> float:
+    """Length of ``order`` on ``instance`` without building a Tour object."""
+    return instance.tour_length(np.asarray(order, dtype=int), closed=closed)
+
+
+@dataclass(frozen=True)
+class Tour:
+    """An immutable, validated tour over a :class:`TSPInstance`.
+
+    Parameters
+    ----------
+    instance:
+        The instance the tour belongs to.
+    order:
+        Visiting order; must be a permutation of ``0..n-1``.
+    closed:
+        ``True`` for a cycle (classic TSP tour), ``False`` for an open
+        path (used for cluster sub-problems with fixed endpoints).
+    """
+
+    instance: TSPInstance
+    order: np.ndarray
+    closed: bool = True
+    _length: float = field(default=float("nan"), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        validated = validate_permutation(self.order, self.instance.n)
+        object.__setattr__(self, "order", validated)
+        object.__setattr__(
+            self, "_length", self.instance.tour_length(validated, closed=self.closed)
+        )
+
+    @property
+    def length(self) -> float:
+        """Total tour (or path) length under the instance metric."""
+        return self._length
+
+    @property
+    def n(self) -> int:
+        return int(self.order.size)
+
+    def position_of(self, city: int) -> int:
+        """The visiting position (order index) of ``city``."""
+        positions = np.flatnonzero(self.order == city)
+        if positions.size == 0:
+            raise TourError(f"city {city} not in tour")
+        return int(positions[0])
+
+    def edges(self) -> np.ndarray:
+        """The tour's edges as an ``(m, 2)`` array of city pairs."""
+        if self.closed:
+            return np.column_stack([self.order, np.roll(self.order, -1)])
+        return np.column_stack([self.order[:-1], self.order[1:]])
+
+    def rotated_to(self, city: int) -> "Tour":
+        """A closed tour rotated so that ``city`` comes first.
+
+        Rotation does not change the length of a closed tour.
+        """
+        if not self.closed:
+            raise TourError("cannot rotate an open path")
+        pos = self.position_of(city)
+        return Tour(self.instance, np.roll(self.order, -pos), closed=True)
+
+    def reversed(self) -> "Tour":
+        """The same route traversed in the opposite direction."""
+        return Tour(self.instance, self.order[::-1].copy(), closed=self.closed)
+
+    def gap_to(self, reference_length: float) -> float:
+        """Relative excess over a reference length: ``length/ref - 1``."""
+        if reference_length <= 0:
+            raise TourError(f"reference length must be positive, got {reference_length}")
+        return self.length / reference_length - 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "tour" if self.closed else "path"
+        return f"Tour({self.instance.name}, n={self.n}, {kind}, length={self.length:.1f})"

@@ -1,0 +1,283 @@
+"""TSPLIB95 file parser and writer.
+
+Supports the symmetric-TSP subset the paper benchmarks on:
+
+* ``TYPE: TSP``
+* ``EDGE_WEIGHT_TYPE``: EUC_2D, CEIL_2D, MAX_2D, MAN_2D, ATT, GEO,
+  EXPLICIT
+* ``EDGE_WEIGHT_FORMAT`` (for EXPLICIT): FULL_MATRIX, UPPER_ROW,
+  LOWER_ROW, UPPER_DIAG_ROW, LOWER_DIAG_ROW
+* ``NODE_COORD_SECTION`` / ``EDGE_WEIGHT_SECTION`` / ``DISPLAY_DATA_SECTION``
+
+The writer emits NODE_COORD_SECTION instances (or FULL_MATRIX for
+EXPLICIT) that this parser and standard TSPLIB tools can read back.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TSPLIBError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+_COORD_METRICS = {
+    EdgeWeightType.EUC_2D,
+    EdgeWeightType.CEIL_2D,
+    EdgeWeightType.MAX_2D,
+    EdgeWeightType.MAN_2D,
+    EdgeWeightType.ATT,
+    EdgeWeightType.GEO,
+}
+
+_SECTION_KEYWORDS = {
+    "NODE_COORD_SECTION",
+    "EDGE_WEIGHT_SECTION",
+    "DISPLAY_DATA_SECTION",
+    "DEPOT_SECTION",
+    "FIXED_EDGES_SECTION",
+    "TOUR_SECTION",
+    "EOF",
+}
+
+
+def read_tsplib(path: str | Path) -> TSPInstance:
+    """Parse the TSPLIB file at ``path`` into a :class:`TSPInstance`."""
+    text = Path(path).read_text()
+    return loads_tsplib(text)
+
+
+def write_tsplib(instance: TSPInstance, path: str | Path) -> None:
+    """Write ``instance`` to ``path`` in TSPLIB format."""
+    Path(path).write_text(dumps_tsplib(instance))
+
+
+def loads_tsplib(text: str) -> TSPInstance:
+    """Parse TSPLIB file content from a string."""
+    header, sections = _split_file(text)
+
+    name = header.get("NAME", "unnamed")
+    comment = header.get("COMMENT", "")
+    problem_type = header.get("TYPE", "TSP").upper()
+    if problem_type not in ("TSP", "ATSP"):
+        raise TSPLIBError(f"unsupported problem TYPE {problem_type!r} (only TSP)")
+    if problem_type == "ATSP":
+        raise TSPLIBError("asymmetric instances (ATSP) are not supported")
+
+    if "DIMENSION" not in header:
+        raise TSPLIBError("missing DIMENSION field")
+    try:
+        dimension = int(header["DIMENSION"])
+    except ValueError as exc:
+        raise TSPLIBError(f"bad DIMENSION value {header['DIMENSION']!r}") from exc
+    if dimension < 2:
+        raise TSPLIBError(f"DIMENSION must be >= 2, got {dimension}")
+
+    metric = EdgeWeightType.from_string(header.get("EDGE_WEIGHT_TYPE", "EUC_2D"))
+
+    if metric in _COORD_METRICS:
+        if "NODE_COORD_SECTION" not in sections:
+            raise TSPLIBError(f"{metric.value} instance is missing NODE_COORD_SECTION")
+        coords = _parse_coords(sections["NODE_COORD_SECTION"], dimension)
+        return TSPInstance(name, coords, metric, comment=comment)
+
+    # EXPLICIT
+    if "EDGE_WEIGHT_SECTION" not in sections:
+        raise TSPLIBError("EXPLICIT instance is missing EDGE_WEIGHT_SECTION")
+    weight_format = header.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+    values = _parse_numbers(sections["EDGE_WEIGHT_SECTION"])
+    matrix = _build_matrix(values, dimension, weight_format)
+    coords = None
+    if "DISPLAY_DATA_SECTION" in sections:
+        coords = _parse_coords(sections["DISPLAY_DATA_SECTION"], dimension)
+    return TSPInstance(
+        name, coords, EdgeWeightType.EXPLICIT, matrix=matrix, comment=comment
+    )
+
+
+def read_tour(path: str | Path, instance: TSPInstance) -> np.ndarray:
+    """Parse a TSPLIB ``.tour`` file into a visiting order for ``instance``."""
+    return loads_tour(Path(path).read_text(), instance)
+
+
+def loads_tour(text: str, instance: TSPInstance) -> np.ndarray:
+    """Parse TSPLIB TOUR content (TYPE: TOUR, TOUR_SECTION, -1 sentinel)."""
+    header, sections = _split_file(text)
+    if header.get("TYPE", "TOUR").upper() != "TOUR":
+        raise TSPLIBError(f"not a TOUR file (TYPE={header.get('TYPE')!r})")
+    if "TOUR_SECTION" not in sections:
+        raise TSPLIBError("missing TOUR_SECTION")
+    order: list[int] = []
+    for line in sections["TOUR_SECTION"]:
+        for token in line.split():
+            value = int(float(token))
+            if value == -1:
+                break
+            order.append(value - 1)
+    if sorted(order) != list(range(instance.n)):
+        raise TSPLIBError(
+            f"tour does not visit each of {instance.n} cities exactly once"
+        )
+    return np.asarray(order, dtype=int)
+
+
+def write_tour(
+    order: np.ndarray, instance: TSPInstance, path: str | Path, name: str | None = None
+) -> None:
+    """Write a visiting order as a TSPLIB ``.tour`` file."""
+    Path(path).write_text(dumps_tour(order, instance, name))
+
+
+def dumps_tour(
+    order: np.ndarray, instance: TSPInstance, name: str | None = None
+) -> str:
+    """Serialize a visiting order in TSPLIB TOUR format (1-based, -1 end)."""
+    order = np.asarray(order, dtype=int)
+    if sorted(order.tolist()) != list(range(instance.n)):
+        raise TSPLIBError("order must be a permutation of the instance's cities")
+    out = io.StringIO()
+    out.write(f"NAME: {name or instance.name + '.tour'}\n")
+    out.write("TYPE: TOUR\n")
+    out.write(f"DIMENSION: {instance.n}\n")
+    out.write("TOUR_SECTION\n")
+    for city in order:
+        out.write(f"{int(city) + 1}\n")
+    out.write("-1\nEOF\n")
+    return out.getvalue()
+
+
+def dumps_tsplib(instance: TSPInstance) -> str:
+    """Serialize ``instance`` to TSPLIB file content."""
+    out = io.StringIO()
+    out.write(f"NAME: {instance.name}\n")
+    out.write("TYPE: TSP\n")
+    if instance.comment:
+        out.write(f"COMMENT: {instance.comment}\n")
+    out.write(f"DIMENSION: {instance.n}\n")
+    out.write(f"EDGE_WEIGHT_TYPE: {instance.metric.value}\n")
+    if instance.metric is EdgeWeightType.EXPLICIT:
+        out.write("EDGE_WEIGHT_FORMAT: FULL_MATRIX\n")
+        out.write("EDGE_WEIGHT_SECTION\n")
+        for row in instance.matrix:  # type: ignore[union-attr]
+            out.write(" ".join(_format_weight(v) for v in row))
+            out.write("\n")
+    else:
+        out.write("NODE_COORD_SECTION\n")
+        for idx, (x, y) in enumerate(instance.coords, start=1):  # type: ignore[arg-type]
+            out.write(f"{idx} {x:.6f} {y:.6f}\n")
+    out.write("EOF\n")
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _split_file(text: str) -> tuple[dict[str, str], dict[str, list[str]]]:
+    """Split TSPLIB content into header key/values and section line lists."""
+    header: dict[str, str] = {}
+    sections: dict[str, list[str]] = {}
+    current_section: str | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        keyword = line.split(":", 1)[0].strip().upper()
+        if keyword in _SECTION_KEYWORDS or line.upper() in _SECTION_KEYWORDS:
+            section_name = line.upper().rstrip(":").strip()
+            if section_name == "EOF":
+                break
+            current_section = section_name
+            sections[current_section] = []
+            continue
+        if current_section is not None and ":" not in line:
+            sections[current_section].append(line)
+            continue
+        if ":" in line:
+            key, value = line.split(":", 1)
+            header[key.strip().upper()] = value.strip()
+            current_section = None
+        elif current_section is not None:
+            sections[current_section].append(line)
+        else:
+            raise TSPLIBError(f"unparseable line outside any section: {line!r}")
+    return header, sections
+
+
+def _parse_coords(lines: list[str], dimension: int) -> np.ndarray:
+    coords = np.empty((dimension, 2), dtype=float)
+    seen = np.zeros(dimension, dtype=bool)
+    count = 0
+    for line in lines:
+        parts = line.split()
+        if len(parts) < 3:
+            raise TSPLIBError(f"bad coordinate line: {line!r}")
+        try:
+            index = int(float(parts[0])) - 1
+            x, y = float(parts[1]), float(parts[2])
+        except ValueError as exc:
+            raise TSPLIBError(f"bad coordinate line: {line!r}") from exc
+        if not 0 <= index < dimension:
+            raise TSPLIBError(f"coordinate index {index + 1} out of range 1..{dimension}")
+        if seen[index]:
+            raise TSPLIBError(f"duplicate coordinate for node {index + 1}")
+        coords[index] = (x, y)
+        seen[index] = True
+        count += 1
+    if count != dimension:
+        raise TSPLIBError(f"expected {dimension} coordinates, found {count}")
+    return coords
+
+
+def _parse_numbers(lines: list[str]) -> np.ndarray:
+    values: list[float] = []
+    for line in lines:
+        for token in line.split():
+            try:
+                values.append(float(token))
+            except ValueError as exc:
+                raise TSPLIBError(f"bad weight token {token!r}") from exc
+    return np.asarray(values, dtype=float)
+
+
+def _build_matrix(values: np.ndarray, n: int, weight_format: str) -> np.ndarray:
+    matrix = np.zeros((n, n), dtype=float)
+    if weight_format == "FULL_MATRIX":
+        if values.size != n * n:
+            raise TSPLIBError(
+                f"FULL_MATRIX needs {n * n} values, got {values.size}"
+            )
+        matrix[:] = values.reshape(n, n)
+    elif weight_format in ("UPPER_ROW", "LOWER_ROW", "UPPER_DIAG_ROW", "LOWER_DIAG_ROW"):
+        diag = "DIAG" in weight_format
+        upper = weight_format.startswith("UPPER")
+        expected = n * (n + 1) // 2 if diag else n * (n - 1) // 2
+        if values.size != expected:
+            raise TSPLIBError(
+                f"{weight_format} needs {expected} values, got {values.size}"
+            )
+        pos = 0
+        for i in range(n):
+            if upper:
+                start = i if diag else i + 1
+                row_len = n - start
+                matrix[i, start : start + row_len] = values[pos : pos + row_len]
+            else:
+                end = i + 1 if diag else i
+                row_len = end
+                matrix[i, :row_len] = values[pos : pos + row_len]
+            pos += row_len
+        matrix = np.maximum(matrix, matrix.T)
+    else:
+        raise TSPLIBError(f"unsupported EDGE_WEIGHT_FORMAT {weight_format!r}")
+    if not np.allclose(matrix, matrix.T, atol=1e-9):
+        raise TSPLIBError("EXPLICIT matrix is not symmetric")
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def _format_weight(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6f}"

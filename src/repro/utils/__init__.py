@@ -1,0 +1,41 @@
+"""Shared helpers: seeded RNG management, physical units, validation."""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.units import (
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    FEMTO,
+    celsius_to_kelvin,
+    format_engineering,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "spawn_rngs",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "PICO",
+    "FEMTO",
+    "celsius_to_kelvin",
+    "format_engineering",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+]

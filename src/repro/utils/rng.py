@@ -1,0 +1,53 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic components of the library (device switching, annealing,
+instance generation) accept either an integer seed, ``None``, or a
+pre-built :class:`numpy.random.Generator`.  Centralizing the coercion
+here keeps every experiment reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RNGLike = "int | None | np.random.Generator"
+
+
+def ensure_rng(seed_or_rng: int | None | np.random.Generator) -> np.random.Generator:
+    """Coerce ``seed_or_rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    Used when one seed must drive several logically independent random
+    processes (e.g. the stochastic mask of each Ising macro) without the
+    processes perturbing each other's sequences.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (0x9E3779B97F4A7C15 * (stream + 1)) % 2**63
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed_or_rng: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators from one seed.
+
+    Uses numpy's ``SeedSequence.spawn`` so the children are statistically
+    independent regardless of how many are requested.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of RNGs: {n}")
+    if isinstance(seed_or_rng, np.random.Generator):
+        children = seed_or_rng.bit_generator.seed_seq.spawn(n)  # type: ignore[union-attr]
+    else:
+        children = np.random.SeedSequence(seed_or_rng).spawn(n)
+    return [np.random.default_rng(child) for child in children]

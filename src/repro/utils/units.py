@@ -1,0 +1,54 @@
+"""Physical unit constants and formatting.
+
+The device, circuit, and architecture models all work in SI base units
+(seconds, joules, amperes, ohms, watts).  These constants make literal
+values in the code read like the paper's numbers (e.g. ``420 * MICRO``
+amperes, ``9 * NANO`` seconds).
+"""
+
+from __future__ import annotations
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+_PREFIXES = [
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return celsius + 273.15
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix (e.g. ``45.98 pJ``).
+
+    Zero and non-finite values are printed without a prefix.
+    """
+    if value == 0 or not _is_finite(value):
+        return f"{value:.{digits}g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def _is_finite(value: float) -> bool:
+    return value == value and value not in (float("inf"), float("-inf"))

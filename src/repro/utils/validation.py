@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises :class:`ValueError` (or a library-specific subclass
+passed via ``exc``) with a message naming the offending parameter, so
+call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, exc: type[Exception] = ValueError) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise exc(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    exc: type[Exception] = ValueError,
+) -> float:
+    """Require ``low <= value <= high``; return it for chaining."""
+    if not (low <= value <= high):
+        raise exc(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float, exc: type[Exception] = ValueError) -> float:
+    """Require ``value`` to be a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0, exc)
+
+
+def check_square_matrix(name: str, matrix: np.ndarray, exc: type[Exception] = ValueError) -> np.ndarray:
+    """Require ``matrix`` to be a square 2-D array; return it as ndarray."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise exc(f"{name} must be a square 2-D matrix, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,34 @@
+"""Crossbar array and peripheral circuit models (paper Section III, Fig 4).
+
+The Ising macro is a crossbar of 3T-1M SOT-MRAM cells split into B+1
+partitions: B bit-sliced copies of the quantized inverse-distance matrix
+W_D (MSB nearest the drivers) plus a spin-storage partition holding the
+visiting order.  Peripherals: current comparator + D-latch (superpose
+readout), current mirrors scaling each bit partition by 2^(b-1), the
+SOT stochastic mask units, and a Lazzaro-style winner-take-all ArgMax.
+"""
+
+from repro.xbar.quantize import (
+    bit_slices,
+    inverse_distance_levels,
+    quantized_weight_matrix,
+)
+from repro.xbar.crossbar import CrossbarArray, CrossbarConfig
+from repro.xbar.nonideal import WireResistanceModel
+from repro.xbar.periph import CurrentComparator, CurrentMirror, DLatch
+from repro.xbar.argmax import WTAArgMax
+from repro.xbar.spin_storage import SpinStorage
+
+__all__ = [
+    "inverse_distance_levels",
+    "quantized_weight_matrix",
+    "bit_slices",
+    "CrossbarArray",
+    "CrossbarConfig",
+    "WireResistanceModel",
+    "CurrentComparator",
+    "CurrentMirror",
+    "DLatch",
+    "WTAArgMax",
+    "SpinStorage",
+]

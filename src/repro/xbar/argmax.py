@@ -1,0 +1,98 @@
+"""Winner-take-all ArgMax circuit behavioural model (paper III-C4).
+
+Models the Lazzaro WTA network [23] with the paper's two enhancements —
+a cascoded input branch for higher output resistance [24] and a
+current-mirror feedback boost [25] — at the behavioural level: the
+circuit resolves the largest input current, but inputs closer together
+than its finite *resolution* are indistinguishable and the realized
+winner among near-ties is arbitrary (we model it as uniformly random,
+or deterministically first-index for reproducible unit tests).
+
+The output is a one-hot current vector whose winning entry carries the
+minimum current needed to deterministically switch a SOT-MRAM device
+(>= 650 uA), because the winner directly drives the spin-storage write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.sot_mram import DETERMINISTIC_MIN_CURRENT
+from repro.errors import CrossbarError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class WTAArgMax:
+    """Finite-resolution winner-take-all ArgMax.
+
+    Parameters
+    ----------
+    resolution:
+        Relative resolution of the comparison: inputs within
+        ``resolution * max_input`` of the maximum are tied.  The paper's
+        enhanced WTA has "significantly improved resolution"; the
+        default models a 0.1 % window.  Zero gives an ideal argmax.
+    tie_break:
+        ``"random"`` (circuit mismatch decides) or ``"first"``
+        (deterministic, for tests).
+    output_current:
+        Current driven on the winning line (defaults to the minimum
+        deterministic SOT write current).
+    """
+
+    resolution: float = 1e-3
+    tie_break: str = "random"
+    output_current: float = DETERMINISTIC_MIN_CURRENT
+    seed: int | None | np.random.Generator = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.resolution < 0:
+            raise CrossbarError(f"resolution must be >= 0, got {self.resolution}")
+        if self.tie_break not in ("random", "first"):
+            raise CrossbarError(
+                f"tie_break must be 'random' or 'first', got {self.tie_break!r}"
+            )
+        if self.output_current <= 0:
+            raise CrossbarError(
+                f"output_current must be positive, got {self.output_current}"
+            )
+        self._rng = ensure_rng(self.seed)
+
+    def winner(self, currents: np.ndarray, allowed: np.ndarray | None = None) -> int:
+        """Index of the winning input among ``allowed`` (mask or None).
+
+        Raises if no input is allowed (the stochastic stage's NAND
+        fallback guarantees this never happens in the macro).
+        """
+        currents = np.asarray(currents, dtype=float)
+        if currents.ndim != 1 or currents.size == 0:
+            raise CrossbarError(f"currents must be a non-empty vector")
+        if allowed is None:
+            allowed = np.ones(currents.size, dtype=bool)
+        else:
+            allowed = np.asarray(allowed, dtype=bool)
+            if allowed.shape != currents.shape:
+                raise CrossbarError("allowed mask shape mismatch")
+            if not allowed.any():
+                raise CrossbarError("no allowed inputs for WTA")
+        masked = np.where(allowed, currents, -np.inf)
+        peak = masked.max()
+        if self.resolution == 0:
+            candidates = np.flatnonzero(masked == peak)
+        else:
+            window = self.resolution * max(abs(peak), 1e-30)
+            candidates = np.flatnonzero(masked >= peak - window)
+        if candidates.size == 1 or self.tie_break == "first":
+            return int(candidates[0])
+        return int(self._rng.choice(candidates))
+
+    def one_hot(self, currents: np.ndarray, allowed: np.ndarray | None = None) -> np.ndarray:
+        """The output current vector: one-hot at the winner."""
+        idx = self.winner(currents, allowed)
+        out = np.zeros(np.asarray(currents).size)
+        out[idx] = self.output_current
+        return out

@@ -1,0 +1,131 @@
+"""Peripheral circuit behavioural models: comparator, mirror, D-latch.
+
+These are the macro's analog/digital interface blocks from Fig 4:
+
+* :class:`CurrentComparator` — Traff-style high-speed current comparator
+  [21]; converts the superposed row currents into a binary vector.
+* :class:`CurrentMirror` — scales a bit-partition's column currents by
+  its significance 2^(b-1) (Fig 4b); supports gain mismatch.
+* :class:`DLatch` — stores the comparator's binary vector between the
+  superpose and optimize phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class CurrentComparator:
+    """Threshold comparator translating currents to binary.
+
+    Parameters
+    ----------
+    threshold:
+        Currents strictly above this value read as 1 (amperes).
+    input_offset:
+        Worst-case input-referred offset (amperes); a deterministic
+        pessimistic offset can be added for sensitivity studies.
+    """
+
+    threshold: float
+    input_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise CrossbarError(f"threshold must be >= 0, got {self.threshold}")
+        if self.input_offset < 0:
+            raise CrossbarError(f"input_offset must be >= 0, got {self.input_offset}")
+
+    def compare(self, currents: np.ndarray) -> np.ndarray:
+        """Binary vector: 1 where current exceeds threshold + offset."""
+        currents = np.asarray(currents, dtype=float)
+        return (currents > self.threshold + self.input_offset).astype(np.uint8)
+
+
+@dataclass
+class CurrentMirror:
+    """A current mirror with nominal gain and optional mismatch.
+
+    The macro uses one mirror bank per bit partition with gain
+    ``2^(b-1)`` relative to the LSB (so partition significances combine
+    into the full-precision MAC value).
+    """
+
+    gain: float
+    mismatch_sigma: float = 0.0
+    seed: int | None | np.random.Generator = None
+    _gain_actual: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise CrossbarError(f"gain must be positive, got {self.gain}")
+        if self.mismatch_sigma < 0:
+            raise CrossbarError(
+                f"mismatch_sigma must be >= 0, got {self.mismatch_sigma}"
+            )
+        if self.mismatch_sigma > 0:
+            rng = ensure_rng(self.seed)
+            self._gain_actual = float(
+                self.gain * rng.normal(1.0, self.mismatch_sigma)
+            )
+        else:
+            self._gain_actual = float(self.gain)
+
+    @property
+    def actual_gain(self) -> float:
+        """The (possibly mismatched) realized gain."""
+        return self._gain_actual
+
+    def mirror(self, currents: np.ndarray) -> np.ndarray:
+        """Scale input currents by the realized gain."""
+        return np.asarray(currents, dtype=float) * self._gain_actual
+
+    @staticmethod
+    def bank_for_bits(bits: int, mismatch_sigma: float = 0.0,
+                      seed: int | None | np.random.Generator = None) -> list["CurrentMirror"]:
+        """One mirror per bit partition, MSB first: gains 2^(B-1) .. 2^0."""
+        if bits < 1:
+            raise CrossbarError(f"bits must be >= 1, got {bits}")
+        rng = ensure_rng(seed)
+        return [
+            CurrentMirror(float(1 << b), mismatch_sigma, rng)
+            for b in range(bits - 1, -1, -1)
+        ]
+
+
+@dataclass
+class DLatch:
+    """A vector of D-latches holding a binary word between phases."""
+
+    width: int
+    _state: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise CrossbarError(f"latch width must be >= 1, got {self.width}")
+        self._state = np.zeros(self.width, dtype=np.uint8)
+
+    def store(self, bits: np.ndarray) -> None:
+        """Latch a binary vector (validated for width and binary-ness)."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.width,):
+            raise CrossbarError(
+                f"latch expects shape ({self.width},), got {bits.shape}"
+            )
+        if not np.all(np.isin(bits, (0, 1))):
+            raise CrossbarError("latch input must be binary")
+        self._state = bits.astype(np.uint8)
+
+    def read(self) -> np.ndarray:
+        """The latched vector (a copy)."""
+        return self._state.copy()
+
+    def clear(self) -> None:
+        """Reset all latches to 0."""
+        self._state = np.zeros(self.width, dtype=np.uint8)

@@ -1,0 +1,129 @@
+"""Spin-storage (SS) partition of the Ising macro (paper III-C).
+
+The last crossbar partition stores the solution itself: rows are
+cities, columns are visiting orders.  City ``A`` visited at order ``i``
+means the SOT-MRAM at (A, i) is in the low-resistance state (logic 1)
+and every other cell of column ``i`` is high-resistance (logic 0).
+
+Operations mirror the hardware exactly:
+
+* :meth:`superpose` — activate two order columns and read the
+  superposed row currents (Fig 4a), returning the binary visiting
+  vector after the current comparator.
+* :meth:`reset_column` / :meth:`write_column` — the update sequence of
+  III-C5 (reset order column to HRS, then write the ArgMax one-hot).
+* :meth:`swap_columns` — the permutation-preserving update (see
+  DESIGN.md interpretation notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CrossbarError
+
+
+@dataclass
+class SpinStorage:
+    """An ``n x n`` binary spin-storage partition.
+
+    Parameters
+    ----------
+    n:
+        Problem size (cities == rows, visiting orders == columns).
+    """
+
+    n: int
+    _grid: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise CrossbarError(f"spin storage size must be >= 1, got {self.n}")
+        self._grid = np.zeros((self.n, self.n), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+    def program_order(self, order: np.ndarray) -> None:
+        """Program a full visiting order (city ``order[i]`` at order ``i``)."""
+        order = np.asarray(order, dtype=int)
+        if sorted(order.tolist()) != list(range(self.n)):
+            raise CrossbarError("order must be a permutation of 0..n-1")
+        self._grid[:] = 0
+        self._grid[order, np.arange(self.n)] = 1
+
+    def read_order(self) -> np.ndarray:
+        """Decode the stored permutation; raises if storage is inconsistent."""
+        if not self.is_valid_permutation():
+            raise CrossbarError("spin storage does not hold a valid permutation")
+        return np.argmax(self._grid, axis=0).astype(int)
+
+    def is_valid_permutation(self) -> bool:
+        """True iff every row and every column holds exactly one 1."""
+        return bool(
+            np.all(self._grid.sum(axis=0) == 1) and np.all(self._grid.sum(axis=1) == 1)
+        )
+
+    # ------------------------------------------------------------------
+    # hardware operations
+    # ------------------------------------------------------------------
+    def superpose(self, order_a: int, order_b: int) -> np.ndarray:
+        """Activate columns ``order_a``/``order_b``; read row-current binaries.
+
+        Returns the binary visiting vector (1 where the city is visited
+        at either activated order) — the comparator output of Fig 4a.
+        """
+        self._check_order(order_a)
+        self._check_order(order_b)
+        summed = self._grid[:, order_a].astype(np.int64) + self._grid[:, order_b]
+        return (summed > 0).astype(np.uint8)
+
+    def column(self, order: int) -> np.ndarray:
+        """Read one order column (binary)."""
+        self._check_order(order)
+        return self._grid[:, order].copy()
+
+    def city_at(self, order: int) -> int:
+        """The city stored at a given order (requires one-hot column)."""
+        col = self.column(order)
+        ones = np.flatnonzero(col)
+        if ones.size != 1:
+            raise CrossbarError(f"order column {order} is not one-hot")
+        return int(ones[0])
+
+    def reset_column(self, order: int) -> None:
+        """Reset every device of the order column to HRS (logic 0)."""
+        self._check_order(order)
+        self._grid[:, order] = 0
+
+    def write_column(self, order: int, one_hot_currents: np.ndarray) -> None:
+        """Write the ArgMax output current vector into the order column.
+
+        Cells whose drive current is nonzero are programmed LRS
+        (logic 1); the column must have been reset first.
+        """
+        self._check_order(order)
+        currents = np.asarray(one_hot_currents, dtype=float)
+        if currents.shape != (self.n,):
+            raise CrossbarError(
+                f"write vector must have shape ({self.n},), got {currents.shape}"
+            )
+        if np.any(self._grid[:, order] != 0):
+            raise CrossbarError(f"order column {order} must be reset before writing")
+        self._grid[:, order] = (currents > 0).astype(np.uint8)
+
+    def swap_columns(self, order_a: int, order_b: int) -> None:
+        """Exchange two order columns (permutation-preserving update)."""
+        self._check_order(order_a)
+        self._check_order(order_b)
+        self._grid[:, [order_a, order_b]] = self._grid[:, [order_b, order_a]]
+
+    def grid(self) -> np.ndarray:
+        """A copy of the raw binary storage (rows=cities, cols=orders)."""
+        return self._grid.copy()
+
+    def _check_order(self, order: int) -> None:
+        if not 0 <= order < self.n:
+            raise CrossbarError(f"order {order} out of range 0..{self.n - 1}")

@@ -1,0 +1,103 @@
+"""Tests for metrics, reporting, and figure emitters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FigureSeries, series_to_rows, write_csv
+from repro.analysis.metrics import (
+    geometric_mean,
+    optimal_ratio,
+    percent_gap,
+    quality_degradation,
+    speedup,
+)
+from repro.analysis.reporting import (
+    CITED_ENERGY_TABLE,
+    PAPER_TAXI_ENERGY,
+    ascii_table,
+    format_seconds,
+)
+from repro.errors import ReproError
+
+
+class TestMetrics:
+    def test_optimal_ratio(self):
+        assert optimal_ratio(110.0, 100.0) == pytest.approx(1.1)
+
+    def test_percent_gap(self):
+        assert percent_gap(122.0, 100.0) == pytest.approx(22.0)
+
+    def test_quality_degradation_signs(self):
+        assert quality_degradation(100.0, 102.0) == pytest.approx(0.02)
+        assert quality_degradation(100.0, 99.0) == pytest.approx(-0.01)
+
+    def test_speedup(self):
+        assert speedup(8.0, 1.0) == pytest.approx(8.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([8.0] * 20) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            optimal_ratio(1.0, 0.0)
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, -2.0])
+        with pytest.raises(ReproError):
+            speedup(1.0, 0.0)
+
+
+class TestReporting:
+    def test_ascii_table_renders(self):
+        text = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_ascii_table_mismatched_row(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-9).endswith("ns")
+        assert format_seconds(5e-6).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(30).endswith(" s")
+        assert "min" in format_seconds(600)
+        assert "years" in format_seconds(136 * 365.25 * 24 * 3600)
+
+    def test_cited_energy_constants(self):
+        systems = [row.system for row in CITED_ENERGY_TABLE]
+        assert any("HVC" in s for s in systems)
+        assert any("CIMA" in s for s in systems)
+        assert PAPER_TAXI_ENERGY[85_900] == pytest.approx(3.07e-6)
+
+
+class TestFigures:
+    def test_series(self):
+        s = FigureSeries("taxi")
+        s.add(76, 1.05)
+        s.add(101, 1.06)
+        assert len(s) == 2
+
+    def test_series_to_rows(self):
+        a = FigureSeries("a", [1, 2], [0.1, 0.2])
+        b = FigureSeries("b", [1, 2], [0.3, 0.4])
+        headers, rows = series_to_rows([a, b])
+        assert headers == ["x", "a", "b"]
+        assert rows[0] == [1, 0.1, 0.3]
+
+    def test_series_x_mismatch(self):
+        a = FigureSeries("a", [1], [0.1])
+        b = FigureSeries("b", [2], [0.3])
+        with pytest.raises(ValueError):
+            series_to_rows([a, b])
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv("fig_test", ["x", "y"], [[1, 2]], directory=tmp_path)
+        assert path is not None
+        content = path.read_text()
+        assert "x,y" in content
+        assert "1,2" in content

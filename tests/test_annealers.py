@@ -1,0 +1,110 @@
+"""Tests for the Metropolis annealer and the SA-on-tours baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ising.annealer import MetropolisAnnealer, TemperatureSchedule
+from repro.ising.model import IsingModel
+from repro.ising.sa_tsp import SimulatedAnnealingTSP
+from repro.ising.tsp_encoding import decode_tour, encode_tsp
+from repro.tsp.generators import uniform_instance
+
+
+def ferromagnet(n: int = 8) -> IsingModel:
+    j = np.ones((n, n))
+    np.fill_diagonal(j, 0.0)
+    return IsingModel(j)
+
+
+class TestTemperatureSchedules:
+    @pytest.mark.parametrize("schedule", list(TemperatureSchedule))
+    def test_monotone_decreasing(self, schedule):
+        temps = schedule.temperatures(10.0, 0.1, 64)
+        assert np.all(np.diff(temps) <= 1e-9)
+
+    @pytest.mark.parametrize("schedule", list(TemperatureSchedule))
+    def test_endpoints(self, schedule):
+        temps = schedule.temperatures(10.0, 0.1, 64)
+        assert temps[0] == pytest.approx(10.0)
+        assert temps[-1] == pytest.approx(0.1)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigError):
+            TemperatureSchedule.LINEAR.temperatures(1.0, 2.0, 10)
+        with pytest.raises(ConfigError):
+            TemperatureSchedule.LINEAR.temperatures(-1.0, 0.1, 10)
+        with pytest.raises(ConfigError):
+            TemperatureSchedule.LINEAR.temperatures(1.0, 0.1, 0)
+
+    def test_single_sweep(self):
+        temps = TemperatureSchedule.GEOMETRIC.temperatures(5.0, 1.0, 1)
+        assert temps.tolist() == [5.0]
+
+
+class TestMetropolisAnnealer:
+    def test_ferromagnet_ground_state(self):
+        model = ferromagnet(8)
+        result = MetropolisAnnealer(sweeps=150, seed=0).anneal(model)
+        # Ground state: all spins aligned, E = -n(n-1)/2.
+        assert result.energy == pytest.approx(-28.0)
+        assert np.all(result.spins == result.spins[0])
+
+    def test_energy_trace_recorded(self):
+        model = ferromagnet(6)
+        result = MetropolisAnnealer(sweeps=50, seed=1).anneal(model)
+        assert result.energy_trace.size == 50
+        assert result.acceptance_rate > 0
+
+    def test_descend_reaches_local_minimum(self):
+        model = ferromagnet(8)
+        result = MetropolisAnnealer(sweeps=100, seed=2).descend(model)
+        # No single flip can improve at a local minimum.
+        for i in range(model.n):
+            assert model.flip_delta(result.spins, i) >= -1e-9
+
+    def test_deterministic_given_seed(self):
+        model = ferromagnet(6)
+        a = MetropolisAnnealer(sweeps=30, seed=5).anneal(model)
+        b = MetropolisAnnealer(sweeps=30, seed=5).anneal(model)
+        assert a.energy == b.energy
+
+    def test_solves_small_tsp_encoding(self):
+        inst = uniform_instance(5, seed=6)
+        enc = encode_tsp(inst)
+        ann = MetropolisAnnealer(
+            sweeps=400, t_start=enc.penalty, t_end=0.05, seed=7
+        )
+        result = ann.anneal(enc.ising)
+        x = (1 + result.spins) / 2
+        assert decode_tour(enc, x) is not None
+
+    def test_bad_sweeps(self):
+        with pytest.raises(ConfigError):
+            MetropolisAnnealer(sweeps=0)
+
+
+class TestSimulatedAnnealingTSP:
+    def test_improves_random_tour(self):
+        inst = uniform_instance(30, seed=8)
+        rng = np.random.default_rng(0)
+        random_length = inst.tour_length(rng.permutation(30))
+        tour = SimulatedAnnealingTSP(sweeps=200, seed=1).solve(inst)
+        assert tour.length < random_length
+
+    def test_returns_valid_tour(self):
+        inst = uniform_instance(25, seed=9)
+        tour = SimulatedAnnealingTSP(sweeps=100, seed=2).solve(inst)
+        assert sorted(tour.order.tolist()) == list(range(25))
+
+    def test_initial_order_respected(self):
+        inst = uniform_instance(20, seed=10)
+        initial = np.roll(np.arange(20), 3)
+        tour = SimulatedAnnealingTSP(sweeps=5, seed=3).solve(inst, initial)
+        assert sorted(tour.order.tolist()) == list(range(20))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SimulatedAnnealingTSP(sweeps=0)
+        with pytest.raises(ConfigError):
+            SimulatedAnnealingTSP(t_start_frac=0.1, t_end_frac=0.5)

@@ -1,0 +1,186 @@
+"""Tests for the PUMA-style architecture simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.chip import ChipConfig
+from repro.arch.compiler import compile_level_stats
+from repro.arch.isa import Instruction, OpCode, Program
+from repro.arch.memory import OffChipMemory
+from repro.arch.noc import NoCModel
+from repro.arch.simulator import ArchSimulator
+from repro.core.result import LevelStats
+from repro.errors import ArchitectureError
+
+
+def stats(level=1, sizes=(12,) * 20, sweeps=100):
+    return LevelStats(
+        level=level,
+        n_subproblems=len(sizes),
+        subproblem_sizes=list(sizes),
+        sweeps=sweeps,
+        total_iterations=sweeps * sum(max(s - 2, 0) for s in sizes),
+    )
+
+
+class TestChipConfig:
+    def test_total_macros(self):
+        assert ChipConfig(tiles=2, cores_per_tile=3, macros_per_core=4).total_macros == 24
+
+    def test_macro_location_roundtrip(self):
+        chip = ChipConfig(tiles=2, cores_per_tile=2, macros_per_core=2)
+        seen = set()
+        for m in range(chip.total_macros):
+            seen.add(chip.macro_location(m))
+        assert len(seen) == chip.total_macros
+
+    def test_location_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            ChipConfig().macro_location(10_000)
+
+    def test_subproblem_bytes_scale(self):
+        chip = ChipConfig(bits=4)
+        assert chip.subproblem_bytes(12) > chip.subproblem_bytes(6)
+        chip2 = ChipConfig(bits=2)
+        assert chip2.subproblem_bytes(12) < chip.subproblem_bytes(12)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            ChipConfig(tiles=0)
+        with pytest.raises(ArchitectureError):
+            ChipConfig(tech_scale=-1.0)
+
+
+class TestTransferModels:
+    def test_memory_latency_has_floor(self):
+        mem = OffChipMemory()
+        assert mem.transfer_latency(1) >= mem.access_latency
+        assert mem.transfer_latency(0) == 0.0
+
+    def test_memory_bandwidth_term(self):
+        mem = OffChipMemory()
+        small = mem.transfer_latency(1_000)
+        big = mem.transfer_latency(1_000_000)
+        assert big > small
+
+    def test_memory_energy_linear(self):
+        mem = OffChipMemory()
+        assert mem.transfer_energy(2000) == pytest.approx(
+            2 * mem.transfer_energy(1000)
+        )
+
+    def test_noc_hops(self):
+        noc = NoCModel()
+        assert noc.hops_for_tile(0, 4) == 0
+        assert noc.hops_for_tile(5, 4) == 2  # (1,1) in a 4-wide mesh
+
+    def test_noc_latency_and_energy(self):
+        noc = NoCModel()
+        assert noc.transfer_latency(64, 2) > noc.transfer_latency(64, 0)
+        assert noc.transfer_energy(64, 2) == pytest.approx(
+            2 * 64 * noc.energy_per_byte_hop
+        )
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            OffChipMemory(bandwidth_bytes_per_s=0)
+        with pytest.raises(ArchitectureError):
+            NoCModel().transfer_latency(-1, 0)
+
+
+class TestCompiler:
+    def test_single_wave_when_macros_suffice(self):
+        chip = ChipConfig()  # 512 macros
+        program = compile_level_stats([stats(sizes=(12,) * 100)], chip, restarts=1)
+        assert program.n_waves == 1
+
+    def test_multiple_waves_when_overflowing(self):
+        chip = ChipConfig(tiles=1, cores_per_tile=2, macros_per_core=2)  # 4 macros
+        program = compile_level_stats([stats(sizes=(12,) * 10)], chip, restarts=1)
+        assert program.n_waves == 3  # ceil(10 / 4)
+
+    def test_restarts_consume_slots(self):
+        chip = ChipConfig(tiles=1, cores_per_tile=2, macros_per_core=2)
+        one = compile_level_stats([stats(sizes=(12,) * 8)], chip, restarts=1)
+        two = compile_level_stats([stats(sizes=(12,) * 8)], chip, restarts=2)
+        assert two.n_waves > one.n_waves
+
+    def test_instruction_mix(self):
+        program = compile_level_stats([stats(sizes=(12, 10))], ChipConfig())
+        ops = [i.op for i in program.instructions()]
+        for op in (OpCode.LOAD_WD, OpCode.PROGRAM, OpCode.ANNEAL, OpCode.READOUT):
+            assert op in ops
+
+    def test_levels_become_waves_in_order(self):
+        program = compile_level_stats(
+            [stats(level=2, sizes=(5,)), stats(level=1, sizes=(12,) * 3)],
+            ChipConfig(),
+        )
+        assert program.n_waves == 2
+
+    def test_bad_restarts(self):
+        with pytest.raises(ArchitectureError):
+            compile_level_stats([stats()], ChipConfig(), restarts=0)
+
+
+class TestSimulator:
+    def test_report_totals_consistent(self):
+        program = compile_level_stats([stats()], ChipConfig())
+        report = ArchSimulator().run(program)
+        assert report.energy == pytest.approx(
+            report.transfer_energy
+            + report.mapping_energy
+            + report.ising_energy
+            + report.readout_energy
+        )
+        assert report.latency > 0
+        assert report.n_instructions == program.n_instructions
+
+    def test_anneal_dominates_latency(self):
+        # 12-city clusters at 100 sweeps: annealing ~9 us per macro far
+        # exceeds the few-hundred-ns transfer.
+        program = compile_level_stats([stats()], ChipConfig())
+        report = ArchSimulator().run(program)
+        assert report.ising_latency > report.transfer_latency
+
+    def test_parallelism_shortens_latency(self):
+        big_chip = ChipConfig()  # 512 macros -> 1 wave
+        small_chip = ChipConfig(tiles=1, cores_per_tile=1, macros_per_core=2)
+        level = [stats(sizes=(12,) * 40)]
+        fast = ArchSimulator(chip=big_chip).run(
+            compile_level_stats(level, big_chip)
+        )
+        slow = ArchSimulator(chip=small_chip).run(
+            compile_level_stats(level, small_chip)
+        )
+        assert slow.latency > fast.latency
+
+    def test_energy_grows_with_workload(self):
+        chip = ChipConfig()
+        small = ArchSimulator(chip=chip).run(
+            compile_level_stats([stats(sizes=(12,) * 5)], chip)
+        )
+        large = ArchSimulator(chip=chip).run(
+            compile_level_stats([stats(sizes=(12,) * 50)], chip)
+        )
+        assert large.energy > small.energy
+
+    def test_per_macro_energy_below_total(self):
+        chip = ChipConfig()
+        report = ArchSimulator(chip=chip).run(
+            compile_level_stats([stats(sizes=(12,) * 50)], chip)
+        )
+        assert 0 < report.per_macro_ising_energy < report.ising_energy
+
+    def test_higher_bits_more_energy(self):
+        level = [stats(sizes=(12,) * 20)]
+        low = ChipConfig(bits=2)
+        high = ChipConfig(bits=4)
+        e_low = ArchSimulator(chip=low).run(compile_level_stats(level, low)).ising_energy
+        e_high = ArchSimulator(chip=high).run(compile_level_stats(level, high)).ising_energy
+        assert e_high > e_low
+
+    def test_summary_string(self):
+        report = ArchSimulator().run(compile_level_stats([stats()], ChipConfig()))
+        text = report.summary()
+        assert "latency" in text and "energy" in text

@@ -1,0 +1,176 @@
+"""Tests for exact DP, construction heuristics, and local search."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.concorde_surrogate import (
+    ConcordeSurrogate,
+    SurrogateSettings,
+)
+from repro.baselines.exact import held_karp_path, held_karp_tour
+from repro.baselines.greedy import (
+    greedy_edge_tour,
+    nearest_neighbor_tour,
+    space_filling_order,
+)
+from repro.baselines.projections import exact_solver_energy, exact_solver_seconds
+from repro.baselines.two_opt import two_opt
+from repro.errors import SolverError
+from repro.tsp.generators import uniform_instance
+
+
+class TestHeldKarp:
+    def test_matches_bruteforce_tour(self):
+        inst = uniform_instance(7, seed=1)
+        dist = inst.distance_matrix()
+        _, hk = held_karp_tour(inst)
+        brute = min(
+            inst.tour_length(np.asarray((0,) + p))
+            for p in itertools.permutations(range(1, 7))
+        )
+        assert hk == pytest.approx(brute)
+
+    def test_tour_order_achieves_length(self):
+        inst = uniform_instance(8, seed=2)
+        order, length = held_karp_tour(inst)
+        assert inst.tour_length(order) == pytest.approx(length)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_path_matches_bruteforce(self):
+        inst = uniform_instance(7, seed=3)
+        dist = inst.distance_matrix()
+        _, hk = held_karp_path(dist, 0, 6)
+        brute = min(
+            dist[np.asarray((0,) + p), np.asarray(p + (6,))].sum()
+            for p in itertools.permutations(range(1, 6))
+        )
+        assert hk == pytest.approx(brute)
+
+    def test_path_endpoints(self):
+        inst = uniform_instance(6, seed=4)
+        order, _ = held_karp_path(inst.distance_matrix(), 2, 5)
+        assert order[0] == 2 and order[-1] == 5
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_two_city_cases(self):
+        dist = np.array([[0.0, 7.0], [7.0, 0.0]])
+        _, tour_len = held_karp_tour(dist)
+        assert tour_len == 14.0
+        _, path_len = held_karp_path(dist, 0, 1)
+        assert path_len == 7.0
+
+    def test_size_guard(self):
+        with pytest.raises(SolverError):
+            held_karp_tour(np.zeros((25, 25)))
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(SolverError):
+            held_karp_path(np.zeros((4, 4)), 1, 1)
+
+
+class TestConstruction:
+    def test_nearest_neighbor_valid(self):
+        inst = uniform_instance(50, seed=5)
+        order = nearest_neighbor_tour(inst)
+        assert sorted(order.tolist()) == list(range(50))
+        assert order[0] == 0
+
+    def test_nearest_neighbor_start(self):
+        inst = uniform_instance(30, seed=6)
+        assert nearest_neighbor_tour(inst, start=7)[0] == 7
+
+    def test_greedy_edge_valid_and_decent(self):
+        inst = uniform_instance(60, seed=7)
+        ge = greedy_edge_tour(inst)
+        nn = nearest_neighbor_tour(inst)
+        assert sorted(ge.tolist()) == list(range(60))
+        assert inst.tour_length(ge) < 1.2 * inst.tour_length(nn)
+
+    def test_space_filling_valid(self):
+        inst = uniform_instance(200, seed=8)
+        order = space_filling_order(inst)
+        assert sorted(order.tolist()) == list(range(200))
+
+    def test_space_filling_locality(self):
+        # Hilbert tours should beat random tours by a wide margin.
+        inst = uniform_instance(300, seed=9)
+        hilbert = inst.tour_length(space_filling_order(inst))
+        random_len = inst.tour_length(np.random.default_rng(0).permutation(300))
+        assert hilbert < 0.4 * random_len
+
+
+class TestTwoOpt:
+    def test_improves_and_stays_valid(self):
+        inst = uniform_instance(80, seed=10)
+        start = nearest_neighbor_tour(inst)
+        improved = two_opt(inst, start)
+        assert sorted(improved.tolist()) == list(range(80))
+        assert inst.tour_length(improved) <= inst.tour_length(start)
+
+    def test_near_optimal_small(self):
+        inst = uniform_instance(10, seed=11)
+        _, opt = held_karp_tour(inst)
+        improved = two_opt(inst, nearest_neighbor_tour(inst))
+        assert inst.tour_length(improved) <= 1.12 * opt
+
+    def test_invalid_tour_rejected(self):
+        inst = uniform_instance(10, seed=12)
+        with pytest.raises(SolverError):
+            two_opt(inst, np.zeros(10, dtype=int))
+
+    def test_or_opt_helps_on_clusters(self):
+        inst = uniform_instance(60, seed=13)
+        start = nearest_neighbor_tour(inst)
+        with_or = two_opt(inst, start, use_or_opt=True)
+        without = two_opt(inst, start, use_or_opt=False)
+        assert inst.tour_length(with_or) <= inst.tour_length(without) * 1.02
+
+
+class TestConcordeSurrogate:
+    def test_exact_for_tiny(self):
+        inst = uniform_instance(10, seed=14)
+        _, opt = held_karp_tour(inst)
+        assert ConcordeSurrogate().solve(inst).length == pytest.approx(opt)
+
+    def test_beats_construction(self):
+        inst = uniform_instance(150, seed=15)
+        ref = ConcordeSurrogate().solve(inst)
+        assert ref.length < inst.tour_length(nearest_neighbor_tour(inst))
+
+    def test_cache_round_trip(self, tmp_path):
+        inst = uniform_instance(40, seed=16)
+        surrogate = ConcordeSurrogate(cache_dir=tmp_path)
+        first = surrogate.reference_length(inst)
+        # Second call must hit the cache (same value, no recompute).
+        assert surrogate.reference_length(inst) == first
+        assert (tmp_path / "reference_lengths.json").exists()
+
+    def test_cache_key_includes_settings(self, tmp_path):
+        inst = uniform_instance(40, seed=17)
+        a = ConcordeSurrogate(SurrogateSettings(neighbor_k=5), cache_dir=tmp_path)
+        b = ConcordeSurrogate(SurrogateSettings(neighbor_k=10), cache_dir=tmp_path)
+        assert a._cache_key(inst) != b._cache_key(inst)
+
+
+class TestProjections:
+    def test_anchors(self):
+        assert exact_solver_seconds(76) == pytest.approx(0.1)
+        assert exact_solver_seconds(85_900) == pytest.approx(
+            136 * 365.25 * 24 * 3600, rel=1e-6
+        )
+
+    def test_monotone(self):
+        sizes = [100, 1000, 10_000, 85_900]
+        times = [exact_solver_seconds(s) for s in sizes]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_energy_proportional_to_time(self):
+        ratio = exact_solver_energy(1000) / exact_solver_seconds(1000)
+        ratio2 = exact_solver_energy(5000) / exact_solver_seconds(5000)
+        assert ratio == pytest.approx(ratio2)
+
+    def test_invalid_n(self):
+        with pytest.raises(Exception):
+            exact_solver_seconds(1)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tsplib import write_tsplib
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "--size", "76"])
+        assert args.size == 76
+        assert args.bits == 4
+        assert args.cluster_size == 12
+
+    def test_mutually_exclusive_instance(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--size", "76", "--tsplib", "x.tsp"]
+            )
+
+
+class TestCommands:
+    def test_solve_benchmark(self, capsys):
+        code = main(["solve", "--size", "76", "--sweeps", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tour length" in out
+        assert "syn76" in out
+
+    def test_solve_tsplib_file(self, tmp_path, capsys):
+        inst = uniform_instance(30, seed=3, name="cli30")
+        path = tmp_path / "cli30.tsp"
+        write_tsplib(inst, path)
+        code = main(["solve", "--tsplib", str(path), "--sweeps", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cli30" in out
+
+    def test_solve_with_reference(self, capsys):
+        code = main(["solve", "--size", "76", "--sweeps", "40", "--reference"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal ratio" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12 x 60" in out
+        assert "Power" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "P_sw" in out
+        assert "650" in out
+
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        out = capsys.readouterr().out
+        assert "pla85900" in out
+        assert "syn76" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--size", "76", "--sweeps", "40"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TAXI", "HVC", "IMA", "CIMA", "Neuro-Ising"):
+            assert name in out
+
+    def test_solve_ablation_flags(self, capsys):
+        code = main(
+            ["solve", "--size", "76", "--sweeps", "40", "--clustering",
+             "kmeans", "--no-fixing", "--bits", "2"]
+        )
+        assert code == 0

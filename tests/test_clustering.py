@@ -1,0 +1,186 @@
+"""Tests for Ward agglomerative clustering, k-means, and the hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.agglomerative import (
+    cluster_with_max_size,
+    ward_labels,
+    ward_linkage_matrix,
+)
+from repro.clustering.hierarchy import build_hierarchy
+from repro.clustering.kmeans import kmeans_labels, kmeans_with_max_size
+from repro.errors import ClusteringError
+from repro.tsp.generators import clustered_instance, uniform_instance
+
+
+def blobs(seed=0, n=60, k=4):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [100, 0], [0, 100], [100, 100]], dtype=float)[:k]
+    assignment = rng.integers(0, k, size=n)
+    return centers[assignment] + rng.normal(0, 2.0, size=(n, 2)), assignment
+
+
+class TestWardLabels:
+    def test_recovers_separated_blobs(self):
+        points, truth = blobs(seed=1)
+        labels = ward_labels(points, 4)
+        # Same-blob points share a label; cross-blob points do not.
+        for blob in range(4):
+            members = labels[truth == blob]
+            if members.size:
+                assert np.unique(members).size == 1
+        assert np.unique(labels).size == 4
+
+    def test_label_count(self):
+        points, _ = blobs(seed=2)
+        for k in (2, 5, 9):
+            assert np.unique(ward_labels(points, k)).size == k
+
+    def test_n_clusters_equals_n(self):
+        points = np.random.default_rng(0).normal(size=(7, 2))
+        labels = ward_labels(points, 7)
+        assert np.unique(labels).size == 7
+
+    def test_invalid_k(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ClusteringError):
+            ward_labels(points, 0)
+        with pytest.raises(ClusteringError):
+            ward_labels(points, 6)
+
+    def test_kdsplit_path_consistent(self):
+        # Force the KD-split path with a tiny threshold and verify it
+        # still produces the requested cluster count on blobby data.
+        points, _ = blobs(seed=3, n=200)
+        labels = ward_labels(points, 10, exact_threshold=50)
+        assert np.unique(labels).size == 10
+
+    def test_linkage_matrix_shape(self):
+        points, _ = blobs(seed=4, n=20)
+        linkage = ward_linkage_matrix(points)
+        assert linkage.shape == (19, 4)
+        # Heights sorted ascending (scipy convention after our sort).
+        assert np.all(np.diff(linkage[:, 2]) >= -1e-9)
+        # Final merge contains all points.
+        assert linkage[-1, 3] == 20
+
+    def test_matches_scipy_ward(self):
+        # Cross-check cluster assignments against scipy's Ward linkage.
+        from scipy.cluster.hierarchy import fcluster, linkage
+
+        points, _ = blobs(seed=5, n=40)
+        ours = ward_labels(points, 5)
+        theirs = fcluster(linkage(points, method="ward"), 5, criterion="maxclust")
+        # Compare partitions up to relabeling via pair-confusion.
+        same_ours = ours[:, None] == ours[None, :]
+        same_theirs = theirs[:, None] == theirs[None, :]
+        agreement = (same_ours == same_theirs).mean()
+        assert agreement > 0.95
+
+
+class TestMaxSizeConstraint:
+    @pytest.mark.parametrize("max_size", [5, 12, 20])
+    def test_no_cluster_exceeds(self, max_size):
+        inst = uniform_instance(150, seed=6)
+        labels = cluster_with_max_size(inst.coords, max_size)
+        assert np.bincount(labels).max() <= max_size
+
+    def test_cluster_count_near_minimum(self):
+        inst = uniform_instance(120, seed=7)
+        labels = cluster_with_max_size(inst.coords, 12)
+        assert np.unique(labels).size >= 10  # ceil(120/12)
+
+    def test_all_points_labelled(self):
+        inst = uniform_instance(77, seed=8)
+        labels = cluster_with_max_size(inst.coords, 12)
+        assert labels.shape == (77,)
+        assert np.bincount(labels).sum() == 77
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ClusteringError):
+            cluster_with_max_size(np.zeros((5, 2)), 0)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        points, truth = blobs(seed=9)
+        labels = kmeans_labels(points, 4, seed=0)
+        for blob in range(4):
+            members = labels[truth == blob]
+            if members.size:
+                assert np.unique(members).size == 1
+
+    def test_max_size_variant(self):
+        inst = uniform_instance(100, seed=10)
+        labels = kmeans_with_max_size(inst.coords, 12, seed=0)
+        assert np.bincount(labels).max() <= 12
+
+    def test_deterministic_with_seed(self):
+        points, _ = blobs(seed=11)
+        a = kmeans_labels(points, 4, seed=5)
+        b = kmeans_labels(points, 4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_k(self):
+        with pytest.raises(ClusteringError):
+            kmeans_labels(np.zeros((4, 2)), 5)
+
+
+class TestHierarchy:
+    def test_levels_shrink_to_top(self):
+        inst = uniform_instance(300, seed=12)
+        h = build_hierarchy(inst, 12)
+        sizes = [level.n_nodes for level in h.levels]
+        assert sizes[0] == 300
+        assert sizes[-1] <= 12
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_leaves_partition_cities(self):
+        inst = uniform_instance(100, seed=13)
+        h = build_hierarchy(inst, 12)
+        for level in h.levels[1:]:
+            all_leaves = np.concatenate(level.leaves)
+            assert sorted(all_leaves.tolist()) == list(range(100))
+
+    def test_children_bounded(self):
+        inst = uniform_instance(200, seed=14)
+        h = build_hierarchy(inst, 10)
+        for level in h.levels[1:]:
+            for children in level.children:
+                assert 1 <= len(children) <= 10
+
+    def test_centroids_are_leaf_means(self):
+        inst = uniform_instance(80, seed=15)
+        h = build_hierarchy(inst, 12)
+        level = h.levels[1]
+        for idx in range(level.n_nodes):
+            expected = inst.coords[level.leaves[idx]].mean(axis=0)
+            np.testing.assert_allclose(level.centroids[idx], expected)
+
+    def test_kmeans_cluster_fn(self):
+        inst = uniform_instance(90, seed=16)
+
+        def fn(points, max_size):
+            return kmeans_with_max_size(points, max_size, seed=1)
+
+        h = build_hierarchy(inst, 12, fn)
+        h.validate()
+
+    def test_small_instance_single_level(self):
+        inst = uniform_instance(10, seed=17)
+        h = build_hierarchy(inst, 12)
+        assert h.depth == 1
+
+    def test_requires_coords(self):
+        from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+        m = uniform_instance(10, seed=0).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        with pytest.raises(ClusteringError):
+            build_hierarchy(ex, 12)
+
+    def test_invalid_max_cluster(self):
+        inst = uniform_instance(30, seed=18)
+        with pytest.raises(ClusteringError):
+            build_hierarchy(inst, 1)

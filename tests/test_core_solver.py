@@ -1,0 +1,130 @@
+"""Tests for TAXIConfig, the pipeline, and the end-to-end solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.concorde_surrogate import ConcordeSurrogate
+from repro.core import TAXIConfig, TAXISolver
+from repro.errors import ConfigError, SolverError
+from repro.tsp.generators import clustered_instance, uniform_instance
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+
+FAST = dict(sweeps=80, seed=0)
+
+
+class TestTAXIConfig:
+    def test_defaults(self):
+        config = TAXIConfig()
+        assert config.max_cluster_size == 12
+        assert config.bits == 4
+        assert config.clustering == "ward"
+        assert config.endpoint_fixing
+
+    def test_macro_config_propagation(self):
+        config = TAXIConfig(max_cluster_size=16, bits=3, guarded_updates=False)
+        macro = config.macro_config()
+        assert macro.max_cities == 16
+        assert macro.bits == 3
+        assert not macro.guarded_updates
+
+    def test_schedule_sweeps(self):
+        assert TAXIConfig(sweeps=100).schedule().sweeps == 100
+        assert TAXIConfig().schedule().sweeps == 1341
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TAXIConfig(max_cluster_size=2)
+        with pytest.raises(ConfigError):
+            TAXIConfig(bits=0)
+        with pytest.raises(ConfigError):
+            TAXIConfig(clustering="dbscan")
+        with pytest.raises(ConfigError):
+            TAXIConfig(sweeps=1)
+
+
+class TestTAXISolver:
+    def test_valid_tour(self):
+        inst = uniform_instance(60, seed=1)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(60))
+
+    def test_reasonable_quality(self):
+        inst = uniform_instance(120, seed=2)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        reference = ConcordeSurrogate().solve(inst).length
+        assert result.tour.length / reference < 1.45
+
+    def test_beats_random_tour_by_far(self):
+        inst = uniform_instance(150, seed=3)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        random_length = inst.tour_length(np.random.default_rng(0).permutation(150))
+        assert result.tour.length < 0.55 * random_length
+
+    def test_deterministic_given_seed(self):
+        inst = uniform_instance(80, seed=4)
+        a = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        b = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        assert a.tour.length == b.tour.length
+
+    def test_phase_times_populated(self):
+        inst = uniform_instance(80, seed=5)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        times = result.phase_seconds
+        assert times.clustering > 0
+        assert times.ising > 0
+        assert times.fixing > 0
+        assert times.total > 0
+
+    def test_level_stats_cover_hierarchy(self):
+        inst = uniform_instance(200, seed=6)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        assert result.hierarchy_depth >= 2
+        assert result.total_subproblems >= 200 // 12
+        assert result.total_iterations > 0
+
+    def test_tiny_instance_shortcut(self):
+        inst = uniform_instance(3, seed=7)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == [0, 1, 2]
+
+    def test_kmeans_variant(self):
+        inst = uniform_instance(80, seed=8)
+        result = TAXISolver(TAXIConfig(clustering="kmeans", **FAST)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(80))
+
+    def test_no_fixing_ablation_degrades(self):
+        inst = clustered_instance(150, seed=9)
+        with_fix = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        without = TAXISolver(
+            TAXIConfig(endpoint_fixing=False, **FAST)
+        ).solve(inst)
+        # Fixing should not be (much) worse; usually strictly better.
+        assert with_fix.tour.length <= without.tour.length * 1.1
+
+    def test_cluster_size_sweepable(self):
+        inst = uniform_instance(100, seed=10)
+        for size in (12, 16, 20):
+            result = TAXISolver(
+                TAXIConfig(max_cluster_size=size, **FAST)
+            ).solve(inst)
+            assert sorted(result.tour.order.tolist()) == list(range(100))
+
+    def test_explicit_instance_rejected(self):
+        m = uniform_instance(30, seed=0).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        with pytest.raises(SolverError):
+            TAXISolver(TAXIConfig(**FAST)).solve(ex)
+
+    def test_optimal_ratio_helper(self):
+        inst = uniform_instance(60, seed=11)
+        result = TAXISolver(TAXIConfig(**FAST)).solve(inst)
+        assert result.optimal_ratio(result.tour.length) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            result.optimal_ratio(0.0)
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_bit_precision_variants(self, bits):
+        inst = uniform_instance(70, seed=12)
+        result = TAXISolver(TAXIConfig(bits=bits, **FAST)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(70))

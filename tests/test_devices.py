@@ -1,0 +1,211 @@
+"""Tests for device models: MTJ, SOT-MRAM switching, bit sources."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mtj import MTJ, MTJState
+from repro.devices.rng import (
+    CMOS_RNG_MATHEW_JSSC12,
+    CMOS_RNG_YANG_ISSCC14,
+    CMOSRng,
+    StochasticBitSource,
+)
+from repro.devices.sot_mram import (
+    DETERMINISTIC_MIN_CURRENT,
+    STOCHASTIC_CURRENT_RANGE,
+    SOTDevice,
+    SwitchingCharacteristic,
+)
+from repro.devices.variation import DeviceVariation
+from repro.errors import DeviceError
+from repro.utils.units import MICRO
+
+
+class TestMTJ:
+    def test_resistances(self):
+        mtj = MTJ(r_parallel=5e3, tmr=1.5)
+        assert mtj.r_antiparallel == pytest.approx(12.5e3)
+        assert mtj.resistance(MTJState.PARALLEL) == 5e3
+        assert mtj.resistance(MTJState.ANTI_PARALLEL) == 12.5e3
+
+    def test_conductances(self):
+        mtj = MTJ()
+        assert mtj.conductance(MTJState.PARALLEL) == pytest.approx(
+            1.0 / mtj.r_parallel
+        )
+
+    def test_on_off_ratio(self):
+        assert MTJ(tmr=1.5).on_off_ratio == pytest.approx(2.5)
+
+    def test_state_flip(self):
+        assert MTJState.PARALLEL.flipped() is MTJState.ANTI_PARALLEL
+        assert MTJState.ANTI_PARALLEL.flipped() is MTJState.PARALLEL
+
+    def test_invalid_params(self):
+        with pytest.raises(DeviceError):
+            MTJ(r_parallel=0.0)
+        with pytest.raises(DeviceError):
+            MTJ(tmr=-1.0)
+
+
+class TestSwitchingCharacteristic:
+    def test_paper_anchor_points(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        assert ch.probability(353 * MICRO) == pytest.approx(0.01, rel=1e-6)
+        assert ch.probability(420 * MICRO) == pytest.approx(0.20, rel=1e-6)
+
+    def test_deterministic_regime_saturated(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        assert ch.probability(DETERMINISTIC_MIN_CURRENT) > 0.9999
+
+    def test_below_stochastic_window_negligible(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        assert ch.probability(STOCHASTIC_CURRENT_RANGE[0]) < 0.001
+
+    def test_monotone(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        currents = np.linspace(200e-6, 700e-6, 200)
+        probs = ch.probability(currents)
+        assert np.all(np.diff(probs) > 0)
+
+    def test_inverse(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        for p in (0.01, 0.2, 0.5, 0.9):
+            assert ch.probability(ch.current_for(p)) == pytest.approx(p)
+
+    def test_inverse_domain(self):
+        ch = SwitchingCharacteristic.from_paper_anchors()
+        with pytest.raises(DeviceError):
+            ch.current_for(0.0)
+        with pytest.raises(DeviceError):
+            ch.current_for(1.5)
+
+
+class TestSOTDevice:
+    def test_deterministic_write_always_switches(self):
+        dev = SOTDevice()
+        before = dev.state
+        assert dev.apply_write(700 * MICRO, rng=0)
+        assert dev.state is before.flipped()
+
+    def test_stochastic_write_statistics(self):
+        rng = np.random.default_rng(0)
+        switches = 0
+        trials = 2000
+        for _ in range(trials):
+            dev = SOTDevice()
+            if dev.apply_write(420 * MICRO, rng=rng):
+                switches += 1
+        assert switches / trials == pytest.approx(0.20, abs=0.03)
+
+    def test_regime_helpers(self):
+        dev = SOTDevice()
+        assert dev.is_deterministic(700 * MICRO)
+        assert not dev.is_deterministic(400 * MICRO)
+        assert dev.is_stochastic(400 * MICRO)
+        assert not dev.is_stochastic(200 * MICRO)
+
+    def test_resistance_follows_state(self):
+        dev = SOTDevice()
+        dev.write_deterministic(MTJState.PARALLEL)
+        assert dev.resistance == dev.mtj.r_parallel
+        dev.write_deterministic(MTJState.ANTI_PARALLEL)
+        assert dev.resistance == dev.mtj.r_antiparallel
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(DeviceError):
+            SOTDevice().switching_probability(-1e-6)
+
+
+class TestStochasticBitSource:
+    def test_mask_shape_and_dtype(self):
+        src = StochasticBitSource(12, seed=0)
+        mask = src.sample_mask(420 * MICRO)
+        assert mask.shape == (12,)
+        assert mask.dtype == bool
+
+    def test_nand_fallback_all_ones(self):
+        src = StochasticBitSource(12, seed=0)
+        mask = src.sample_mask(100 * MICRO)  # P_sw ~ 0
+        assert mask.all()
+
+    def test_expected_ones(self):
+        src = StochasticBitSource(10, seed=0)
+        assert src.expected_ones(420 * MICRO) == pytest.approx(2.0, rel=1e-6)
+
+    def test_mask_statistics(self):
+        src = StochasticBitSource(1000, seed=1)
+        mask = src.sample_mask(420 * MICRO)
+        assert 130 < mask.sum() < 270
+
+    def test_midpoint_variation(self):
+        src = StochasticBitSource(64, seed=2, midpoint_sigma=0.05)
+        probs = src.probabilities(420 * MICRO)
+        assert probs.std() > 0.0
+
+    def test_bad_width(self):
+        with pytest.raises(DeviceError):
+            StochasticBitSource(0)
+
+
+class TestCMOSRng:
+    def test_paper_cited_designs(self):
+        assert CMOS_RNG_YANG_ISSCC14.area_um2 >= 375
+        assert CMOS_RNG_MATHEW_JSSC12.throughput_bps == pytest.approx(2.4e9)
+
+    def test_time_and_energy(self):
+        rng = CMOSRng("x", 100.0, 1e6, 1e-12)
+        assert rng.time_for_bits(1_000_000) == pytest.approx(1.0)
+        assert rng.energy_for_bits(1000) == pytest.approx(1e-9)
+
+    def test_sot_vector_beats_cmos_rate(self):
+        # One SOT mask of width 12 arrives per 9 ns iteration: that is
+        # ~1.3 Gb/s of mask bits from in-array devices; the 23 Mb/s CMOS
+        # TRNG the paper cites cannot keep up.
+        cmos = CMOS_RNG_YANG_ISSCC14
+        bits_per_iteration = 12
+        iteration_time = 9e-9
+        assert cmos.time_for_bits(bits_per_iteration) > iteration_time
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            CMOSRng("bad", -1.0, 1e6, 1e-12)
+        with pytest.raises(DeviceError):
+            CMOS_RNG_YANG_ISSCC14.time_for_bits(-1)
+
+
+class TestDeviceVariation:
+    def test_ideal_flag(self):
+        assert DeviceVariation().is_ideal
+        assert not DeviceVariation(resistance_sigma=0.01).is_ideal
+
+    def test_programming_variation_changes_values(self):
+        var = DeviceVariation(resistance_sigma=0.1)
+        g = np.full((4, 4), 1e-4)
+        out = var.apply_programming(g, 2e-4, 1e-5, rng=0)
+        assert out.shape == g.shape
+        assert not np.allclose(out, g)
+
+    def test_stuck_faults(self):
+        var = DeviceVariation(stuck_off_rate=1.0)
+        g = np.full((3, 3), 1e-4)
+        out = var.apply_programming(g, 2e-4, 1e-5, rng=0)
+        np.testing.assert_allclose(out, 1e-5)
+
+    def test_read_noise(self):
+        var = DeviceVariation(read_noise_sigma=0.05)
+        currents = np.ones(100)
+        noisy = var.apply_read_noise(currents, rng=0)
+        assert noisy.std() > 0
+        assert np.abs(noisy.mean() - 1.0) < 0.05
+
+    def test_read_noise_zero_passthrough(self):
+        currents = np.ones(5)
+        out = DeviceVariation().apply_read_noise(currents, rng=0)
+        assert out is currents
+
+    def test_invalid_rates(self):
+        with pytest.raises(DeviceError):
+            DeviceVariation(stuck_off_rate=0.7, stuck_on_rate=0.5)
+        with pytest.raises(DeviceError):
+            DeviceVariation(resistance_sigma=-0.1)

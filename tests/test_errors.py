@@ -1,0 +1,35 @@
+"""The exception hierarchy is catchable via the base class."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.TSPLIBError,
+    errors.InstanceError,
+    errors.TourError,
+    errors.EncodingError,
+    errors.DeviceError,
+    errors.CrossbarError,
+    errors.MacroError,
+    errors.ClusteringError,
+    errors.ArchitectureError,
+    errors.SolverError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_subclasses_base(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_base(exc):
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_base_is_exception():
+    assert issubclass(errors.ReproError, Exception)

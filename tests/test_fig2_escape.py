@@ -1,0 +1,84 @@
+"""Reproduces the paper's Fig 2 argument.
+
+"Energy minimization and stochastic update jointly find the global
+minima by enabling descending the energy landscape and escaping from
+local minimas" — i.e. pure descent gets stuck on frustrated
+landscapes; annealed stochasticity does better.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ising.annealer import MetropolisAnnealer
+from repro.ising.model import IsingModel
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.config import MacroConfig
+from repro.macro.schedule import LinearProbabilitySchedule, paper_schedule
+from repro.tsp.generators import uniform_instance
+
+
+def frustrated_model(seed: int, n: int = 16) -> IsingModel:
+    """Random symmetric couplings: a rugged, frustrated landscape."""
+    rng = np.random.default_rng(seed)
+    j = rng.normal(size=(n, n))
+    j = 0.5 * (j + j.T)
+    np.fill_diagonal(j, 0.0)
+    return IsingModel(j, rng.normal(size=n))
+
+
+class TestIsingEscape:
+    def test_annealing_beats_pure_descent_on_average(self):
+        anneal_wins = 0
+        ties = 0
+        for seed in range(10):
+            model = frustrated_model(seed)
+            start = model.random_state(np.random.default_rng(100 + seed))
+            descent = MetropolisAnnealer(sweeps=200, seed=seed).descend(
+                model, initial=start
+            )
+            annealed = MetropolisAnnealer(
+                sweeps=200, t_start=3.0, t_end=0.01, seed=seed
+            ).anneal(model, initial=start)
+            if annealed.energy < descent.energy - 1e-9:
+                anneal_wins += 1
+            elif abs(annealed.energy - descent.energy) <= 1e-9:
+                ties += 1
+        # Stochasticity must help on a clear majority of landscapes.
+        assert anneal_wins + ties >= 7
+        assert anneal_wins >= 4
+
+    def test_descent_is_stuck_at_its_fixed_point(self):
+        model = frustrated_model(3)
+        result = MetropolisAnnealer(sweeps=300, seed=3).descend(model)
+        # No single flip improves: a genuine local minimum.
+        deltas = [model.flip_delta(result.spins, i) for i in range(model.n)]
+        assert min(deltas) >= -1e-9
+
+
+class TestMacroEscape:
+    def test_annealed_macro_beats_frozen_stochasticity(self):
+        # A schedule stuck at P_sw ~ 1% (no early exploration) should
+        # lose, on average, to the paper's full ramp.
+        frozen = LinearProbabilitySchedule(p_start=0.011, p_end=0.01, n_sweeps=150)
+        ramp = paper_schedule(150)
+        frozen_lengths, ramp_lengths = [], []
+        for i in range(8):
+            inst = uniform_instance(10, seed=800 + i)
+            problem = SubProblem(
+                inst.distance_matrix(),
+                # A poor initial order so escape actually matters.
+                initial_order=np.array([0, 5, 2, 7, 4, 9, 6, 1, 8, 3]),
+                closed=False,
+                fixed_first=True,
+                fixed_last=True,
+            )
+            cfg = MacroConfig(restarts=1)
+            frozen_sol = BatchedMacroSolver(cfg, seed=i).solve_all(
+                [problem], frozen
+            )[0]
+            ramp_sol = BatchedMacroSolver(cfg, seed=i).solve_all(
+                [problem], ramp
+            )[0]
+            frozen_lengths.append(frozen_sol.length)
+            ramp_lengths.append(ramp_sol.length)
+        assert np.mean(ramp_lengths) <= np.mean(frozen_lengths) * 1.02

@@ -1,0 +1,118 @@
+"""Integration tests across subsystems.
+
+These exercise the complete paths the benchmarks rely on:
+solver -> architecture simulation, single-macro vs batched equivalence
+classes, benchmark registry -> reference cache -> metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
+from repro.baselines.concorde_surrogate import ConcordeSurrogate
+from repro.baselines.exact import held_karp_path
+from repro.core import TAXIConfig, TAXISolver
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.config import MacroConfig
+from repro.macro.ising_macro import IsingMacro
+from repro.macro.schedule import paper_schedule
+from repro.tsp import load_benchmark
+from repro.tsp.generators import clustered_instance, uniform_instance
+
+
+class TestSolverToArchitecture:
+    def test_full_flow_produces_report(self):
+        inst = load_benchmark(76)
+        result = TAXISolver(TAXIConfig(sweeps=80, seed=0)).solve(inst)
+        chip = ChipConfig()
+        program = compile_level_stats(result.level_stats, chip, restarts=3)
+        report = ArchSimulator(chip=chip).run(program)
+        assert report.latency > 0
+        assert report.energy > 0
+        assert report.n_waves >= result.hierarchy_depth - 1
+
+    def test_latency_scales_with_problem_size(self):
+        chip = ChipConfig(tiles=2, cores_per_tile=2, macros_per_core=2)
+        reports = []
+        for size in (76, 318):
+            result = TAXISolver(TAXIConfig(sweeps=60, seed=0)).solve(
+                load_benchmark(size)
+            )
+            program = compile_level_stats(result.level_stats, chip, restarts=1)
+            reports.append(ArchSimulator(chip=chip).run(program))
+        assert reports[1].latency > reports[0].latency
+        assert reports[1].energy > reports[0].energy
+
+
+class TestMacroEquivalence:
+    """The faithful single macro and the batched solver implement the
+    same dynamics; they should land in the same quality class."""
+
+    def test_quality_class_matches(self):
+        ratios_single = []
+        ratios_batch = []
+        for i in range(4):
+            inst = uniform_instance(8, seed=300 + i)
+            dist = inst.distance_matrix()
+            _, opt = held_karp_path(dist, 0, 7)
+
+            macro = IsingMacro(MacroConfig(restarts=1), seed=i)
+            macro.load_problem(
+                dist, closed=False, fixed_first=True, fixed_last=True
+            )
+            order = macro.anneal(paper_schedule(200))
+            ratios_single.append(dist[order[:-1], order[1:]].sum() / opt)
+
+            solver = BatchedMacroSolver(MacroConfig(restarts=1), seed=i)
+            sol = solver.solve_all(
+                [SubProblem(dist, closed=False, fixed_first=True, fixed_last=True)],
+                paper_schedule(200),
+            )[0]
+            ratios_batch.append(sol.length / opt)
+        assert abs(np.mean(ratios_single) - np.mean(ratios_batch)) < 0.25
+
+    def test_guard_keeps_attraction_from_collapsing(self):
+        # Guarded dynamics ascend the attraction total except for
+        # annealed stochastic overrides; after a run the total should
+        # sit at or above the initial value (small tolerance for a
+        # late-stage override).
+        inst = uniform_instance(8, seed=42)
+        dist = inst.distance_matrix()
+        macro = IsingMacro(MacroConfig(restarts=1), seed=0)
+        macro.load_problem(dist, closed=False, fixed_first=True, fixed_last=True)
+        before = macro._proxy
+        macro.anneal(paper_schedule(40))
+        assert macro._proxy >= 0.95 * before
+
+
+class TestBenchmarkFlow:
+    def test_reference_and_ratio(self, tmp_path):
+        inst = load_benchmark(101)
+        surrogate = ConcordeSurrogate(cache_dir=tmp_path)
+        ref = surrogate.reference_length(inst)
+        result = TAXISolver(TAXIConfig(sweeps=80, seed=0)).solve(inst)
+        ratio = result.optimal_ratio(ref)
+        assert 1.0 <= ratio < 1.5
+
+    def test_cluster_size_quality_trend(self):
+        # Fig 5a's core claim: smaller clusters usually give better
+        # quality.  Compare the extremes on a clustered instance.
+        inst = clustered_instance(240, seed=30)
+        small = TAXISolver(
+            TAXIConfig(max_cluster_size=12, sweeps=100, seed=0)
+        ).solve(inst)
+        large = TAXISolver(
+            TAXIConfig(max_cluster_size=20, sweeps=100, seed=0)
+        ).solve(inst)
+        assert small.tour.length <= large.tour.length * 1.12
+
+    def test_bit_precision_fluctuation_band(self):
+        # Fig 5b: dropping from 4-bit to 2-bit stays within a few percent.
+        inst = uniform_instance(150, seed=31)
+        lengths = {}
+        for bits in (2, 4):
+            lengths[bits] = TAXISolver(
+                TAXIConfig(bits=bits, sweeps=100, seed=0)
+            ).solve(inst).tour.length
+        degradation = (lengths[2] - lengths[4]) / lengths[4]
+        assert abs(degradation) < 0.12

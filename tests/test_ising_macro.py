@@ -1,0 +1,154 @@
+"""Tests for the faithful single-macro model (five-phase iteration)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MacroError
+from repro.macro.config import MacroConfig, UpdateMode
+from repro.macro.ising_macro import IsingMacro
+from repro.macro.schedule import paper_schedule
+from repro.tsp.generators import uniform_instance
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(8, seed=3)
+
+
+def make_macro(seed=0, **kwargs) -> IsingMacro:
+    return IsingMacro(MacroConfig(max_cities=12, bits=4, **kwargs), seed=seed)
+
+
+class TestLoading:
+    def test_capacity_enforced(self):
+        macro = IsingMacro(MacroConfig(max_cities=6))
+        with pytest.raises(MacroError):
+            macro.load_problem(uniform_instance(8, seed=0).distance_matrix())
+
+    def test_requires_load(self):
+        macro = make_macro()
+        with pytest.raises(MacroError):
+            macro.anneal()
+
+    def test_closed_with_fixed_rejected(self, inst):
+        macro = make_macro()
+        with pytest.raises(MacroError):
+            macro.load_problem(inst.distance_matrix(), closed=True, fixed_first=True)
+
+    def test_initial_order_programmed(self, inst):
+        macro = make_macro()
+        order = np.array([3, 1, 4, 0, 2, 6, 5, 7])
+        macro.load_problem(inst.distance_matrix(), initial_order=order, closed=True)
+        np.testing.assert_array_equal(macro.read_solution(), order)
+
+
+class TestPhases:
+    def test_optimizable_orders_closed(self, inst):
+        macro = make_macro()
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        np.testing.assert_array_equal(macro.optimizable_orders(), np.arange(8))
+
+    def test_optimizable_orders_fixed_path(self, inst):
+        macro = make_macro()
+        macro.load_problem(
+            inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+        )
+        np.testing.assert_array_equal(macro.optimizable_orders(), np.arange(1, 7))
+
+    def test_superpose_latches_neighbours(self, inst):
+        macro = make_macro()
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        v = macro.superpose(3)
+        expected = np.zeros(8)
+        expected[[2, 4]] = 1
+        np.testing.assert_array_equal(v, expected)
+
+    def test_superpose_wraps_on_closed(self, inst):
+        macro = make_macro()
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        v = macro.superpose(0)
+        expected = np.zeros(8)
+        expected[[7, 1]] = 1
+        np.testing.assert_array_equal(v, expected)
+
+    def test_superpose_open_boundary(self, inst):
+        macro = make_macro()
+        macro.load_problem(inst.distance_matrix(), closed=False)
+        v = macro.superpose(0)
+        expected = np.zeros(8)
+        expected[1] = 1  # only the successor exists
+        np.testing.assert_array_equal(v, expected)
+
+    def test_distance_scores_positive(self, inst):
+        macro = make_macro()
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        macro.superpose(2)
+        scores = macro.distance_scores()
+        assert scores.shape == (8,)
+        assert np.all(scores >= 0)
+
+    def test_choose_city_excludes_fixed(self, inst):
+        macro = make_macro()
+        macro.load_problem(
+            inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+        )
+        scores = np.zeros(8)
+        scores[0] = 1e9  # fixed entry city has the largest score
+        mask = np.ones(8, dtype=bool)
+        assert macro.choose_city(scores, mask) != 0
+
+
+class TestAnneal:
+    def test_produces_valid_permutation(self, inst):
+        macro = make_macro(seed=1)
+        macro.load_problem(
+            inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+        )
+        order = macro.anneal(paper_schedule(60))
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_fixed_endpoints_survive(self, inst):
+        macro = make_macro(seed=2)
+        macro.load_problem(
+            inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+        )
+        order = macro.anneal(paper_schedule(60))
+        assert order[0] == 0
+        assert order[-1] == 7
+
+    def test_improves_over_initial(self, inst):
+        # A deliberately bad initial order should improve substantially.
+        macro = make_macro(seed=3)
+        dist = inst.distance_matrix()
+        initial = np.array([0, 4, 2, 6, 1, 5, 3, 7])
+        macro.load_problem(
+            dist, initial_order=initial, closed=False,
+            fixed_first=True, fixed_last=True,
+        )
+        initial_len = dist[initial[:-1], initial[1:]].sum()
+        order = macro.anneal(paper_schedule(120))
+        final_len = dist[order[:-1], order[1:]].sum()
+        assert final_len <= initial_len
+
+    def test_stats_counted(self, inst):
+        macro = make_macro(seed=4)
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        macro.anneal(paper_schedule(20))
+        assert macro.stats.sweeps == 20
+        assert macro.stats.iterations == 20 * 8
+        assert macro.stats.stochastic_bits == 20 * 8 * 8
+
+    def test_unguarded_mode_runs(self, inst):
+        macro = make_macro(seed=5, guarded_updates=False)
+        macro.load_problem(inst.distance_matrix(), closed=True)
+        order = macro.anneal(paper_schedule(30))
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_reset_write_repair_equivalent_validity(self, inst):
+        macro = make_macro(seed=6, update_mode=UpdateMode.RESET_WRITE_REPAIR)
+        macro.load_problem(
+            inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+        )
+        order = macro.anneal(paper_schedule(40))
+        assert sorted(order.tolist()) == list(range(8))
+        assert macro.stats.spin_writes >= 0

@@ -1,0 +1,121 @@
+"""Tests for the macro timing/energy models and Table I circuit sim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.macro.circuit_sim import CircuitSimulator
+from repro.macro.config import MacroConfig
+from repro.macro.energy import (
+    PAPER_CIRCUIT_N,
+    PAPER_TOTAL_POWER,
+    MacroEnergyModel,
+    representative_bit_density,
+)
+from repro.macro.timing import MacroTiming
+from repro.utils.units import MILLI, NANO, PICO
+
+
+class TestMacroTiming:
+    def test_paper_phase_latencies(self):
+        t = MacroTiming()
+        assert t.superpose_latency == pytest.approx(3 * NANO)
+        assert t.optimize_latency == pytest.approx(4 * NANO)
+        assert t.update_latency == pytest.approx(2 * NANO)
+        assert t.iteration_latency == pytest.approx(9 * NANO)
+
+    def test_sweep_and_anneal(self):
+        t = MacroTiming()
+        assert t.sweep_latency(10) == pytest.approx(90 * NANO)
+        assert t.anneal_latency(10, 1341) == pytest.approx(1341 * 90 * NANO)
+
+    def test_program_latency_scales(self):
+        t = MacroTiming()
+        assert t.program_latency(12, 4) > t.program_latency(12, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MacroTiming(superpose_latency=0.0)
+        with pytest.raises(ConfigError):
+            MacroTiming().sweep_latency(-1)
+        with pytest.raises(ConfigError):
+            MacroTiming().anneal_latency(5, -1)
+
+
+class TestEnergyModel:
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_total_power_matches_table_i(self, bits):
+        model = MacroEnergyModel()
+        assert model.total_power(PAPER_CIRCUIT_N, bits) == pytest.approx(
+            PAPER_TOTAL_POWER[bits], rel=1e-9
+        )
+
+    @pytest.mark.parametrize(
+        "bits,expected_pj", [(2, 37.82), (3, 45.30), (4, 45.99)]
+    )
+    def test_iteration_energy_matches_table_i(self, bits, expected_pj):
+        model = MacroEnergyModel()
+        energy = model.iteration_energy(PAPER_CIRCUIT_N, bits)
+        assert energy == pytest.approx(expected_pj * PICO, rel=2e-3)
+
+    def test_array_power_grows_with_bits(self):
+        model = MacroEnergyModel()
+        assert model.array_power(12, 4) > model.array_power(12, 2)
+
+    def test_peripheral_power_scales_with_n(self):
+        model = MacroEnergyModel()
+        assert model.peripheral_power(24, 4) == pytest.approx(
+            2 * model.peripheral_power(12, 4)
+        )
+
+    def test_interpolated_precision(self):
+        model = MacroEnergyModel()
+        p5 = model.total_power(12, 5)
+        assert p5 > 0
+        # Extrapolation stays in a sane band around the calibrated points.
+        assert p5 < 3 * PAPER_TOTAL_POWER[4]
+
+    def test_anneal_energy(self):
+        model = MacroEnergyModel()
+        e = model.anneal_energy(12, 4, optimizable_orders=10, sweeps=100)
+        assert e == pytest.approx(1000 * model.iteration_energy(12, 4))
+
+    def test_program_energy_positive(self):
+        model = MacroEnergyModel()
+        assert model.program_energy(12, 4) > model.program_energy(12, 2) > 0
+
+    def test_bit_density_band(self):
+        for bits in (2, 3, 4):
+            d = representative_bit_density(bits)
+            assert 0.0 < d < 0.6
+
+
+class TestCircuitSimulator:
+    def test_table_i_array_sizes(self):
+        reports = CircuitSimulator().table_i()
+        assert [r.array_size for r in reports] == [
+            "12 x 36",
+            "12 x 48",
+            "12 x 60",
+        ]
+
+    def test_table_i_power_mw(self):
+        reports = CircuitSimulator().table_i()
+        powers = [r.power / MILLI for r in reports]
+        assert powers == pytest.approx([4.202, 5.033, 5.110], rel=1e-6)
+
+    def test_energy_is_power_times_latency(self):
+        for report in CircuitSimulator().table_i():
+            assert report.energy == pytest.approx(
+                report.power * report.iteration_latency
+            )
+
+    def test_format_table_contains_rows(self):
+        text = CircuitSimulator.format_table(CircuitSimulator().table_i())
+        assert "Array Size" in text
+        assert "Energy [pJ]" in text
+        assert "12 x 60" in text
+
+    def test_macro_config_array_shape(self):
+        assert MacroConfig(max_cities=12, bits=4).array_shape == (12, 60)
+        assert MacroConfig(max_cities=12, bits=2).array_shape == (12, 36)

@@ -1,0 +1,95 @@
+"""Tests for annealing schedules (the paper's I_write ramp + ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.macro.schedule import (
+    CurrentRampSchedule,
+    ExponentialProbabilitySchedule,
+    LinearProbabilitySchedule,
+    paper_schedule,
+)
+from repro.utils.units import MICRO, NANO
+
+
+class TestCurrentRamp:
+    def test_paper_defaults(self):
+        sched = CurrentRampSchedule()
+        currents = sched.currents()
+        assert currents[0] == pytest.approx(420 * MICRO)
+        assert currents[-1] == pytest.approx(353 * MICRO)
+        # 67 uA span at 50 nA per step -> 1341 current values.
+        assert sched.sweeps == 1341
+
+    def test_linear_decrement(self):
+        currents = CurrentRampSchedule().currents()
+        steps = np.diff(currents)
+        np.testing.assert_allclose(steps, -50 * NANO)
+
+    def test_probability_endpoints(self):
+        probs = CurrentRampSchedule().probabilities()
+        assert probs[0] == pytest.approx(0.20, rel=1e-6)
+        assert probs[-1] == pytest.approx(0.01, rel=1e-6)
+
+    def test_probabilities_decrease_nonlinearly(self):
+        # The sigmoid makes early decay faster than late decay.
+        probs = CurrentRampSchedule().probabilities()
+        early_drop = probs[0] - probs[len(probs) // 4]
+        late_drop = probs[3 * len(probs) // 4] - probs[-1]
+        assert early_drop > 2 * late_drop
+
+    def test_with_sweeps(self):
+        sched = CurrentRampSchedule().with_sweeps(135)
+        assert sched.sweeps == 135
+        currents = sched.currents()
+        assert currents[0] == pytest.approx(420 * MICRO)
+        assert currents[-1] == pytest.approx(353 * MICRO, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CurrentRampSchedule(start_current=1e-6, stop_current=2e-6)
+        with pytest.raises(ConfigError):
+            CurrentRampSchedule(step_current=0.0)
+        with pytest.raises(ConfigError):
+            CurrentRampSchedule().with_sweeps(1)
+
+
+class TestProbabilitySchedules:
+    def test_linear_probabilities(self):
+        sched = LinearProbabilitySchedule(n_sweeps=100)
+        probs = sched.probabilities()
+        np.testing.assert_allclose(np.diff(probs), np.diff(probs)[0])
+        assert probs[0] == pytest.approx(0.20)
+        assert probs[-1] == pytest.approx(0.01)
+
+    def test_exponential_probabilities(self):
+        sched = ExponentialProbabilitySchedule(n_sweeps=100)
+        probs = sched.probabilities()
+        ratios = probs[1:] / probs[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_currents_invert_probabilities(self):
+        sched = LinearProbabilitySchedule(n_sweeps=20)
+        probs = sched.characteristic.probability(sched.currents())
+        np.testing.assert_allclose(probs, sched.probabilities(), rtol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinearProbabilitySchedule(p_start=0.01, p_end=0.2)
+        with pytest.raises(ConfigError):
+            ExponentialProbabilitySchedule(n_sweeps=1)
+
+
+class TestPaperSchedule:
+    def test_default_is_exact_ramp(self):
+        assert paper_schedule().sweeps == 1341
+
+    def test_custom_sweeps(self):
+        assert paper_schedule(200).sweeps == 200
+
+    def test_same_endpoints(self):
+        fast = paper_schedule(50)
+        full = paper_schedule()
+        assert fast.currents()[0] == pytest.approx(full.currents()[0])
+        assert fast.currents()[-1] == pytest.approx(full.currents()[-1], rel=1e-6)

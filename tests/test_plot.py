@@ -1,0 +1,60 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import ascii_series, ascii_tour
+from repro.errors import ReproError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.tour import Tour
+
+
+class TestAsciiTour:
+    def test_renders_all_cities(self):
+        inst = uniform_instance(12, seed=1)
+        tour = Tour(inst, np.arange(12))
+        art = ascii_tour(tour, width=40, height=16)
+        assert art.count("o") <= 12  # overlaps allowed
+        assert art.count("o") >= 6
+        assert "length" in art.splitlines()[0]
+
+    def test_route_drawn(self):
+        inst = uniform_instance(5, seed=2)
+        art = ascii_tour(Tour(inst, np.arange(5)), width=40, height=16)
+        assert "." in art
+
+    def test_dimension_guard(self):
+        inst = uniform_instance(5, seed=3)
+        with pytest.raises(ReproError):
+            ascii_tour(Tour(inst, np.arange(5)), width=4, height=2)
+
+    def test_explicit_instance_rejected(self):
+        m = uniform_instance(5, seed=4).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        with pytest.raises(ReproError):
+            ascii_tour(Tour(ex, np.arange(5)))
+
+    def test_grid_size_respected(self):
+        inst = uniform_instance(8, seed=5)
+        art = ascii_tour(Tour(inst, np.arange(8)), width=30, height=10)
+        lines = art.splitlines()[1:]
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        art = ascii_series([1, 2, 3, 4], [1.0, 1.1, 1.3, 1.2], label="ratio")
+        assert "*" in art
+        assert "ratio" in art
+
+    def test_constant_series(self):
+        art = ascii_series([1, 2, 3], [5.0, 5.0, 5.0])
+        assert "*" in art
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_series([1], [2])
+        with pytest.raises(ReproError):
+            ascii_series([1, 2], [1.0, 2.0], width=2)

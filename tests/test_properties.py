@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ising.model import IsingModel
+from repro.ising.qubo import QUBO, ising_to_qubo, qubo_to_ising
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.config import MacroConfig
+from repro.macro.schedule import paper_schedule
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import validate_permutation
+from repro.xbar.quantize import (
+    bit_slices,
+    full_scale,
+    inverse_distance_levels,
+    reconstruct_levels,
+)
+
+
+coords_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(4, 12), st.just(2)),
+    elements=st.floats(0.0, 1000.0, allow_nan=False, width=64),
+)
+
+
+@st.composite
+def symmetric_qubo(draw, max_n=6):
+    n = draw(st.integers(2, max_n))
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(-5.0, 5.0, allow_nan=False, width=64),
+        )
+    )
+    q = 0.5 * (values + values.T)
+    offset = draw(st.floats(-10.0, 10.0, allow_nan=False, width=64))
+    return QUBO(q, offset)
+
+
+class TestQuantizationProperties:
+    @given(coords_strategy, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_levels_bounded_and_diag_zero(self, coords, bits):
+        inst = TSPInstance("h", coords)
+        levels = inverse_distance_levels(inst.distance_matrix(), bits)
+        assert levels.min() >= 0
+        assert levels.max() <= full_scale(bits)
+        assert np.all(np.diag(levels) == 0)
+
+    @given(coords_strategy, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_slice_roundtrip(self, coords, bits):
+        inst = TSPInstance("h", coords)
+        levels = inverse_distance_levels(inst.distance_matrix(), bits)
+        np.testing.assert_array_equal(
+            reconstruct_levels(bit_slices(levels, bits)), levels
+        )
+
+    @given(coords_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_levels_symmetric(self, coords):
+        inst = TSPInstance("h", coords)
+        levels = inverse_distance_levels(inst.distance_matrix(), 4)
+        np.testing.assert_array_equal(levels, levels.T)
+
+
+class TestQUBOIsingProperties:
+    @given(symmetric_qubo(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_preserved_under_conversion(self, qubo, data):
+        model = qubo_to_ising(qubo)
+        x = np.asarray(
+            data.draw(st.lists(st.sampled_from([0.0, 1.0]),
+                               min_size=qubo.n, max_size=qubo.n))
+        )
+        assert abs(qubo.energy(x) - model.energy(2 * x - 1)) < 1e-6
+
+    @given(symmetric_qubo())
+    @settings(max_examples=25, deadline=None)
+    def test_double_conversion_identity(self, qubo):
+        back = ising_to_qubo(qubo_to_ising(qubo))
+        x = np.zeros(qubo.n)
+        assert abs(qubo.energy(x) - back.energy(x)) < 1e-6
+        x1 = np.ones(qubo.n)
+        assert abs(qubo.energy(x1) - back.energy(x1)) < 1e-6
+
+
+class TestTourProperties:
+    @given(st.permutations(list(range(8))))
+    @settings(max_examples=30, deadline=None)
+    def test_any_permutation_validates(self, perm):
+        order = validate_permutation(np.asarray(perm), 8)
+        assert order.size == 8
+
+    @given(coords_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_tour_length_rotation_invariant(self, coords, rnd):
+        inst = TSPInstance("h", coords)
+        n = inst.n
+        order = np.asarray(rnd.sample(range(n), n))
+        base = inst.tour_length(order)
+        shift = rnd.randrange(n)
+        assert inst.tour_length(np.roll(order, shift)) == base
+
+
+class TestMacroProperties:
+    @given(coords_strategy, st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_solver_always_returns_permutation(self, coords, seed):
+        inst = TSPInstance("h", coords)
+        problem = SubProblem(
+            inst.distance_matrix(),
+            closed=False,
+            fixed_first=True,
+            fixed_last=True,
+        )
+        solver = BatchedMacroSolver(
+            MacroConfig(max_cities=12, restarts=1), seed=seed
+        )
+        sol = solver.solve_all([problem], paper_schedule(15))[0]
+        assert sorted(sol.order.tolist()) == list(range(inst.n))
+        assert sol.order[0] == 0
+        assert sol.order[-1] == inst.n - 1

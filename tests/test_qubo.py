@@ -1,0 +1,72 @@
+"""Tests for QUBO and exact QUBO <-> Ising conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.ising.model import IsingModel
+from repro.ising.qubo import QUBO, ising_to_qubo, qubo_to_ising
+
+
+def random_qubo(seed: int, n: int = 7, offset: float = 2.5) -> QUBO:
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(n, n))
+    return QUBO(0.5 * (q + q.T), offset=offset)
+
+
+def all_binary(n: int):
+    for bits in range(2**n):
+        yield np.array([(bits >> i) & 1 for i in range(n)], dtype=float)
+
+
+class TestQUBO:
+    def test_energy_manual(self):
+        q = QUBO(np.array([[1.0, 0.5], [0.5, -2.0]]), offset=1.0)
+        x = np.array([1.0, 1.0])
+        # x'Qx = 1 + 0.5 + 0.5 - 2 = 0; +1 offset
+        assert q.energy(x) == pytest.approx(1.0)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(EncodingError):
+            QUBO(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_nonbinary_rejected(self):
+        q = random_qubo(0)
+        with pytest.raises(EncodingError):
+            q.energy(np.full(q.n, 0.5))
+
+
+class TestConversionExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_qubo_to_ising_exact_exhaustive(self, seed):
+        qubo = random_qubo(seed, n=5)
+        model = qubo_to_ising(qubo)
+        for x in all_binary(5):
+            s = 2.0 * x - 1.0
+            assert qubo.energy(x) == pytest.approx(model.energy(s), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_round_trip_exact(self, seed):
+        qubo = random_qubo(seed, n=5)
+        back = ising_to_qubo(qubo_to_ising(qubo))
+        for x in all_binary(5):
+            assert qubo.energy(x) == pytest.approx(back.energy(x), abs=1e-9)
+
+    def test_ising_to_qubo_exact(self):
+        rng = np.random.default_rng(9)
+        j = rng.normal(size=(5, 5))
+        j = 0.5 * (j + j.T)
+        np.fill_diagonal(j, 0.0)
+        model = IsingModel(j, rng.normal(size=5), offset=-1.25)
+        qubo = ising_to_qubo(model)
+        for x in all_binary(5):
+            s = 2.0 * x - 1.0
+            assert model.energy(s) == pytest.approx(qubo.energy(x), abs=1e-9)
+
+    def test_argmin_preserved(self):
+        qubo = random_qubo(11, n=6)
+        model = qubo_to_ising(qubo)
+        xs = list(all_binary(6))
+        q_best = min(xs, key=qubo.energy)
+        s_best = min(xs, key=lambda x: model.energy(2 * x - 1))
+        assert qubo.energy(q_best) == pytest.approx(qubo.energy(s_best))

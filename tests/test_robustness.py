@@ -1,0 +1,146 @@
+"""Failure-injection and robustness tests.
+
+The paper's simulations include device non-idealities; these tests
+verify the solver keeps producing valid (and reasonable) tours under
+programming variation, read noise, stuck-at faults, mirror mismatch,
+and heavy wire resistance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import held_karp_path
+from repro.core import TAXIConfig, TAXISolver
+from repro.devices.variation import DeviceVariation
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.config import MacroConfig
+from repro.macro.schedule import paper_schedule
+from repro.tsp.generators import uniform_instance
+from repro.xbar.crossbar import CrossbarConfig
+from repro.xbar.nonideal import WireResistanceModel
+
+
+def solve_one(config: MacroConfig, seed=0, n=8):
+    inst = uniform_instance(n, seed=123)
+    problem = SubProblem(
+        inst.distance_matrix(), closed=False, fixed_first=True, fixed_last=True
+    )
+    solver = BatchedMacroSolver(config, seed=seed)
+    return solver.solve_all([problem], paper_schedule(150))[0], inst
+
+
+class TestNonIdealMacro:
+    def test_programming_variation_tolerated(self):
+        config = MacroConfig(
+            crossbar=CrossbarConfig(
+                variation=DeviceVariation(resistance_sigma=0.08)
+            )
+        )
+        sol, inst = solve_one(config)
+        assert sorted(sol.order.tolist()) == list(range(8))
+        _, opt = held_karp_path(inst.distance_matrix(), 0, 7)
+        assert sol.length < 2.0 * opt
+
+    def test_read_noise_tolerated(self):
+        config = MacroConfig(
+            crossbar=CrossbarConfig(
+                variation=DeviceVariation(read_noise_sigma=0.05)
+            )
+        )
+        sol, inst = solve_one(config)
+        assert sorted(sol.order.tolist()) == list(range(8))
+
+    def test_stuck_faults_tolerated(self):
+        config = MacroConfig(
+            crossbar=CrossbarConfig(
+                variation=DeviceVariation(stuck_off_rate=0.02, stuck_on_rate=0.01)
+            )
+        )
+        sol, _ = solve_one(config)
+        assert sorted(sol.order.tolist()) == list(range(8))
+
+    def test_mirror_mismatch_tolerated(self):
+        config = MacroConfig(
+            crossbar=CrossbarConfig(mirror_mismatch_sigma=0.05)
+        )
+        sol, _ = solve_one(config)
+        assert sorted(sol.order.tolist()) == list(range(8))
+
+    def test_heavy_wire_resistance_still_valid(self):
+        config = MacroConfig(
+            crossbar=CrossbarConfig(
+                wire=WireResistanceModel(wire_resistance=20.0)
+            )
+        )
+        sol, _ = solve_one(config)
+        assert sorted(sol.order.tolist()) == list(range(8))
+
+    def test_noise_degrades_quality_on_average(self):
+        # IMA-style intrinsic noise should not *improve* things.
+        clean_cfg = MacroConfig(restarts=1)
+        noisy_cfg = MacroConfig(
+            restarts=1,
+            crossbar=CrossbarConfig(
+                variation=DeviceVariation(read_noise_sigma=0.3)
+            ),
+        )
+        clean_lengths, noisy_lengths = [], []
+        for i in range(6):
+            inst = uniform_instance(8, seed=500 + i)
+            problem = SubProblem(
+                inst.distance_matrix(), closed=False,
+                fixed_first=True, fixed_last=True,
+            )
+            clean = BatchedMacroSolver(clean_cfg, seed=i).solve_all(
+                [problem], paper_schedule(150)
+            )[0]
+            noisy = BatchedMacroSolver(noisy_cfg, seed=i).solve_all(
+                [problem], paper_schedule(150)
+            )[0]
+            clean_lengths.append(clean.length)
+            noisy_lengths.append(noisy.length)
+        assert np.mean(noisy_lengths) >= 0.95 * np.mean(clean_lengths)
+
+
+class TestEndToEndRobustness:
+    def test_full_solver_with_nonidealities(self):
+        inst = uniform_instance(100, seed=77)
+        config = TAXIConfig(
+            sweeps=80,
+            seed=0,
+            crossbar=CrossbarConfig(
+                variation=DeviceVariation(
+                    resistance_sigma=0.05, read_noise_sigma=0.02
+                ),
+                wire=WireResistanceModel(wire_resistance=2.0),
+                mirror_mismatch_sigma=0.02,
+            ),
+        )
+        result = TAXISolver(config).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(100))
+        # Still far better than a random tour.
+        random_length = inst.tour_length(np.random.default_rng(1).permutation(100))
+        assert result.tour.length < 0.6 * random_length
+
+    def test_duplicate_city_coordinates(self):
+        # Coincident cities (zero distances) must not break quantization
+        # or the pipeline.
+        coords = np.random.default_rng(5).uniform(0, 1000, size=(40, 2))
+        coords[7] = coords[3]
+        coords[21] = coords[3]
+        from repro.tsp.instance import TSPInstance
+
+        inst = TSPInstance("dups", coords)
+        result = TAXISolver(TAXIConfig(sweeps=60, seed=0)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(40))
+
+    def test_collinear_cities(self):
+        coords = np.zeros((30, 2))
+        coords[:, 0] = np.arange(30) * 10.0
+        from repro.tsp.instance import TSPInstance
+
+        inst = TSPInstance("line", coords)
+        result = TAXISolver(TAXIConfig(sweeps=60, seed=0)).solve(inst)
+        assert sorted(result.tour.order.tolist()) == list(range(30))
+        # The optimal line tour is 2 * span; allow modest overhead.
+        assert result.tour.length <= 2.6 * 290.0

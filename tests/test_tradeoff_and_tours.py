@@ -1,0 +1,104 @@
+"""Tests for the reconfiguration trade-off sweep and .tour file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    pareto_frontier,
+    reconfiguration_sweep,
+)
+from repro.errors import ConfigError, TSPLIBError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tsplib import dumps_tour, loads_tour, read_tour, write_tour
+
+
+class TestTradeoffSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        inst = uniform_instance(100, seed=40)
+        return reconfiguration_sweep(
+            inst, precisions=(2, 4), cluster_sizes=(12,), sweeps=60
+        )
+
+    def test_one_point_per_config(self, points):
+        assert len(points) == 2
+        assert {p.bits for p in points} == {2, 4}
+
+    def test_energy_ordering(self, points):
+        by_bits = {p.bits: p for p in points}
+        # Lower precision -> lower chip energy (fewer partition columns).
+        assert by_bits[2].chip_energy < by_bits[4].chip_energy
+
+    def test_fields_positive(self, points):
+        for p in points:
+            assert p.tour_length > 0
+            assert p.chip_latency > 0
+            assert p.per_macro_energy > 0
+
+    def test_empty_config_rejected(self):
+        inst = uniform_instance(50, seed=41)
+        with pytest.raises(ConfigError):
+            reconfiguration_sweep(inst, precisions=())
+
+
+class TestParetoFrontier:
+    def _point(self, length, energy):
+        return TradeoffPoint(
+            bits=4, max_cluster_size=12, tour_length=length,
+            chip_latency=1.0, chip_energy=energy, per_macro_energy=energy,
+        )
+
+    def test_dominated_points_removed(self):
+        good = self._point(100.0, 1.0)
+        bad = self._point(120.0, 2.0)   # worse on both axes
+        frontier = pareto_frontier([good, bad])
+        assert frontier == [good]
+
+    def test_incomparable_points_kept(self):
+        fast = self._point(120.0, 1.0)
+        short = self._point(100.0, 2.0)
+        frontier = pareto_frontier([fast, short])
+        assert len(frontier) == 2
+        assert frontier[0].tour_length == 100.0  # sorted by length
+
+    def test_dominates_strictness(self):
+        a = self._point(100.0, 1.0)
+        b = self._point(100.0, 1.0)
+        assert not a.dominates(b)
+
+
+class TestTourFiles:
+    def test_round_trip(self, tmp_path):
+        inst = uniform_instance(20, seed=42)
+        order = np.random.default_rng(0).permutation(20)
+        path = tmp_path / "x.tour"
+        write_tour(order, inst, path)
+        again = read_tour(path, inst)
+        np.testing.assert_array_equal(order, again)
+
+    def test_dumps_format(self):
+        inst = uniform_instance(4, seed=43)
+        text = dumps_tour(np.array([2, 0, 3, 1]), inst)
+        assert "TYPE: TOUR" in text
+        assert "TOUR_SECTION" in text
+        lines = text.splitlines()
+        section = lines[lines.index("TOUR_SECTION") + 1 :]
+        assert section[:4] == ["3", "1", "4", "2"]  # 1-based cities
+        assert "-1" in section
+
+    def test_invalid_order_rejected(self):
+        inst = uniform_instance(5, seed=44)
+        with pytest.raises(TSPLIBError):
+            dumps_tour(np.array([0, 0, 1, 2, 3]), inst)
+
+    def test_loads_validates_coverage(self):
+        inst = uniform_instance(3, seed=45)
+        bad = "TYPE: TOUR\nDIMENSION: 3\nTOUR_SECTION\n1\n2\n-1\nEOF\n"
+        with pytest.raises(TSPLIBError):
+            loads_tour(bad, inst)
+
+    def test_loads_rejects_non_tour(self):
+        inst = uniform_instance(3, seed=46)
+        with pytest.raises(TSPLIBError):
+            loads_tour("TYPE: TSP\nDIMENSION: 3\nEOF\n", inst)

@@ -1,0 +1,100 @@
+"""Tests for the N^2-spin TSP encoding."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.ising.tsp_encoding import (
+    decode_tour,
+    encode_tsp,
+    tour_to_assignment,
+)
+from repro.tsp.generators import uniform_instance
+
+
+@pytest.fixture
+def enc():
+    return encode_tsp(uniform_instance(5, seed=4))
+
+
+class TestEncoding:
+    def test_spin_count(self, enc):
+        assert enc.n_spins == 25
+
+    def test_energy_of_valid_tour_is_length(self, enc):
+        inst = enc.instance
+        for order in ([0, 1, 2, 3, 4], [2, 0, 4, 1, 3]):
+            x = tour_to_assignment(enc, np.asarray(order))
+            assert enc.qubo.energy(x) == pytest.approx(
+                inst.tour_length(np.asarray(order))
+            )
+
+    def test_ising_matches_qubo(self, enc):
+        x = tour_to_assignment(enc, np.array([0, 2, 4, 1, 3]))
+        s = 2 * x - 1
+        assert enc.ising.energy(s) == pytest.approx(enc.qubo.energy(x))
+
+    def test_violation_penalized(self, enc):
+        x = tour_to_assignment(enc, np.arange(5))
+        # Duplicate a city: clear one assignment, double another.
+        x_bad = x.copy()
+        x_bad[enc.spin_index(0, 0)] = 0.0
+        x_bad[enc.spin_index(1, 0)] = 1.0  # city 1 now at two positions
+        assert enc.qubo.energy(x_bad) > enc.qubo.energy(x)
+
+    def test_penalty_dominates_edges(self, enc):
+        dist = enc.instance.distance_matrix()
+        assert enc.penalty >= 2.0 * dist.max()
+
+    def test_global_minimum_is_optimal_tour(self):
+        # Exhaustive over 4-city tours: minimum energy valid assignment
+        # equals the optimal tour length.
+        inst = uniform_instance(4, seed=8)
+        enc4 = encode_tsp(inst)
+        best = min(
+            inst.tour_length(np.asarray(p))
+            for p in itertools.permutations(range(4))
+        )
+        x_best = None
+        e_best = np.inf
+        for p in itertools.permutations(range(4)):
+            x = tour_to_assignment(enc4, np.asarray(p))
+            e = enc4.qubo.energy(x)
+            if e < e_best:
+                e_best, x_best = e, x
+        assert e_best == pytest.approx(best)
+        assert decode_tour(enc4, x_best) is not None
+
+    def test_size_guard(self):
+        with pytest.raises(EncodingError):
+            encode_tsp(uniform_instance(65, seed=0))
+
+    def test_bad_penalty(self):
+        with pytest.raises(EncodingError):
+            encode_tsp(uniform_instance(4, seed=0), penalty=-1.0)
+
+
+class TestDecode:
+    def test_round_trip(self, enc):
+        order = np.array([3, 1, 0, 4, 2])
+        x = tour_to_assignment(enc, order)
+        np.testing.assert_array_equal(decode_tour(enc, x), order)
+
+    def test_spin_input_accepted(self, enc):
+        order = np.array([3, 1, 0, 4, 2])
+        s = 2 * tour_to_assignment(enc, order) - 1
+        np.testing.assert_array_equal(decode_tour(enc, s), order)
+
+    def test_invalid_returns_none(self, enc):
+        x = np.zeros(25)
+        assert decode_tour(enc, x) is None
+
+    def test_wrong_shape_raises(self, enc):
+        with pytest.raises(EncodingError):
+            decode_tour(enc, np.zeros(24))
+
+    def test_bad_order_to_assignment(self, enc):
+        with pytest.raises(EncodingError):
+            tour_to_assignment(enc, np.array([0, 0, 1, 2, 3]))

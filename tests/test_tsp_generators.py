@@ -1,0 +1,113 @@
+"""Tests for synthetic instance generators and the benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstanceError
+from repro.tsp.benchmarks import (
+    BENCHMARK_SIZES,
+    benchmark_names,
+    benchmark_spec,
+    load_benchmark,
+    paper_sizes_up_to,
+)
+from repro.tsp.generators import (
+    clustered_instance,
+    drilling_instance,
+    grid_instance,
+    uniform_instance,
+)
+from repro.tsp.instance import EdgeWeightType
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [uniform_instance, clustered_instance, grid_instance, drilling_instance],
+)
+class TestGeneratorsCommon:
+    def test_size_and_shape(self, generator):
+        inst = generator(60, seed=1)
+        assert inst.n == 60
+        assert inst.coords.shape == (60, 2)
+
+    def test_deterministic(self, generator):
+        a = generator(40, seed=7)
+        b = generator(40, seed=7)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_seed_changes_output(self, generator):
+        a = generator(40, seed=1)
+        b = generator(40, seed=2)
+        assert not np.allclose(a.coords, b.coords)
+
+    def test_too_small_rejected(self, generator):
+        with pytest.raises(InstanceError):
+            generator(1, seed=0)
+
+
+class TestGeneratorSpecifics:
+    def test_uniform_extent(self):
+        inst = uniform_instance(100, seed=0, extent=50.0)
+        assert inst.coords.max() <= 50.0
+        assert inst.coords.min() >= 0.0
+
+    def test_clustered_blobs(self):
+        inst = clustered_instance(200, seed=0, n_clusters=4, spread=0.01)
+        # With tight blobs, average NN distance is much smaller than extent.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(inst.coords)
+        d, _ = tree.query(inst.coords, k=2)
+        assert np.median(d[:, 1]) < 500.0
+
+    def test_grid_is_regular(self):
+        inst = grid_instance(49, seed=0, jitter=0.0)
+        xs = np.unique(np.round(inst.coords[:, 0], 6))
+        assert xs.size <= 7
+
+    def test_drilling_metric_is_ceil(self):
+        inst = drilling_instance(100, seed=0)
+        assert inst.metric is EdgeWeightType.CEIL_2D
+
+    def test_drilling_bad_fill(self):
+        with pytest.raises(InstanceError):
+            drilling_instance(100, seed=0, block_fill=0.0)
+
+
+class TestBenchmarkRegistry:
+    def test_twenty_sizes(self):
+        assert len(BENCHMARK_SIZES) == 20
+        assert BENCHMARK_SIZES[0] == 76
+        assert BENCHMARK_SIZES[-1] == 85_900
+
+    def test_names_align(self):
+        names = benchmark_names()
+        assert names[0] == "syn76"
+        assert len(names) == 20
+
+    def test_load_by_size_and_name(self):
+        a = load_benchmark(76)
+        b = load_benchmark("syn76")
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_deterministic_across_calls(self):
+        a = load_benchmark(101)
+        b = load_benchmark(101)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_unknown_size(self):
+        with pytest.raises(InstanceError):
+            load_benchmark(77)
+
+    def test_spec_fields(self):
+        spec = benchmark_spec(442)
+        assert spec.real_name == "pcb442"
+        assert spec.family == "grid"
+
+    def test_paper_sizes_up_to(self):
+        sizes = paper_sizes_up_to(1000)
+        assert sizes == (76, 101, 200, 262, 318, 442, 575, 666, 783)
+
+    @pytest.mark.parametrize("size", [76, 101, 318, 1002])
+    def test_instances_have_exact_size(self, size):
+        assert load_benchmark(size).n == size

@@ -1,0 +1,92 @@
+"""Tests for nearest-neighbour lists and closest-pair queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstanceError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.neighbors import closest_pair_between, nearest_neighbor_lists
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(40, seed=9)
+
+
+class TestNearestNeighborLists:
+    def test_shape(self, inst):
+        nn = nearest_neighbor_lists(inst, 5)
+        assert nn.shape == (40, 5)
+
+    def test_never_self(self, inst):
+        nn = nearest_neighbor_lists(inst, 5)
+        for i in range(40):
+            assert i not in nn[i]
+
+    def test_sorted_by_distance(self, inst):
+        nn = nearest_neighbor_lists(inst, 6)
+        full = inst.distance_matrix()
+        for i in range(0, 40, 7):
+            dists = full[i, nn[i]]
+            assert np.all(np.diff(dists) >= -1e-9)
+
+    def test_matches_bruteforce(self, inst):
+        nn = nearest_neighbor_lists(inst, 3)
+        full = inst.distance_matrix().copy()
+        np.fill_diagonal(full, np.inf)
+        for i in range(0, 40, 11):
+            brute = set(np.argsort(full[i])[:3].tolist())
+            # Allow ties: compare achieved distances instead of ids.
+            assert full[i, nn[i]].sum() == pytest.approx(
+                np.sort(full[i])[:3].sum()
+            )
+            del brute
+
+    def test_k_capped_at_n_minus_1(self, inst):
+        nn = nearest_neighbor_lists(inst, 100)
+        assert nn.shape == (40, 39)
+
+    def test_k_zero_rejected(self, inst):
+        with pytest.raises(InstanceError):
+            nearest_neighbor_lists(inst, 0)
+
+    def test_explicit_matrix_path(self):
+        m = uniform_instance(10, seed=0).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        nn = nearest_neighbor_lists(ex, 4)
+        assert nn.shape == (10, 4)
+        for i in range(10):
+            assert i not in nn[i]
+
+
+class TestClosestPair:
+    def test_known_pair(self):
+        coords = np.array(
+            [[0.0, 0.0], [10.0, 0.0], [11.0, 0.0], [50.0, 50.0]]
+        )
+        inst = TSPInstance("cp", coords)
+        a, b, d = closest_pair_between(inst, np.array([0, 1]), np.array([2, 3]))
+        assert (a, b) == (1, 2)
+        assert d == 1.0
+
+    def test_matches_bruteforce(self, inst):
+        ga = np.arange(0, 15)
+        gb = np.arange(15, 40)
+        a, b, d = closest_pair_between(inst, ga, gb)
+        block = inst.distance_matrix()[np.ix_(ga, gb)]
+        assert d == pytest.approx(block.min())
+        assert inst.distance(a, b) == pytest.approx(d)
+
+    def test_large_groups_kdtree_path(self):
+        big = uniform_instance(600, seed=1)
+        ga = np.arange(0, 300)
+        gb = np.arange(300, 600)
+        a, b, d = closest_pair_between(big, ga, gb)
+        # KD path works in Euclidean space; verify against the block min.
+        block = big.distance_block(ga, gb)
+        assert d <= block.min() + 1.0  # rounding slack of the metric
+
+    def test_empty_group_rejected(self, inst):
+        with pytest.raises(InstanceError):
+            closest_pair_between(inst, np.array([], dtype=int), np.array([1]))

@@ -1,0 +1,99 @@
+"""Tests for Tour validation and operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TourError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tour import Tour, tour_length, validate_permutation
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(8, seed=3)
+
+
+class TestValidatePermutation:
+    def test_valid(self):
+        order = validate_permutation(np.array([2, 0, 1]), 3)
+        assert order.dtype.kind == "i"
+
+    def test_wrong_length(self):
+        with pytest.raises(TourError):
+            validate_permutation(np.array([0, 1]), 3)
+
+    def test_duplicate(self):
+        with pytest.raises(TourError):
+            validate_permutation(np.array([0, 1, 1]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(TourError):
+            validate_permutation(np.array([0, 1, 5]), 3)
+
+    def test_not_1d(self):
+        with pytest.raises(TourError):
+            validate_permutation(np.array([[0, 1, 2]]), 3)
+
+
+class TestTour:
+    def test_length_cached(self, inst):
+        order = np.arange(8)
+        tour = Tour(inst, order)
+        assert tour.length == inst.tour_length(order)
+
+    def test_open_path_length(self, inst):
+        order = np.arange(8)
+        path = Tour(inst, order, closed=False)
+        assert path.length == inst.tour_length(order, closed=False)
+        assert path.length < Tour(inst, order).length
+
+    def test_invalid_rejected(self, inst):
+        with pytest.raises(TourError):
+            Tour(inst, np.zeros(8, dtype=int))
+
+    def test_position_of(self, inst):
+        tour = Tour(inst, np.array([3, 1, 4, 0, 2, 6, 5, 7]))
+        assert tour.position_of(4) == 2
+
+    def test_edges_closed(self, inst):
+        tour = Tour(inst, np.arange(8))
+        edges = tour.edges()
+        assert edges.shape == (8, 2)
+        assert tuple(edges[-1]) == (7, 0)
+
+    def test_edges_open(self, inst):
+        path = Tour(inst, np.arange(8), closed=False)
+        assert path.edges().shape == (7, 2)
+
+    def test_rotation_preserves_length(self, inst):
+        tour = Tour(inst, np.array([3, 1, 4, 0, 2, 6, 5, 7]))
+        rotated = tour.rotated_to(0)
+        assert rotated.order[0] == 0
+        assert rotated.length == pytest.approx(tour.length)
+
+    def test_rotate_open_fails(self, inst):
+        path = Tour(inst, np.arange(8), closed=False)
+        with pytest.raises(TourError):
+            path.rotated_to(3)
+
+    def test_reverse_preserves_length(self, inst):
+        tour = Tour(inst, np.array([3, 1, 4, 0, 2, 6, 5, 7]))
+        assert tour.reversed().length == pytest.approx(tour.length)
+
+    def test_gap_to(self, inst):
+        tour = Tour(inst, np.arange(8))
+        assert tour.gap_to(tour.length) == pytest.approx(0.0)
+        assert tour.gap_to(tour.length / 2) == pytest.approx(1.0)
+
+    def test_gap_to_invalid_reference(self, inst):
+        tour = Tour(inst, np.arange(8))
+        with pytest.raises(TourError):
+            tour.gap_to(0.0)
+
+
+def test_tour_length_helper(inst):
+    order = np.arange(8)
+    assert tour_length(inst, order) == inst.tour_length(order)
+    assert tour_length(inst, order, closed=False) == inst.tour_length(
+        order, closed=False
+    )

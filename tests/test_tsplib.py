@@ -1,0 +1,142 @@
+"""Tests for the TSPLIB parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPLIBError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tsplib import dumps_tsplib, loads_tsplib, read_tsplib, write_tsplib
+
+EUC_FILE = """NAME: tiny
+TYPE: TSP
+COMMENT: three city example
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 3.0 0.0
+3 0.0 4.0
+EOF
+"""
+
+EXPLICIT_FULL = """NAME: ex
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 1 2
+1 0 3
+2 3 0
+EOF
+"""
+
+UPPER_ROW = """NAME: up
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_ROW
+EDGE_WEIGHT_SECTION
+1 2 3
+4 5
+6
+EOF
+"""
+
+LOWER_DIAG = """NAME: low
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+7 0
+8 9 0
+EOF
+"""
+
+
+class TestParse:
+    def test_euc2d(self):
+        inst = loads_tsplib(EUC_FILE)
+        assert inst.name == "tiny"
+        assert inst.n == 3
+        assert inst.metric is EdgeWeightType.EUC_2D
+        assert inst.distance(0, 1) == 3.0
+        assert inst.comment == "three city example"
+
+    def test_explicit_full(self):
+        inst = loads_tsplib(EXPLICIT_FULL)
+        assert inst.metric is EdgeWeightType.EXPLICIT
+        assert inst.distance(1, 2) == 3.0
+
+    def test_upper_row(self):
+        inst = loads_tsplib(UPPER_ROW)
+        assert inst.distance(0, 1) == 1.0
+        assert inst.distance(0, 3) == 3.0
+        assert inst.distance(2, 3) == 6.0
+        assert inst.distance(3, 2) == 6.0
+
+    def test_lower_diag_row(self):
+        inst = loads_tsplib(LOWER_DIAG)
+        assert inst.distance(1, 0) == 7.0
+        assert inst.distance(2, 1) == 9.0
+
+    def test_missing_dimension(self):
+        with pytest.raises(TSPLIBError, match="DIMENSION"):
+            loads_tsplib("NAME: x\nTYPE: TSP\nEOF\n")
+
+    def test_wrong_coord_count(self):
+        bad = EUC_FILE.replace("3 0.0 4.0\n", "")
+        with pytest.raises(TSPLIBError):
+            loads_tsplib(bad)
+
+    def test_duplicate_coord(self):
+        bad = EUC_FILE.replace("2 3.0 0.0", "1 3.0 0.0")
+        with pytest.raises(TSPLIBError, match="duplicate"):
+            loads_tsplib(bad)
+
+    def test_atsp_rejected(self):
+        with pytest.raises(TSPLIBError):
+            loads_tsplib("NAME: x\nTYPE: ATSP\nDIMENSION: 3\nEOF\n")
+
+    def test_unknown_metric(self):
+        bad = EUC_FILE.replace("EUC_2D", "XRAY")
+        with pytest.raises(Exception):
+            loads_tsplib(bad)
+
+    def test_bad_weight_count(self):
+        bad = EXPLICIT_FULL.replace("2 3 0\n", "")
+        with pytest.raises(TSPLIBError):
+            loads_tsplib(bad)
+
+
+class TestRoundTrip:
+    def test_coords_roundtrip(self):
+        inst = uniform_instance(20, seed=5)
+        again = loads_tsplib(dumps_tsplib(inst))
+        np.testing.assert_allclose(inst.coords, again.coords, atol=1e-6)
+        assert again.metric is inst.metric
+
+    def test_explicit_roundtrip(self):
+        m = uniform_instance(6, seed=1).distance_matrix()
+        inst = TSPInstance("ex6", None, EdgeWeightType.EXPLICIT, matrix=m)
+        again = loads_tsplib(dumps_tsplib(inst))
+        np.testing.assert_allclose(inst.matrix, again.matrix)
+
+    def test_file_roundtrip(self, tmp_path):
+        inst = uniform_instance(10, seed=2)
+        path = tmp_path / "t.tsp"
+        write_tsplib(inst, path)
+        again = read_tsplib(path)
+        assert again.n == 10
+        order = np.arange(10)
+        assert inst.tour_length(order) == again.tour_length(order)
+
+    def test_geo_roundtrip(self):
+        coords = np.array([[38.24, 20.42], [39.57, 26.15], [40.56, 25.32]])
+        inst = TSPInstance("geo3", coords, EdgeWeightType.GEO)
+        again = loads_tsplib(dumps_tsplib(inst))
+        assert again.metric is EdgeWeightType.GEO
+        assert inst.distance(0, 1) == again.distance(0, 1)

@@ -1,0 +1,122 @@
+"""Tests for repro.utils: RNG helpers, units, validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.units import (
+    MICRO,
+    NANO,
+    PICO,
+    celsius_to_kelvin,
+    format_engineering,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(16), children[1].random(16))
+
+    def test_deterministic_from_seed(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.random(4), y.random(4))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+    def test_derive_rng_streams_differ(self):
+        base = np.random.default_rng(0)
+        a = derive_rng(base, 0)
+        b = derive_rng(base, 1)
+        assert not np.allclose(a.random(8), b.random(8))
+
+
+class TestUnits:
+    def test_constants(self):
+        assert MICRO == pytest.approx(1e-6)
+        assert NANO == pytest.approx(1e-9)
+        assert PICO == pytest.approx(1e-12)
+
+    def test_celsius(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+    def test_format_engineering_pico(self):
+        assert format_engineering(45.98e-12, "J") == "46 pJ"
+
+    def test_format_engineering_milli(self):
+        assert "m" in format_engineering(5.11e-3, "W")
+
+    def test_format_zero(self):
+        assert format_engineering(0.0, "s").startswith("0")
+
+    def test_format_unit_suffix(self):
+        assert format_engineering(2.5e-6, "A").endswith("uA")
+
+
+class TestValidation:
+    def test_check_positive_passes(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_zero_fails(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_in_range(self):
+        assert check_in_range("y", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("y", 11, 0, 10)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_square_matrix(self):
+        m = check_square_matrix("m", [[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        with pytest.raises(ValueError):
+            check_square_matrix("m", np.ones((2, 3)))
+
+    def test_custom_exception_class(self):
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            check_positive("x", -1, Boom)

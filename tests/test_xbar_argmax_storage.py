@@ -1,0 +1,135 @@
+"""Tests for the WTA ArgMax circuit and the spin-storage partition."""
+
+import numpy as np
+import pytest
+
+from repro.devices.sot_mram import DETERMINISTIC_MIN_CURRENT
+from repro.errors import CrossbarError
+from repro.xbar.argmax import WTAArgMax
+from repro.xbar.nonideal import WireResistanceModel
+from repro.xbar.spin_storage import SpinStorage
+
+
+class TestWTAArgMax:
+    def test_simple_winner(self):
+        wta = WTAArgMax(resolution=0.0)
+        assert wta.winner(np.array([1.0, 5.0, 3.0])) == 1
+
+    def test_mask_respected(self):
+        wta = WTAArgMax(resolution=0.0)
+        allowed = np.array([True, False, True])
+        assert wta.winner(np.array([1.0, 5.0, 3.0]), allowed) == 2
+
+    def test_no_allowed_raises(self):
+        wta = WTAArgMax()
+        with pytest.raises(CrossbarError):
+            wta.winner(np.array([1.0]), np.array([False]))
+
+    def test_one_hot_output_current(self):
+        wta = WTAArgMax(resolution=0.0)
+        out = wta.one_hot(np.array([1.0, 5.0, 3.0]))
+        assert out[1] == pytest.approx(DETERMINISTIC_MIN_CURRENT)
+        assert out.sum() == pytest.approx(DETERMINISTIC_MIN_CURRENT)
+
+    def test_resolution_ties_random(self):
+        wta = WTAArgMax(resolution=0.5, tie_break="random", seed=0)
+        currents = np.array([1.00, 0.99, 0.2])
+        winners = {wta.winner(currents) for _ in range(50)}
+        assert winners == {0, 1}
+
+    def test_tie_break_first_deterministic(self):
+        wta = WTAArgMax(resolution=0.5, tie_break="first")
+        assert wta.winner(np.array([1.00, 0.99, 0.2])) == 0
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            WTAArgMax(resolution=-0.1)
+        with pytest.raises(CrossbarError):
+            WTAArgMax(tie_break="coin")
+        with pytest.raises(CrossbarError):
+            WTAArgMax().winner(np.array([]))
+
+
+class TestSpinStorage:
+    def test_program_and_read(self):
+        ss = SpinStorage(5)
+        order = np.array([2, 0, 3, 1, 4])
+        ss.program_order(order)
+        np.testing.assert_array_equal(ss.read_order(), order)
+        assert ss.is_valid_permutation()
+
+    def test_superpose_is_or(self):
+        ss = SpinStorage(4)
+        ss.program_order(np.array([0, 1, 2, 3]))
+        v = ss.superpose(0, 2)
+        np.testing.assert_array_equal(v, [1, 0, 1, 0])
+
+    def test_superpose_same_column(self):
+        ss = SpinStorage(4)
+        ss.program_order(np.array([3, 1, 0, 2]))
+        v = ss.superpose(1, 1)
+        np.testing.assert_array_equal(v, [0, 1, 0, 0])
+
+    def test_city_at(self):
+        ss = SpinStorage(4)
+        ss.program_order(np.array([3, 1, 0, 2]))
+        assert ss.city_at(0) == 3
+        assert ss.city_at(3) == 2
+
+    def test_reset_then_write(self):
+        ss = SpinStorage(4)
+        ss.program_order(np.array([0, 1, 2, 3]))
+        ss.reset_column(1)
+        one_hot = np.zeros(4)
+        one_hot[3] = DETERMINISTIC_MIN_CURRENT
+        ss.write_column(1, one_hot)
+        assert ss.city_at(1) == 3
+
+    def test_write_without_reset_rejected(self):
+        ss = SpinStorage(4)
+        ss.program_order(np.array([0, 1, 2, 3]))
+        with pytest.raises(CrossbarError):
+            ss.write_column(1, np.ones(4))
+
+    def test_swap_columns_preserves_permutation(self):
+        ss = SpinStorage(5)
+        ss.program_order(np.array([2, 0, 3, 1, 4]))
+        ss.swap_columns(0, 3)
+        assert ss.is_valid_permutation()
+        np.testing.assert_array_equal(ss.read_order(), [1, 0, 3, 2, 4])
+
+    def test_invalid_order_rejected(self):
+        ss = SpinStorage(3)
+        with pytest.raises(CrossbarError):
+            ss.program_order(np.array([0, 0, 1]))
+
+    def test_out_of_range_column(self):
+        ss = SpinStorage(3)
+        with pytest.raises(CrossbarError):
+            ss.column(5)
+
+
+class TestWireModel:
+    def test_ideal_all_ones(self):
+        atten = WireResistanceModel(wire_resistance=0.0).attenuation(4, 8)
+        np.testing.assert_array_equal(atten, np.ones((4, 8)))
+
+    def test_monotone_decay(self):
+        atten = WireResistanceModel(wire_resistance=2.0).attenuation(4, 8)
+        assert atten[0, 0] == 1.0
+        assert np.all(np.diff(atten, axis=0) <= 0)
+        assert np.all(np.diff(atten, axis=1) <= 0)
+
+    def test_msb_position_advantage(self):
+        # Column 0 (MSB partition) suffers least attenuation: the reason
+        # the paper stores higher-significance bits near the drivers.
+        atten = WireResistanceModel(wire_resistance=2.0).attenuation(4, 16)
+        assert atten[:, 0].mean() > atten[:, 15].mean()
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            WireResistanceModel(wire_resistance=-1.0)
+        with pytest.raises(CrossbarError):
+            WireResistanceModel(cell_on_resistance=0.0)
+        with pytest.raises(CrossbarError):
+            WireResistanceModel().attenuation(0, 5)

@@ -1,0 +1,153 @@
+"""Tests for the crossbar array, peripherals, and effective weights."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mtj import MTJ
+from repro.devices.variation import DeviceVariation
+from repro.errors import CrossbarError
+from repro.tsp.generators import uniform_instance
+from repro.xbar.crossbar import (
+    CrossbarArray,
+    CrossbarConfig,
+    effective_weight_matrices,
+)
+from repro.xbar.nonideal import WireResistanceModel
+from repro.xbar.periph import CurrentComparator, CurrentMirror, DLatch
+from repro.xbar.quantize import inverse_distance_levels
+
+
+@pytest.fixture
+def levels():
+    dist = uniform_instance(10, seed=5).distance_matrix()
+    return inverse_distance_levels(dist, 4)
+
+
+def visiting(*cities, n=10):
+    v = np.zeros(n)
+    v[list(cities)] = 1.0
+    return v
+
+
+class TestCrossbarArray:
+    def test_requires_programming(self, levels):
+        xb = CrossbarArray(10, 4)
+        with pytest.raises(CrossbarError):
+            xb.mac_scores(visiting(0))
+
+    def test_ideal_matches_digital(self, levels):
+        xb = CrossbarArray(10, 4, CrossbarConfig.ideal(), seed=0)
+        xb.program(levels)
+        v = visiting(2, 7)
+        np.testing.assert_allclose(
+            xb.mac_scores(v), xb.ideal_scores(v, levels), rtol=1e-4
+        )
+
+    def test_leakage_is_common_mode(self, levels):
+        # Finite on/off ratio adds leakage, but equally per column, so
+        # the ArgMax winner is unchanged vs the ideal array.
+        ideal = CrossbarArray(10, 4, CrossbarConfig.ideal(), seed=0)
+        ideal.program(levels)
+        real = CrossbarArray(10, 4, CrossbarConfig(
+            wire=WireResistanceModel(wire_resistance=0.0)
+        ), seed=0)
+        real.program(levels)
+        for cities in [(0, 1), (3, 8), (2, 9)]:
+            v = visiting(*cities)
+            assert np.argmax(real.mac_scores(v)) == np.argmax(
+                ideal.mac_scores(v)
+            )
+
+    def test_wire_attenuation_reduces_current(self, levels):
+        clean = CrossbarArray(10, 4, CrossbarConfig(
+            wire=WireResistanceModel(wire_resistance=0.0)), seed=0)
+        lossy = CrossbarArray(10, 4, CrossbarConfig(
+            wire=WireResistanceModel(wire_resistance=5.0)), seed=0)
+        clean.program(levels)
+        lossy.program(levels)
+        v = visiting(4, 6)
+        assert lossy.mac_scores(v).sum() < clean.mac_scores(v).sum()
+
+    def test_partition_currents_shape(self, levels):
+        xb = CrossbarArray(10, 4, seed=0)
+        xb.program(levels)
+        currents = xb.partition_currents(visiting(1, 2))
+        assert currents.shape == (4, 10)
+        assert np.all(currents >= 0)
+
+    def test_array_size_property(self, levels):
+        xb = CrossbarArray(10, 4)
+        assert xb.array_size == (10, 40)
+
+    def test_nonbinary_input_rejected(self, levels):
+        xb = CrossbarArray(10, 4, seed=0)
+        xb.program(levels)
+        with pytest.raises(CrossbarError):
+            xb.mac_scores(np.full(10, 0.5))
+
+    def test_effective_weights_match_mac(self, levels):
+        xb = CrossbarArray(10, 4, CrossbarConfig(), seed=0)
+        xb.program(levels)
+        w = xb.effective_weights()
+        for cities in [(0,), (3, 8), (1, 2)]:
+            v = visiting(*cities)
+            np.testing.assert_allclose(v @ w, xb.mac_scores(v), rtol=1e-10)
+
+    def test_batched_effective_weights_match(self, levels):
+        config = CrossbarConfig()
+        xb = CrossbarArray(10, 4, config, seed=0)
+        xb.program(levels)
+        batched = effective_weight_matrices(
+            levels[None], 4, config, np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(batched[0], xb.effective_weights())
+
+    def test_variation_changes_weights(self, levels):
+        config = CrossbarConfig(variation=DeviceVariation(resistance_sigma=0.1))
+        a = effective_weight_matrices(levels[None], 4, config, np.random.default_rng(1))
+        b = effective_weight_matrices(levels[None], 4, config, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_invalid_construction(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(1, 4)
+        with pytest.raises(CrossbarError):
+            CrossbarArray(10, 0)
+
+
+class TestPeripherals:
+    def test_comparator_threshold(self):
+        cmp = CurrentComparator(threshold=1e-6)
+        out = cmp.compare(np.array([0.5e-6, 2e-6]))
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_comparator_offset(self):
+        cmp = CurrentComparator(threshold=1e-6, input_offset=2e-6)
+        assert cmp.compare(np.array([2.5e-6]))[0] == 0
+
+    def test_mirror_gain(self):
+        m = CurrentMirror(gain=4.0)
+        np.testing.assert_allclose(m.mirror(np.array([1e-6])), [4e-6])
+
+    def test_mirror_bank_msb_first(self):
+        bank = CurrentMirror.bank_for_bits(4)
+        assert [m.gain for m in bank] == [8.0, 4.0, 2.0, 1.0]
+
+    def test_mirror_mismatch(self):
+        m = CurrentMirror(gain=2.0, mismatch_sigma=0.05, seed=0)
+        assert m.actual_gain != 2.0
+        assert abs(m.actual_gain - 2.0) < 0.5
+
+    def test_dlatch_store_read(self):
+        latch = DLatch(4)
+        latch.store(np.array([1, 0, 1, 1]))
+        np.testing.assert_array_equal(latch.read(), [1, 0, 1, 1])
+        latch.clear()
+        assert latch.read().sum() == 0
+
+    def test_dlatch_validation(self):
+        latch = DLatch(3)
+        with pytest.raises(CrossbarError):
+            latch.store(np.array([1, 0]))
+        with pytest.raises(CrossbarError):
+            latch.store(np.array([1, 2, 0]))

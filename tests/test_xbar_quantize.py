@@ -1,0 +1,105 @@
+"""Tests for the eq. 4 quantization and bit slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrossbarError
+from repro.tsp.generators import uniform_instance
+from repro.xbar.quantize import (
+    bit_slices,
+    full_scale,
+    inverse_distance_levels,
+    quantized_weight_matrix,
+    reconstruct_levels,
+)
+
+
+@pytest.fixture
+def dist():
+    return uniform_instance(10, seed=5).distance_matrix()
+
+
+class TestFullScale:
+    def test_values(self):
+        assert full_scale(2) == 3
+        assert full_scale(4) == 15
+        assert full_scale(8) == 255
+
+    def test_invalid(self):
+        with pytest.raises(CrossbarError):
+            full_scale(0)
+
+
+class TestInverseDistanceLevels:
+    def test_diagonal_zero(self, dist):
+        levels = inverse_distance_levels(dist, 4)
+        assert np.all(np.diag(levels) == 0)
+
+    def test_min_distance_saturates(self, dist):
+        levels = inverse_distance_levels(dist, 4)
+        off = ~np.eye(10, dtype=bool)
+        d_min = dist[off].min()
+        i, j = np.argwhere((dist == d_min) & off)[0]
+        assert levels[i, j] == 15
+
+    def test_monotone_in_distance(self, dist):
+        levels = inverse_distance_levels(dist, 4)
+        off = np.argwhere(~np.eye(10, dtype=bool))
+        pairs = [(tuple(a), tuple(b)) for a in off[:20] for b in off[:20]]
+        for a, b in pairs:
+            if dist[a] < dist[b]:
+                assert levels[a] >= levels[b]
+
+    def test_range(self, dist):
+        for bits in (2, 3, 4):
+            levels = inverse_distance_levels(dist, bits)
+            assert levels.min() >= 0
+            assert levels.max() <= full_scale(bits)
+
+    def test_coincident_cities_saturate(self):
+        d = np.array([[0.0, 0.0, 5.0], [0.0, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        levels = inverse_distance_levels(d, 3)
+        assert levels[0, 1] == 7
+        assert levels[0, 0] == 0
+
+    def test_all_coincident(self):
+        d = np.zeros((3, 3))
+        levels = inverse_distance_levels(d, 2)
+        assert levels[0, 1] == 3
+        assert np.all(np.diag(levels) == 0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(CrossbarError):
+            inverse_distance_levels(np.zeros((2, 3)), 4)
+
+
+class TestBitSlices:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 6])
+    def test_round_trip(self, dist, bits):
+        levels = inverse_distance_levels(dist, bits)
+        slices = bit_slices(levels, bits)
+        assert slices.shape == (bits, 10, 10)
+        np.testing.assert_array_equal(reconstruct_levels(slices), levels)
+
+    def test_msb_first(self):
+        levels = np.array([[0, 2], [2, 0]])  # 2 = binary 10
+        slices = bit_slices(levels, 2)
+        assert slices[0, 0, 1] == 1  # MSB set
+        assert slices[1, 0, 1] == 0  # LSB clear
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CrossbarError):
+            bit_slices(np.array([[0, 4]]), 2)  # 4 > 3
+
+
+class TestQuantizedWeights:
+    def test_normalized_range(self, dist):
+        w = quantized_weight_matrix(dist, 4)
+        assert w.min() >= 0.0
+        assert w.max() <= 1.0
+
+    def test_quantization_grid(self, dist):
+        w = quantized_weight_matrix(dist, 2)
+        grid = np.unique(np.round(w * 3))
+        assert np.allclose(w * 3, np.round(w * 3))
+        assert grid.size <= 4
