@@ -18,7 +18,14 @@ Quickstart::
     print(result.tour.length)
 """
 
-from repro.core import TAXIConfig, TAXIResult, TAXISolver
+from repro.core import (
+    BatchResult,
+    EngineConfig,
+    TAXIConfig,
+    TAXIResult,
+    TAXISolver,
+)
+from repro.engine import run_batch, run_replicas, solve_with, solver_names
 from repro.tsp import TSPInstance, Tour, load_benchmark
 from repro.errors import ReproError
 
@@ -26,11 +33,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "TAXIConfig",
+    "EngineConfig",
     "TAXISolver",
     "TAXIResult",
+    "BatchResult",
     "TSPInstance",
     "Tour",
     "load_benchmark",
+    "run_replicas",
+    "run_batch",
+    "solve_with",
+    "solver_names",
     "ReproError",
     "__version__",
 ]

@@ -3,9 +3,15 @@
 import sys
 
 from repro.cli import main
+from repro.errors import ReproError
 
 try:
     code = main()
 except BrokenPipeError:  # e.g. `python -m repro table1 | head`
     code = 0
+except ReproError as exc:
+    # Library errors (bad solver name, bad instance token, out-of-range
+    # config) are user input problems at the CLI: report, don't traceback.
+    print(f"error: {exc}", file=sys.stderr)
+    code = 2
 sys.exit(code)

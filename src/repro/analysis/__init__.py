@@ -10,7 +10,9 @@ from repro.analysis.metrics import (
 from repro.analysis.reporting import (
     CITED_ENERGY_TABLE,
     ascii_table,
+    batch_table,
     format_seconds,
+    write_batch_csv,
 )
 from repro.analysis.figures import FigureSeries, write_csv
 
@@ -21,6 +23,8 @@ __all__ = [
     "speedup",
     "geometric_mean",
     "ascii_table",
+    "batch_table",
+    "write_batch_csv",
     "format_seconds",
     "CITED_ENERGY_TABLE",
     "FigureSeries",

@@ -1,4 +1,4 @@
-"""ASCII tables and the cited comparison constants.
+"""ASCII tables, batch-run reporting, and the cited comparison constants.
 
 Table II of the paper compares TAXI's energy against numbers *cited*
 from the comparator papers (HVC's CPU joules, IMA's and CIMA's
@@ -61,6 +61,53 @@ def format_seconds(seconds: float) -> str:
     if days < 730:
         return f"{days:.3g} days"
     return f"{days / 365.25:.3g} years"
+
+
+#: Column order of one batch summary row (table and CSV export).
+#: ``batch_wall_seconds`` is the whole job's wall clock (repeated on
+#: every row); ``solve_seconds`` is the per-instance solver time.
+BATCH_COLUMNS = (
+    "instance", "n", "solver", "replicas", "best", "median", "p90",
+    "mean", "best_seed", "solve_seconds", "batch_wall_seconds",
+)
+
+
+def batch_rows(results) -> list[list[str]]:
+    """Format :class:`~repro.core.result.BatchResult` aggregates as table rows."""
+    rows = []
+    for result in results:
+        summary = result.as_dict()
+        rows.append([
+            str(summary["instance"]),
+            str(summary["n"]),
+            str(summary["solver"]),
+            str(summary["replicas"]),
+            f"{summary['best']:.0f}",
+            f"{summary['median']:.0f}",
+            f"{summary['p90']:.0f}",
+            f"{summary['mean']:.1f}",
+            str(summary["best_seed"]),
+            format_seconds(summary["solve_seconds"]),
+            format_seconds(summary["batch_wall_seconds"]),
+        ])
+    return rows
+
+
+def batch_table(results, title: str = "") -> str:
+    """Render a batch's per-instance aggregates as an ASCII table."""
+    return ascii_table(list(BATCH_COLUMNS), batch_rows(results), title=title)
+
+
+def write_batch_csv(results, path) -> None:
+    """Export batch aggregates (one row per instance) as CSV."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(BATCH_COLUMNS)
+        for result in results:
+            summary = result.as_dict()
+            writer.writerow([summary[column] for column in BATCH_COLUMNS])
 
 
 @dataclass(frozen=True)

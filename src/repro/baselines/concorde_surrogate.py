@@ -23,7 +23,6 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
 
 from repro.baselines.exact import held_karp_tour
 from repro.baselines.greedy import greedy_edge_tour, space_filling_order

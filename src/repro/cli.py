@@ -4,6 +4,9 @@ Commands
 --------
 ``solve``     solve a benchmark size (or a TSPLIB file) with TAXI
 ``compare``   run TAXI against the comparator solvers on one instance
+``batch``     fan a set of instances over seeded replicas (process pool)
+``sweep``     sweep one solver parameter over a value list
+``solvers``   list the solver registry
 ``table1``    print the Table I circuit-simulation reproduction
 ``devices``   print the SOT-MRAM switching operating points
 ``bench-info``  list the benchmark registry
@@ -13,6 +16,8 @@ Examples::
     python -m repro solve --size 1060 --bits 4 --sweeps 300
     python -m repro solve --tsplib path/to/instance.tsp
     python -m repro compare --size 318
+    python -m repro batch --instances 76 101 200 262 --replicas 4 --workers 4
+    python -m repro sweep --size 318 --param sweeps --values 30 60 120
     python -m repro table1
 """
 
@@ -21,9 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import ascii_table, format_seconds
+from repro.analysis import ascii_table, batch_table, format_seconds
 from repro.core import TAXIConfig, TAXISolver
-from repro.tsp import load_benchmark, read_tsplib
 from repro.tsp.benchmarks import BENCHMARK_SIZES, benchmark_spec
 
 
@@ -53,6 +57,30 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sweeps", type=int, default=134)
     compare.add_argument("--seed", type=int, default=0)
 
+    batch = sub.add_parser(
+        "batch", help="solve a batch of instances over seeded replicas"
+    )
+    batch.add_argument(
+        "--instances", nargs="+", default=["76", "101", "200", "262"],
+        metavar="SPEC",
+        help="instance tokens: benchmark size/name, TSPLIB path, or "
+             "family:n[:seed] generator spec",
+    )
+    _engine_args(batch)
+    batch.add_argument("--csv", type=str, default=None,
+                       help="also export the summary table as CSV")
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one solver parameter over a value list"
+    )
+    _instance_args(sweep)
+    _engine_args(sweep)
+    sweep.add_argument("--param", required=True,
+                       help="solver parameter to sweep (e.g. sweeps, bits)")
+    sweep.add_argument("--values", nargs="+", required=True,
+                       help="values to sweep (parsed as int/float/bool/str)")
+
+    sub.add_parser("solvers", help="list the solver registry")
     sub.add_parser("table1", help="print the Table I reproduction")
     sub.add_parser("devices", help="print SOT-MRAM operating points")
     sub.add_parser("bench-info", help="list the benchmark registry")
@@ -61,15 +89,65 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _instance_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group(required=False)
-    group.add_argument("--size", type=int, help="benchmark registry size")
+    group.add_argument("--size", type=int,
+                       help="benchmark registry size (other sizes get a "
+                            "seeded uniform instance)")
     group.add_argument("--tsplib", type=str, help="path to a TSPLIB file")
 
 
+def _engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--solver", default="taxi",
+                        help="registered solver name (see `repro solvers`)")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="seeded solver starts per instance")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: cpu count; "
+                             "1 = serial, bit-identical to parallel)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--sweeps", type=int, default=None,
+                        help="annealing sweeps (stochastic solvers)")
+    parser.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                        help="extra solver parameter (repeatable)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-replica progress lines")
+
+
 def _load_instance(args: argparse.Namespace):
+    from repro.engine import resolve_instance
+
     if getattr(args, "tsplib", None):
-        return read_tsplib(args.tsplib)
+        return resolve_instance(args.tsplib)
     size = getattr(args, "size", None) or 318
-    return load_benchmark(size)
+    return resolve_instance(size)
+
+
+def _parse_value(text: str):
+    """CLI value parsing for solver params: int, float, bool, else str."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _solver_params(args: argparse.Namespace) -> dict:
+    params: dict = {}
+    if getattr(args, "sweeps", None) is not None:
+        params["sweeps"] = args.sweeps
+    for item in getattr(args, "set", []):
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        params[key] = _parse_value(value)
+    return params
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -127,6 +205,98 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core import EngineConfig
+    from repro.engine import BatchJob, run_batch
+
+    job = BatchJob.create(
+        args.instances,
+        solver=args.solver,
+        params=_solver_params(args),
+        engine=EngineConfig(
+            replicas=args.replicas, workers=args.workers, seed=args.seed
+        ),
+    )
+    progress = None if args.quiet else _print_progress
+    results = run_batch(job, progress=progress)
+    workers = job.engine.resolved_workers(len(job.instances) * args.replicas)
+    print(batch_table(
+        results,
+        title=f"batch: solver={args.solver} replicas={args.replicas} "
+              f"workers={workers} seed={args.seed}",
+    ))
+    if args.csv:
+        from repro.analysis import write_batch_csv
+
+        write_batch_csv(results, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core import EngineConfig
+    from repro.engine import BatchJob, run_batch
+
+    if args.tsplib:
+        token = args.tsplib
+    else:
+        token = args.size if args.size is not None else 318
+    base_params = _solver_params(args)
+    if args.param == "seed":
+        raise SystemExit("sweep the master seed via --seed, not --param seed")
+    rows = []
+    for raw in args.values:
+        value = _parse_value(raw)
+        params = dict(base_params)
+        params[args.param] = value
+        job = BatchJob.create(
+            [token],
+            solver=args.solver,
+            params=params,
+            engine=EngineConfig(
+                replicas=args.replicas, workers=args.workers, seed=args.seed
+            ),
+        )
+        progress = None if args.quiet else _print_progress
+        result = run_batch(job, progress=progress)[0]
+        rows.append([
+            str(raw),
+            f"{result.best_length:.0f}",
+            f"{result.median_length:.0f}",
+            f"{result.percentile(90):.0f}",
+            format_seconds(result.wall_seconds),
+        ])
+    print(ascii_table(
+        [args.param, "best", "median", "p90", "wall"],
+        rows,
+        title=f"sweep: {args.param} on {token} "
+              f"(solver={args.solver}, replicas={args.replicas})",
+    ))
+    return 0
+
+
+def cmd_solvers(_args: argparse.Namespace) -> int:
+    from repro.engine import get_solver, solver_names
+
+    rows = []
+    for name in solver_names():
+        spec = get_solver(name)
+        params = ", ".join(p for p in spec.accepted_params() if p != "seed")
+        rows.append([
+            name,
+            "stochastic" if spec.stochastic else "deterministic",
+            spec.description,
+            params or "-",
+        ])
+    print(ascii_table(["name", "kind", "description", "extra params"], rows,
+                      title="solver registry"))
+    return 0
+
+
+def _print_progress(event) -> None:
+    print(event, file=sys.stderr, flush=True)
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     from repro.macro.circuit_sim import CircuitSimulator
 
@@ -167,6 +337,9 @@ def cmd_bench_info(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": cmd_solve,
     "compare": cmd_compare,
+    "batch": cmd_batch,
+    "sweep": cmd_sweep,
+    "solvers": cmd_solvers,
     "table1": cmd_table1,
     "devices": cmd_devices,
     "bench-info": cmd_bench_info,
@@ -176,6 +349,23 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
+
+
+def script_main() -> None:  # pragma: no cover - thin console-script wrapper
+    """Entry point for the installed ``repro`` command.
+
+    Same behavior as ``python -m repro``: library errors are reported
+    as one-line messages, not tracebacks.
+    """
+    from repro.errors import ReproError
+
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ClusteringError
-from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.instance import TSPInstance
 from repro.tsp.neighbors import closest_pair_between
 
 

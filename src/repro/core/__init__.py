@@ -10,15 +10,24 @@ Typical use::
     print(result.tour.length, result.phase_seconds)
 """
 
-from repro.core.config import TAXIConfig
-from repro.core.result import LevelStats, PhaseTimes, TAXIResult
+from repro.core.config import EngineConfig, TAXIConfig
+from repro.core.result import (
+    BatchResult,
+    LevelStats,
+    PhaseTimes,
+    ReplicaResult,
+    TAXIResult,
+)
 from repro.core.solver import TAXISolver
 from repro.core.pipeline import solve_hierarchical
 
 __all__ = [
     "TAXIConfig",
+    "EngineConfig",
     "TAXISolver",
     "TAXIResult",
+    "BatchResult",
+    "ReplicaResult",
     "PhaseTimes",
     "LevelStats",
     "solve_hierarchical",

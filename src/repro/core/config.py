@@ -77,3 +77,41 @@ class TAXIConfig:
     def schedule(self) -> AnnealSchedule:
         """The annealing schedule implied by this solver config."""
         return paper_schedule(self.sweeps)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the multi-replica execution engine.
+
+    Parameters
+    ----------
+    replicas:
+        Independent seeded solver starts per instance; the engine
+        reports best-of / percentile aggregates over them.
+    workers:
+        Process-pool width.  ``None`` picks ``min(replicas, cpu_count)``;
+        ``1`` runs serially in-process (bit-identical to any parallel
+        run thanks to pre-derived replica seeds).
+    seed:
+        Master seed; per-replica seeds are derived deterministically
+        via :func:`repro.utils.rng.replica_seeds`.
+    """
+
+    replicas: int = 4
+    workers: int | None = None
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+
+    def resolved_workers(self, task_count: int | None = None) -> int:
+        """The actual pool width for ``task_count`` pending tasks."""
+        import os
+
+        width = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        if task_count is not None:
+            width = min(width, task_count)
+        return max(1, width)

@@ -21,7 +21,7 @@ import numpy as np
 from repro.devices.sot_mram import SwitchingCharacteristic
 from repro.errors import DeviceError
 from repro.utils.rng import ensure_rng
-from repro.utils.units import MEGA, MICRO, PICO
+from repro.utils.units import MEGA, PICO
 
 
 @dataclass

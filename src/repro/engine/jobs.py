@@ -1,0 +1,275 @@
+"""Batch job descriptions: instance specs, caching, and progress.
+
+A batch names its instances by *spec* rather than by materialized
+object, so fanning a job out over a process pool ships a few bytes per
+task instead of pickling coordinate arrays, and every worker process
+materializes each instance exactly once (module-level cache).  Distance
+matrices are likewise cached per instance within a process
+(:func:`cached_distance_matrix`); the registry feeds the shared matrix
+to full-matrix solvers (``sa_tsp``), so the N replicas a worker handles
+reuse one matrix instead of recomputing the O(n^2) block N times.
+
+Spec tokens (CLI ``--instances`` and :func:`spec_from_token`):
+
+``"318"``
+    Benchmark-registry size (``syn318``).  Sizes outside the registry
+    fall back to a seeded uniform instance, so e.g. ``--size 52`` works.
+``"syn318"``
+    Benchmark-registry name.
+``"path/to/inst.tsp"``
+    A TSPLIB file.
+``"clustered:500"`` or ``"grid:300:7"``
+    Generator spec ``family:n[:seed]`` over the four synthetic
+    families (uniform, clustered, grid, drilling).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.errors import ConfigError, InstanceError
+from repro.tsp.benchmarks import _REGISTRY_SEED, benchmark_spec, load_benchmark
+from repro.tsp.generators import (
+    clustered_instance,
+    drilling_instance,
+    grid_instance,
+    uniform_instance,
+)
+from repro.tsp.instance import TSPInstance
+
+_GENERATORS = {
+    "uniform": uniform_instance,
+    "clustered": clustered_instance,
+    "grid": grid_instance,
+    "drilling": drilling_instance,
+    "drill": drilling_instance,
+}
+
+#: Per-process instance cache (keyed by spec cache key).
+_INSTANCE_CACHE: dict[str, TSPInstance] = {}
+
+#: Per-process distance-matrix cache, keyed by instance *object*
+#: identity.  The instance is kept in the value so its id() cannot be
+#: recycled while the entry lives (names alone are not unique: two
+#: generator instances with different seeds may share one name).
+_MATRIX_CACHE: dict[int, tuple[TSPInstance, np.ndarray]] = {}
+
+#: Matrices above this size are never cached (memory, not CPU, binds).
+_MATRIX_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A picklable, cacheable description of one TSP instance.
+
+    Exactly one of the class methods builds a spec; ``inline`` specs
+    carry the instance itself (no cache key) while the other kinds are
+    resolved — and memoized — inside whichever process needs them.
+    """
+
+    kind: str  # "benchmark" | "tsplib" | "generator" | "inline"
+    value: str = ""
+    size: int = 0
+    seed: int | None = None
+    instance: TSPInstance | None = field(default=None, compare=False)
+
+    @classmethod
+    def benchmark(cls, size_or_name: int | str) -> "InstanceSpec":
+        spec = benchmark_spec(size_or_name)  # validates; raises InstanceError
+        return cls(kind="benchmark", value=spec.name, size=spec.size)
+
+    @classmethod
+    def tsplib(cls, path: str | os.PathLike) -> "InstanceSpec":
+        return cls(kind="tsplib", value=str(path))
+
+    @classmethod
+    def generator(cls, family: str, n: int, seed: int | None = None) -> "InstanceSpec":
+        if family not in _GENERATORS:
+            raise ConfigError(
+                f"unknown generator family {family!r}; "
+                f"known: {', '.join(sorted(_GENERATORS))}"
+            )
+        if n < 2:
+            raise ConfigError(f"generator instance size must be >= 2, got {n}")
+        return cls(kind="generator", value=family, size=n, seed=seed)
+
+    @classmethod
+    def inline(cls, instance: TSPInstance) -> "InstanceSpec":
+        return cls(kind="inline", value=instance.name, size=instance.n,
+                   instance=instance)
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str | None:
+        """Stable per-process memoization key (``None`` = do not cache)."""
+        if self.kind == "inline":
+            return None
+        return f"{self.kind}:{self.value}:{self.size}:{self.seed}"
+
+    def resolve(self) -> TSPInstance:
+        """Materialize the instance (memoized per process)."""
+        if self.kind == "inline":
+            assert self.instance is not None
+            return self.instance
+        key = self.cache_key()
+        cached = _INSTANCE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        instance = self._build()
+        _INSTANCE_CACHE[key] = instance
+        return instance
+
+    def _build(self) -> TSPInstance:
+        if self.kind == "benchmark":
+            return load_benchmark(self.value)
+        if self.kind == "tsplib":
+            from repro.tsp.tsplib import read_tsplib
+
+            return read_tsplib(self.value)
+        if self.kind == "generator":
+            seed = self.seed if self.seed is not None else _REGISTRY_SEED + self.size
+            return _GENERATORS[self.value](self.size, seed=seed, name=self.label)
+        raise ConfigError(f"unknown instance spec kind {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        """Short display name (resolves nothing).
+
+        Explicitly-seeded generator specs carry the seed in the label
+        so two same-size instances stay distinguishable in tables,
+        CSVs, and progress lines.
+        """
+        if self.kind == "tsplib":
+            return os.path.basename(self.value)
+        if self.kind == "generator":
+            base = f"{self.value}{self.size}"
+            return base if self.seed is None else f"{base}@{self.seed}"
+        return self.value
+
+
+def spec_from_token(token: "str | int | TSPInstance") -> InstanceSpec:
+    """Parse one CLI/API instance token into an :class:`InstanceSpec`."""
+    if isinstance(token, TSPInstance):
+        return InstanceSpec.inline(token)
+    text = str(token).strip()
+    if not text:
+        raise ConfigError("empty instance token")
+    if text.lstrip("-").isdigit():
+        size = int(text)
+        if size < 2:
+            raise ConfigError(f"instance size must be >= 2, got {size}")
+        try:
+            return InstanceSpec.benchmark(size)
+        except InstanceError:
+            # Off-registry size: seeded uniform fallback (so --size 52 works).
+            return InstanceSpec.generator("uniform", size)
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) not in (2, 3) or not parts[1].isdigit():
+            raise ConfigError(
+                f"bad generator spec {text!r}; expected family:n[:seed]"
+            )
+        seed = None
+        if len(parts) == 3:
+            if not parts[2].lstrip("-").isdigit():
+                raise ConfigError(f"bad generator seed in {text!r}")
+            seed = int(parts[2])
+        return InstanceSpec.generator(parts[0], int(parts[1]), seed)
+    if text.lower().endswith(".tsp") or os.path.sep in text or os.path.exists(text):
+        return InstanceSpec.tsplib(text)
+    try:
+        return InstanceSpec.benchmark(text)
+    except InstanceError as exc:
+        raise ConfigError(
+            f"cannot interpret instance token {text!r} as a benchmark name, "
+            "size, TSPLIB path, or family:n[:seed] generator spec"
+        ) from exc
+
+
+def resolve_instance(token: "str | int | TSPInstance") -> TSPInstance:
+    """Token straight to instance (what the single-shot CLI uses)."""
+    return spec_from_token(token).resolve()
+
+
+def cached_distance_matrix(instance: TSPInstance) -> np.ndarray:
+    """The instance's full distance matrix, shared within this process.
+
+    Callers must treat the returned array as read-only.  Instances
+    above the cache limit raise the same :class:`InstanceError` that
+    :meth:`TSPInstance.distance_matrix` would for oversized requests.
+    """
+    entry = _MATRIX_CACHE.get(id(instance))
+    if entry is not None and entry[0] is instance:
+        return entry[1]
+    matrix = instance.distance_matrix()
+    if instance.n <= _MATRIX_CACHE_LIMIT:
+        _MATRIX_CACHE[id(instance)] = (instance, matrix)
+    return matrix
+
+
+def clear_caches() -> None:
+    """Drop the per-process instance and matrix caches (tests, memory)."""
+    _INSTANCE_CACHE.clear()
+    _MATRIX_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Batch jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A batch of instances to solve with one solver configuration."""
+
+    instances: tuple[InstanceSpec, ...]
+    solver: str = "taxi"
+    params: tuple[tuple[str, object], ...] = ()
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    @classmethod
+    def create(
+        cls,
+        instances,
+        solver: str = "taxi",
+        params: dict | None = None,
+        engine: EngineConfig | None = None,
+    ) -> "BatchJob":
+        """Build a job from loose tokens/instances and a params dict."""
+        specs = tuple(spec_from_token(token) for token in instances)
+        if not specs:
+            raise ConfigError("a batch job needs at least one instance")
+        if params and "seed" in params:
+            raise ConfigError(
+                "per-solver 'seed' is owned by the engine; set EngineConfig.seed"
+            )
+        return cls(
+            instances=specs,
+            solver=solver,
+            params=tuple(sorted((params or {}).items())),
+            engine=engine if engine is not None else EngineConfig(),
+        )
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """One progress event streamed while a batch executes."""
+
+    instance: str
+    replica: int
+    replicas_total: int
+    completed: int
+    total: int
+    length: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.completed}/{self.total}] {self.instance} "
+            f"replica {self.replica + 1}/{self.replicas_total}: "
+            f"length {self.length:.0f}"
+        )

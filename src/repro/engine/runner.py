@@ -1,0 +1,229 @@
+"""Multi-start / multi-replica execution over a process pool.
+
+This is the throughput layer the paper's chip provides in hardware:
+many independent anneals in flight at once.  A job fans out as
+``instances x replicas`` tasks; each task re-derives its solver from
+``(solver name, params, replica seed)`` inside the worker, so nothing
+stateful crosses process boundaries and a run is reproducible
+bit-for-bit at any worker count:
+
+* replica seeds are pre-derived in the parent from the master seed
+  (:func:`repro.utils.rng.replica_seeds`), never from pool scheduling;
+* results are keyed by ``(instance, replica index)`` and re-sorted, so
+  completion order cannot leak into aggregates;
+* ``workers=1`` short-circuits to an in-process serial loop that runs
+  the exact same task function.
+
+Usage::
+
+    from repro.engine import run_replicas
+
+    batch = run_replicas(318, solver="taxi", replicas=8, seed=0,
+                         workers=4, sweeps=200)
+    batch.best_length, batch.median_length, batch.percentile(90)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.result import BatchResult, ReplicaResult
+from repro.engine.jobs import BatchJob, BatchProgress, InstanceSpec
+from repro.engine.registry import build_solver, get_solver
+from repro.errors import ConfigError
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import replica_seeds
+
+#: How many queued tasks per worker to keep in flight (bounds memory).
+_BACKLOG_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ReplicaTask:
+    """Everything one worker needs to run one replica."""
+
+    spec: InstanceSpec
+    solver: str
+    params: tuple[tuple[str, object], ...]
+    seed: int
+    index: int
+    instance_index: int = 0
+
+
+def validate_finite_instance(instance: TSPInstance) -> None:
+    """Reject instances whose geometry would propagate NaN/inf lengths."""
+    if instance.coords is not None and not np.isfinite(instance.coords).all():
+        raise ConfigError(
+            f"instance {instance.name!r} has non-finite coordinates; "
+            "refusing to solve (tour lengths would be NaN/inf)"
+        )
+    if instance.matrix is not None and not np.isfinite(instance.matrix).all():
+        raise ConfigError(
+            f"instance {instance.name!r} has a non-finite distance matrix; "
+            "refusing to solve (tour lengths would be NaN/inf)"
+        )
+
+
+#: Instances this process has already finite-checked (id -> instance;
+#: the strong reference keeps the id from being recycled).
+_VALIDATED: dict[int, TSPInstance] = {}
+
+
+def _validate_once(instance: TSPInstance) -> None:
+    if _VALIDATED.get(id(instance)) is instance:
+        return
+    validate_finite_instance(instance)
+    _VALIDATED[id(instance)] = instance
+
+
+def run_replica_task(task: ReplicaTask) -> tuple[int, ReplicaResult]:
+    """Execute one replica (module-level so process pools can pickle it)."""
+    instance = task.spec.resolve()
+    _validate_once(instance)
+    solve = build_solver(task.solver, seed=task.seed, **dict(task.params))
+    start = time.perf_counter()
+    tour = solve(instance)
+    seconds = time.perf_counter() - start
+    if not np.isfinite(tour.length):
+        raise ConfigError(
+            f"solver {task.solver!r} produced a non-finite tour length "
+            f"on {instance.name!r}"
+        )
+    replica = ReplicaResult(
+        index=task.index,
+        seed=task.seed,
+        order=np.asarray(tour.order, dtype=int),
+        length=float(tour.length),
+        seconds=seconds,
+    )
+    return task.instance_index, replica
+
+
+def _execute_tasks(
+    tasks: list[ReplicaTask],
+    workers: int,
+    executor: Executor | None,
+    on_result: Callable[[int, ReplicaResult], None],
+) -> None:
+    """Run every task, invoking ``on_result`` as each replica finishes."""
+    if executor is not None:
+        for future in [executor.submit(run_replica_task, task) for task in tasks]:
+            on_result(*future.result())
+        return
+    if workers <= 1:
+        for task in tasks:
+            on_result(*run_replica_task(task))
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        backlog = workers * _BACKLOG_PER_WORKER
+        pending = {pool.submit(run_replica_task, task) for task in tasks[:backlog]}
+        queued = backlog
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                on_result(*future.result())
+                if queued < len(tasks):
+                    pending.add(pool.submit(run_replica_task, tasks[queued]))
+                    queued += 1
+
+
+def run_batch(
+    job: BatchJob,
+    progress: Callable[[BatchProgress], None] | None = None,
+    executor: Executor | None = None,
+) -> list[BatchResult]:
+    """Run a :class:`BatchJob`, returning one BatchResult per instance.
+
+    ``progress`` (if given) receives a :class:`BatchProgress` event as
+    each replica completes — streaming, not batched at the end.  An
+    explicit ``executor`` overrides the engine's own process pool (e.g.
+    a thread pool or an inline executor in tests).
+    """
+    engine = job.engine
+    # Deterministic solvers produce the same tour for every seed, so
+    # extra replicas would be bit-identical reruns: clamp to one.
+    replicas = engine.replicas if get_solver(job.solver).stochastic else 1
+    seeds = replica_seeds(engine.seed, replicas)
+    tasks = [
+        ReplicaTask(
+            spec=spec,
+            solver=job.solver,
+            params=job.params,
+            seed=seeds[replica],
+            index=replica,
+            instance_index=instance_index,
+        )
+        for instance_index, spec in enumerate(job.instances)
+        for replica in range(replicas)
+    ]
+    workers = engine.resolved_workers(len(tasks))
+
+    collected: dict[int, list[ReplicaResult]] = {
+        i: [] for i in range(len(job.instances))
+    }
+    completed = 0
+    start = time.perf_counter()
+
+    def on_result(instance_index: int, replica: ReplicaResult) -> None:
+        nonlocal completed
+        collected[instance_index].append(replica)
+        completed += 1
+        if progress is not None:
+            progress(
+                BatchProgress(
+                    instance=job.instances[instance_index].label,
+                    replica=replica.index,
+                    replicas_total=replicas,
+                    completed=completed,
+                    total=len(tasks),
+                    length=replica.length,
+                )
+            )
+
+    _execute_tasks(tasks, workers, executor, on_result)
+    wall = time.perf_counter() - start
+
+    results = []
+    for instance_index, spec in enumerate(job.instances):
+        replicas = sorted(collected[instance_index], key=lambda r: r.index)
+        results.append(
+            BatchResult(
+                instance_name=spec.label,
+                n=spec.resolve().n if spec.size == 0 else spec.size,
+                solver=job.solver,
+                replicas=replicas,
+                wall_seconds=wall,
+            )
+        )
+    return results
+
+
+def run_replicas(
+    instance,
+    solver: str = "taxi",
+    replicas: int = 4,
+    seed: int | None = 0,
+    workers: int | None = None,
+    progress: Callable[[BatchProgress], None] | None = None,
+    executor: Executor | None = None,
+    **params,
+) -> BatchResult:
+    """Multi-start one instance and aggregate over seeded replicas.
+
+    ``instance`` may be a :class:`TSPInstance`, a benchmark size/name,
+    a TSPLIB path, or a ``family:n[:seed]`` generator token.  Extra
+    keyword arguments go to the registered solver's factory.
+    """
+    job = BatchJob.create(
+        [instance],
+        solver=solver,
+        params=params,
+        engine=EngineConfig(replicas=replicas, workers=workers, seed=seed),
+    )
+    return run_batch(job, progress=progress, executor=executor)[0]

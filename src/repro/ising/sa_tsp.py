@@ -46,15 +46,31 @@ class SimulatedAnnealingTSP:
             raise ConfigError("need 0 < t_end_frac <= t_start_frac")
         self._rng = ensure_rng(self.seed)
 
-    def solve(self, instance: TSPInstance, initial: np.ndarray | None = None) -> Tour:
-        """Anneal from ``initial`` (or a random permutation) and return the best tour."""
+    def solve(
+        self,
+        instance: TSPInstance,
+        initial: np.ndarray | None = None,
+        matrix: np.ndarray | None = None,
+    ) -> Tour:
+        """Anneal from ``initial`` (or a random permutation) and return the best tour.
+
+        ``matrix`` optionally supplies a precomputed distance matrix
+        (e.g. the engine's per-process shared one) so repeated solves
+        of the same instance skip the O(n^2) rebuild.  It must equal
+        ``instance.distance_matrix()``.
+        """
         rng = self._rng
         n = instance.n
         order = (
             rng.permutation(n) if initial is None else np.asarray(initial, dtype=int).copy()
         )
-        dist = _distance_lookup(instance)
+        dist = _distance_lookup(instance, matrix)
         length = instance.tour_length(order)
+        if not np.isfinite(length):
+            raise ConfigError(
+                f"instance {instance.name!r} has non-finite distances "
+                f"(initial tour length {length}); refusing to anneal"
+            )
         avg_edge = length / n
         t_start = self.t_start_frac * avg_edge
         t_end = self.t_end_frac * avg_edge
@@ -88,11 +104,27 @@ class SimulatedAnnealingTSP:
         return Tour(instance, best_order, closed=True)
 
 
-def _distance_lookup(instance: TSPInstance):
-    """An O(1) pairwise distance callable (matrix-backed when feasible)."""
-    if instance.n <= 4096:
+def _distance_lookup(instance: TSPInstance, matrix: np.ndarray | None = None):
+    """An O(1) pairwise distance callable (matrix-backed when feasible).
+
+    Matrix-backed lookups are validated up front: annealing on a NaN/inf
+    matrix would silently corrupt every delta, so reject it here.
+    """
+    if matrix is None and instance.n <= 4096:
         matrix = instance.distance_matrix()
-        return lambda a, b: float(matrix[a, b])
+    if matrix is not None:
+        if matrix.shape != (instance.n, instance.n):
+            raise ConfigError(
+                f"distance matrix shape {matrix.shape} does not match "
+                f"instance {instance.name!r} (n={instance.n})"
+            )
+        if not np.isfinite(matrix).all():
+            raise ConfigError(
+                f"instance {instance.name!r} has a non-finite distance "
+                "matrix; refusing to anneal"
+            )
+        lookup = matrix
+        return lambda a, b: float(lookup[a, b])
     coords = instance.coords
     if coords is None:
         return instance.distance

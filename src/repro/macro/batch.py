@@ -12,7 +12,7 @@ swap updates) — verified against the faithful model in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

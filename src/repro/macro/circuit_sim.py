@@ -17,7 +17,6 @@ from repro.errors import ConfigError
 from repro.macro.config import MacroConfig
 from repro.macro.energy import MacroEnergyModel, PAPER_CIRCUIT_N
 from repro.macro.timing import MacroTiming
-from repro.utils.units import format_engineering
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
 
 from repro.errors import InstanceError
 from repro.tsp.generators import (

@@ -14,7 +14,6 @@ distance computation that solvers use instead.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -38,6 +38,20 @@ def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def replica_seeds(seed: int | None, n: int) -> list[int]:
+    """``n`` deterministic integer seeds derived from one master seed.
+
+    The engine runner hands one of these to each replica so a batch is
+    reproducible bit-for-bit regardless of worker count or completion
+    order: the seed list depends only on ``(seed, n)``.  ``seed=None``
+    draws the master entropy from the OS (non-reproducible by request).
+    """
+    if n < 0:
+        raise ValueError(f"cannot derive a negative number of seeds: {n}")
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1)) for child in children]
+
+
 def spawn_rngs(seed_or_rng: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
     """Create ``n`` independent generators from one seed.
 

@@ -1,6 +1,5 @@
 """Tests for metrics, reporting, and figure emitters."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import FigureSeries, series_to_rows, write_csv

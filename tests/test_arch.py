@@ -1,11 +1,10 @@
 """Tests for the PUMA-style architecture simulator."""
 
-import numpy as np
 import pytest
 
 from repro.arch.chip import ChipConfig
 from repro.arch.compiler import compile_level_stats
-from repro.arch.isa import Instruction, OpCode, Program
+from repro.arch.isa import OpCode
 from repro.arch.memory import OffChipMemory
 from repro.arch.noc import NoCModel
 from repro.arch.simulator import ArchSimulator

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -79,3 +78,83 @@ class TestCommands:
              "kmeans", "--no-fixing", "--bits", "2"]
         )
         assert code == 0
+
+    @pytest.mark.smoke
+    def test_solve_off_registry_size(self, capsys):
+        code = main(["solve", "--size", "52", "--sweeps", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniform52 (52 cities)" in out
+
+
+class TestEngineCommands:
+    @pytest.mark.smoke
+    def test_batch(self, capsys):
+        code = main(
+            ["batch", "--instances", "uniform:24:1", "uniform:30:2",
+             "--solver", "sa_tsp", "--replicas", "2", "--workers", "1",
+             "--sweeps", "20", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniform24" in out
+        assert "uniform30" in out
+        assert "median" in out
+
+    def test_batch_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "batch.csv"
+        code = main(
+            ["batch", "--instances", "uniform:24:1", "--solver", "sa_tsp",
+             "--replicas", "2", "--workers", "1", "--sweeps", "10",
+             "--quiet", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("instance,n,solver,replicas,best")
+        assert len(lines) == 2
+        assert lines[1].startswith("uniform24@1,24,sa_tsp,2,")
+
+    def test_batch_progress_streams_to_stderr(self, capsys):
+        code = main(
+            ["batch", "--instances", "uniform:24:1", "--solver", "sa_tsp",
+             "--replicas", "2", "--workers", "1", "--sweeps", "10"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "replica" in captured.err
+
+    def test_batch_unknown_solver(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown solver"):
+            main(["batch", "--instances", "uniform:24:1",
+                  "--solver", "nope", "--replicas", "1", "--workers", "1",
+                  "--quiet"])
+
+    def test_batch_set_params(self, capsys):
+        code = main(
+            ["batch", "--instances", "uniform:24:1", "--solver", "two_opt",
+             "--replicas", "1", "--workers", "1", "--quiet",
+             "--set", "max_rounds=2", "--set", "use_or_opt=false"]
+        )
+        assert code == 0
+
+    @pytest.mark.smoke
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--size", "30", "--solver", "sa_tsp", "--param",
+             "sweeps", "--values", "10", "20", "--replicas", "2",
+             "--workers", "1", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweeps" in out
+        assert "median" in out
+
+    @pytest.mark.smoke
+    def test_solvers_listing(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("taxi", "sa_tsp", "greedy", "concorde_surrogate"):
+            assert name in out

@@ -11,7 +11,7 @@ from repro.clustering.agglomerative import (
 from repro.clustering.hierarchy import build_hierarchy
 from repro.clustering.kmeans import kmeans_labels, kmeans_with_max_size
 from repro.errors import ClusteringError
-from repro.tsp.generators import clustered_instance, uniform_instance
+from repro.tsp.generators import uniform_instance
 
 
 def blobs(seed=0, n=60, k=4):

@@ -1,6 +1,5 @@
 """Tests for the comparator systems (HVC, IMA, CIMA, Neuro-Ising)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.cima import CIMASolver, IMASolver, OFF_MACRO_SPIN_ACCESS
@@ -9,7 +8,7 @@ from repro.baselines.hvc import HVCSolver
 from repro.baselines.neuro_ising import NeuroIsingSolver
 from repro.core import TAXIConfig, TAXISolver
 from repro.macro.timing import MacroTiming
-from repro.tsp.generators import clustered_instance, uniform_instance
+from repro.tsp.generators import uniform_instance
 
 SWEEPS = 80
 

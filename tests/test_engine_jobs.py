@@ -1,0 +1,142 @@
+"""Tests for instance specs, caches, and batch job construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig
+from repro.engine import (
+    BatchJob,
+    cached_distance_matrix,
+    clear_caches,
+    resolve_instance,
+    spec_from_token,
+)
+from repro.errors import ConfigError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tsplib import write_tsplib
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSpecFromToken:
+    def test_registry_size(self):
+        spec = spec_from_token(318)
+        assert spec.kind == "benchmark"
+        assert spec.value == "syn318"
+        assert spec.resolve().n == 318
+
+    def test_registry_name(self):
+        spec = spec_from_token("syn76")
+        assert spec.kind == "benchmark"
+        assert spec.resolve().n == 76
+
+    def test_off_registry_size_falls_back_to_uniform(self):
+        spec = spec_from_token("52")
+        assert spec.kind == "generator"
+        instance = spec.resolve()
+        assert instance.n == 52
+        # Deterministic across calls (seed derived from the size).
+        again = spec_from_token(52).resolve()
+        assert np.array_equal(instance.coords, again.coords)
+
+    def test_generator_token_with_seed(self):
+        spec = spec_from_token("clustered:40:9")
+        instance = spec.resolve()
+        assert instance.n == 40
+        assert spec.seed == 9
+
+    def test_generator_token_unknown_family(self):
+        with pytest.raises(ConfigError, match="unknown generator family"):
+            spec_from_token("hexagonal:40")
+
+    def test_generator_token_malformed(self):
+        with pytest.raises(ConfigError):
+            spec_from_token("uniform:abc")
+
+    def test_tsplib_path(self, tmp_path):
+        instance = uniform_instance(20, seed=3, name="disk20")
+        path = tmp_path / "disk20.tsp"
+        write_tsplib(instance, path)
+        spec = spec_from_token(str(path))
+        assert spec.kind == "tsplib"
+        assert spec.resolve().n == 20
+
+    def test_inline_instance(self):
+        instance = uniform_instance(15, seed=1)
+        spec = spec_from_token(instance)
+        assert spec.kind == "inline"
+        assert spec.resolve() is instance
+        assert spec.cache_key() is None
+
+    def test_gibberish_rejected(self):
+        with pytest.raises(ConfigError, match="cannot interpret"):
+            spec_from_token("definitely-not-a-benchmark")
+
+    def test_tiny_size_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_from_token("1")
+
+
+class TestCaching:
+    def test_resolve_is_memoized_per_spec(self):
+        first = spec_from_token("uniform:30:5").resolve()
+        second = spec_from_token("uniform:30:5").resolve()
+        assert first is second
+
+    def test_distinct_seeds_not_shared(self):
+        assert spec_from_token("uniform:30:5").resolve() is not \
+            spec_from_token("uniform:30:6").resolve()
+
+    def test_distance_matrix_shared(self):
+        instance = resolve_instance("uniform:30:5")
+        first = cached_distance_matrix(instance)
+        second = cached_distance_matrix(instance)
+        assert first is second
+        assert np.array_equal(first, instance.distance_matrix())
+
+    def test_same_name_different_instances_do_not_collide(self):
+        # Generators name instances by size only; the cache must key on
+        # the object, not the name.
+        a = uniform_instance(24, seed=1)
+        b = uniform_instance(24, seed=2)
+        assert a.name == b.name
+        assert not np.array_equal(
+            cached_distance_matrix(a), cached_distance_matrix(b)
+        )
+
+
+class TestBatchJob:
+    def test_create_from_tokens(self):
+        job = BatchJob.create(["76", "uniform:30:5"], solver="sa_tsp",
+                              params={"sweeps": 10})
+        assert len(job.instances) == 2
+        assert job.params_dict() == {"sweeps": 10}
+        assert job.engine == EngineConfig()
+
+    def test_needs_instances(self):
+        with pytest.raises(ConfigError, match="at least one instance"):
+            BatchJob.create([])
+
+    def test_engine_owns_the_seed(self):
+        with pytest.raises(ConfigError, match="owned by the engine"):
+            BatchJob.create(["76"], params={"seed": 3})
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        spec = spec_from_token("grid:40:2")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.resolve().n == 40
+
+    def test_label(self):
+        # Explicit generator seeds appear in the label so same-size
+        # instances stay distinguishable in tables and CSVs.
+        assert spec_from_token("uniform:30:5").label == "uniform30@5"
+        assert spec_from_token("uniform:30").label == "uniform30"
+        assert spec_from_token(76).label == "syn76"

@@ -1,0 +1,78 @@
+"""Tests for the solver registry (repro.engine.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import build_solver, get_solver, solve_with, solver_names
+from repro.engine.registry import EXACT_SIZE_LIMIT, register_solver
+from repro.errors import ConfigError
+from repro.tsp.generators import uniform_instance
+from repro.tsp.tour import Tour
+
+EXPECTED_SOLVERS = {
+    "taxi", "hvc", "ima", "cima", "neuro_ising", "sa_tsp",
+    "greedy", "two_opt", "exact", "concorde_surrogate",
+}
+
+
+class TestLookup:
+    def test_all_expected_solvers_registered(self):
+        assert EXPECTED_SOLVERS <= set(solver_names())
+
+    def test_names_sorted(self):
+        names = solver_names()
+        assert list(names) == sorted(names)
+
+    def test_unknown_solver_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown solver"):
+            get_solver("does_not_exist")
+
+    def test_unknown_solver_message_lists_known(self):
+        with pytest.raises(ConfigError, match="taxi"):
+            build_solver("does_not_exist")
+
+    def test_unknown_param_raises_config_error(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            build_solver("greedy", bogus_param=3)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_solver("taxi")(lambda: None)
+
+    def test_spec_metadata(self):
+        spec = get_solver("taxi")
+        assert spec.stochastic
+        assert "sweeps" in spec.accepted_params()
+        assert not get_solver("greedy").stochastic
+
+
+class TestUniformContract:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return uniform_instance(12, seed=7)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SOLVERS))
+    def test_every_solver_returns_closed_tour(self, name, instance):
+        tour = solve_with(name, instance, seed=1, **(
+            {"sweeps": 10} if get_solver(name).stochastic else {}
+        ))
+        assert isinstance(tour, Tour)
+        assert tour.closed
+        assert tour.n == instance.n
+        assert np.isfinite(tour.length)
+        assert sorted(tour.order.tolist()) == list(range(instance.n))
+
+    def test_stochastic_solver_deterministic_per_seed(self, instance):
+        first = solve_with("sa_tsp", instance, seed=5, sweeps=30)
+        second = solve_with("sa_tsp", instance, seed=5, sweeps=30)
+        assert np.array_equal(first.order, second.order)
+
+    def test_exact_refuses_large_instances(self):
+        big = uniform_instance(EXACT_SIZE_LIMIT + 5, seed=0)
+        with pytest.raises(ConfigError, match="limited to"):
+            solve_with("exact", big)
+
+    def test_exact_matches_brute_quality(self, instance):
+        exact = solve_with("exact", instance)
+        heuristic = solve_with("two_opt", instance)
+        assert exact.length <= heuristic.length + 1e-9

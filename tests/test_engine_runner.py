@@ -1,0 +1,193 @@
+"""Tests for the multi-replica engine runner and BatchResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchResult, EngineConfig, ReplicaResult
+from repro.engine import BatchJob, run_batch, run_replicas
+from repro.errors import ConfigError
+from repro.ising.sa_tsp import SimulatedAnnealingTSP
+from repro.tsp.generators import uniform_instance
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.utils.rng import replica_seeds
+
+
+def _replica(index, length, seed=0):
+    return ReplicaResult(
+        index=index, seed=seed, order=np.arange(4), length=length, seconds=0.1
+    )
+
+
+class TestBatchResult:
+    def test_best_is_min_length(self):
+        batch = BatchResult("x", 4, "taxi", [_replica(0, 10.0), _replica(1, 7.0)])
+        assert batch.best_length == 7.0
+        assert batch.best.index == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        batch = BatchResult("x", 4, "taxi", [_replica(1, 5.0), _replica(0, 5.0)])
+        assert batch.best.index == 0
+
+    def test_aggregates(self):
+        lengths = [4.0, 8.0, 6.0, 10.0]
+        batch = BatchResult(
+            "x", 4, "taxi", [_replica(i, v) for i, v in enumerate(lengths)]
+        )
+        assert batch.median_length == 7.0
+        assert batch.mean_length == 7.0
+        assert batch.worst_length == 10.0
+        assert batch.percentile(0) == 4.0
+        assert batch.percentile(100) == 10.0
+
+    def test_percentile_range_checked(self):
+        batch = BatchResult("x", 4, "taxi", [_replica(0, 1.0)])
+        with pytest.raises(ValueError):
+            batch.percentile(101)
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            BatchResult("x", 4, "taxi", [])
+
+    def test_as_dict_round_trip(self):
+        batch = BatchResult("syn76", 76, "taxi", [_replica(0, 3.0, seed=9)])
+        row = batch.as_dict()
+        assert row["instance"] == "syn76"
+        assert row["best"] == 3.0
+        assert row["best_seed"] == 9
+        assert row["replicas"] == 1
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(replicas=0)
+        with pytest.raises(ConfigError):
+            EngineConfig(workers=0)
+
+    def test_resolved_workers_caps_to_tasks(self):
+        assert EngineConfig(replicas=8, workers=16).resolved_workers(4) == 4
+        assert EngineConfig(replicas=8, workers=2).resolved_workers(100) == 2
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return uniform_instance(30, seed=11)
+
+    def test_replica_seeds_deterministic(self):
+        assert replica_seeds(0, 4) == replica_seeds(0, 4)
+        assert replica_seeds(0, 4) != replica_seeds(1, 4)
+        assert replica_seeds(0, 2) == replica_seeds(0, 4)[:2]
+
+    def test_serial_matches_parallel(self, instance):
+        serial = run_replicas(
+            instance, solver="sa_tsp", replicas=4, seed=3, workers=1, sweeps=40
+        )
+        parallel = run_replicas(
+            instance, solver="sa_tsp", replicas=4, seed=3, workers=2, sweeps=40
+        )
+        assert serial.best_length == parallel.best_length
+        for left, right in zip(serial.replicas, parallel.replicas):
+            assert left.seed == right.seed
+            assert np.array_equal(left.order, right.order)
+
+    def test_same_job_twice_identical_best_tour(self, instance):
+        first = run_replicas(
+            instance, solver="taxi", replicas=2, seed=5, workers=1, sweeps=20
+        )
+        second = run_replicas(
+            instance, solver="taxi", replicas=2, seed=5, workers=1, sweeps=20
+        )
+        assert np.array_equal(first.best.order, second.best.order)
+        assert first.best_length == second.best_length
+
+    def test_replicas_differ_across_seeds(self, instance):
+        batch = run_replicas(
+            instance, solver="sa_tsp", replicas=3, seed=0, workers=1, sweeps=40
+        )
+        seeds = {replica.seed for replica in batch.replicas}
+        assert len(seeds) == 3
+
+
+class TestRunBatch:
+    def test_multi_instance_batch(self):
+        job = BatchJob.create(
+            ["uniform:20:1", "uniform:25:2"],
+            solver="sa_tsp",
+            params={"sweeps": 20},
+            engine=EngineConfig(replicas=2, workers=1, seed=0),
+        )
+        results = run_batch(job)
+        assert [r.instance_name for r in results] == ["uniform20@1", "uniform25@2"]
+        assert [r.n for r in results] == [20, 25]
+        assert all(len(r.replicas) == 2 for r in results)
+        assert all(np.isfinite(r.best_length) for r in results)
+
+    def test_progress_streams_every_replica(self):
+        events = []
+        job = BatchJob.create(
+            ["uniform:20:1"],
+            solver="sa_tsp",
+            params={"sweeps": 10},
+            engine=EngineConfig(replicas=3, workers=1, seed=0),
+        )
+        run_batch(job, progress=events.append)
+        assert len(events) == 3
+        assert [event.completed for event in events] == [1, 2, 3]
+        assert all(event.total == 3 for event in events)
+        assert all("replica" in str(event) for event in events)
+
+    def test_deterministic_solver_clamped_to_one_replica(self):
+        # greedy yields the same tour for every seed; the runner must
+        # not burn N identical solves on it.
+        batch = run_replicas(
+            "uniform:20:1", solver="greedy", replicas=4, seed=0, workers=1
+        )
+        assert len(batch.replicas) == 1
+        assert batch.best_length == batch.worst_length
+
+
+class TestNonFiniteRejection:
+    def test_runner_rejects_nan_coords(self):
+        coords = np.random.default_rng(0).uniform(0, 100, size=(10, 2))
+        coords[3, 1] = np.nan
+        instance = TSPInstance("nan10", coords, EdgeWeightType.EUC_2D)
+        with pytest.raises(ConfigError, match="non-finite"):
+            run_replicas(instance, solver="greedy", replicas=1, workers=1)
+
+    def test_runner_rejects_inf_matrix(self):
+        matrix = np.ones((6, 6)) - np.eye(6)
+        instance = TSPInstance("inf6", None, EdgeWeightType.EXPLICIT, matrix=matrix)
+        instance.matrix[0, 1] = instance.matrix[1, 0] = np.inf
+        with pytest.raises(ConfigError, match="non-finite"):
+            run_replicas(instance, solver="sa_tsp", replicas=1, workers=1, sweeps=5)
+
+    def test_sa_tsp_rejects_nan_matrix(self):
+        # Regression: NaN distances used to propagate into tour lengths.
+        matrix = np.ones((8, 8)) - np.eye(8)
+        instance = TSPInstance("nan8", None, EdgeWeightType.EXPLICIT, matrix=matrix)
+        instance.matrix[2, 5] = instance.matrix[5, 2] = np.nan
+        with pytest.raises(ConfigError, match="non-finite"):
+            SimulatedAnnealingTSP(sweeps=5, seed=0).solve(instance)
+
+    def test_sa_tsp_rejects_mismatched_matrix(self):
+        instance = uniform_instance(10, seed=0)
+        with pytest.raises(ConfigError, match="does not match"):
+            SimulatedAnnealingTSP(sweeps=5, seed=0).solve(
+                instance, matrix=np.zeros((4, 4))
+            )
+
+    def test_sa_tsp_shared_matrix_is_value_identical(self):
+        instance = uniform_instance(30, seed=2)
+        direct = SimulatedAnnealingTSP(sweeps=30, seed=7).solve(instance)
+        shared = SimulatedAnnealingTSP(sweeps=30, seed=7).solve(
+            instance, matrix=instance.distance_matrix()
+        )
+        assert np.array_equal(direct.order, shared.order)
+
+    def test_sa_tsp_rejects_nan_coords(self):
+        coords = np.random.default_rng(1).uniform(0, 100, size=(12, 2))
+        coords[0, 0] = np.nan
+        instance = TSPInstance("nan12", coords, EdgeWeightType.EUC_2D)
+        with pytest.raises(ConfigError, match="non-finite"):
+            SimulatedAnnealingTSP(sweeps=5, seed=0).solve(instance)

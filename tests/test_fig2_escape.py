@@ -7,7 +7,6 @@ landscapes; annealed stochasticity does better.
 """
 
 import numpy as np
-import pytest
 
 from repro.ising.annealer import MetropolisAnnealer
 from repro.ising.model import IsingModel

@@ -6,7 +6,6 @@ classes, benchmark registry -> reference cache -> metrics.
 """
 
 import numpy as np
-import pytest
 
 from repro.arch import ArchSimulator, ChipConfig, compile_level_stats
 from repro.baselines.concorde_surrogate import ConcordeSurrogate

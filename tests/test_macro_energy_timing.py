@@ -1,6 +1,5 @@
 """Tests for the macro timing/energy models and Table I circuit sim."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -136,7 +136,6 @@ class TestNeuroIsingSelection:
         inst = uniform_instance(8, seed=900)
         dist = inst.distance_matrix()
         good = SubProblem(dist, initial_order=np.arange(8), closed=False)
-        from repro.baselines.two_opt import two_opt
         # Build an obviously worse initial order by reversing interleaved.
         bad_order = np.array([0, 4, 1, 5, 2, 6, 3, 7])
         bad = SubProblem(dist, initial_order=bad_order, closed=False)

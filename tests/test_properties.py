@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.ising.model import IsingModel
 from repro.ising.qubo import QUBO, ising_to_qubo, qubo_to_ising
 from repro.macro.batch import BatchedMacroSolver, SubProblem
 from repro.macro.config import MacroConfig

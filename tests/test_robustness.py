@@ -7,7 +7,6 @@ and heavy wire resistance.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.exact import held_karp_path
 from repro.core import TAXIConfig, TAXISolver

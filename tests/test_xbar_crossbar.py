@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.devices.mtj import MTJ
 from repro.devices.variation import DeviceVariation
 from repro.errors import CrossbarError
 from repro.tsp.generators import uniform_instance
