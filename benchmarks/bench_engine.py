@@ -1,0 +1,67 @@
+"""Engine/kernel perf bench — reference vs fast backends.
+
+Times the annealing hot paths (Metropolis spin kernel, 2-opt SA-TSP
+kernel, and registered solvers through the multi-replica engine) on a
+solver x size grid, once per backend, and writes ``BENCH_<rev>.json``
+next to this script (or to ``--out``), recording the repo's perf
+trajectory revision by revision.
+
+This is a thin front-end over :mod:`repro.engine.bench`; the ``repro
+bench`` CLI subcommand exposes the same harness.
+
+Usage::
+
+    python benchmarks/bench_engine.py --quick
+    python benchmarks/bench_engine.py --out results/
+    REPRO_SCALE=paper python benchmarks/bench_engine.py   # larger grid
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _scale import IS_PAPER_SCALE
+
+from repro.engine.bench import FULL_GRID, run_bench, write_bench
+
+#: Larger grid for REPRO_SCALE=paper runs (EXPERIMENTS.md scale).
+PAPER_GRID = {
+    "ising_sizes": (500, 1000, 2000, 5000),
+    "tsp_sizes": (200, 500, 1000),
+    "engine_solvers": ("taxi", "sa_tsp", "hvc", "cima"),
+    "engine_sizes": (101, 318, 1060),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid (still covers the headline cells)")
+    parser.add_argument("--out", default=str(Path(__file__).parent),
+                        help="output directory or explicit .json path")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    grid = PAPER_GRID if IS_PAPER_SCALE and not args.quick else FULL_GRID
+    payload = run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        repeats=args.repeats,
+        **({} if args.quick else grid),
+    )
+    for cell in payload["speedups"]:
+        print(
+            f"{cell['kind']:7s} {cell['name']:12s} n={cell['n']:<6d} "
+            f"reference {cell['reference_seconds'] * 1e3:8.1f} ms   "
+            f"fast {cell['fast_seconds'] * 1e3:8.1f} ms   "
+            f"speedup {cell['speedup']:.2f}x"
+        )
+    path = write_bench(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

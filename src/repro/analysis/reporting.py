@@ -65,10 +65,13 @@ def format_seconds(seconds: float) -> str:
 
 #: Column order of one batch summary row (table and CSV export).
 #: ``batch_wall_seconds`` is the whole job's wall clock (repeated on
-#: every row); ``solve_seconds`` is the per-instance solver time.
+#: every row); ``setup_seconds``/``solve_seconds`` split each
+#: instance's replica time into solver+instance construction vs the
+#: solve proper (so kernel-backend speedups stay visible).
 BATCH_COLUMNS = (
     "instance", "n", "solver", "replicas", "best", "median", "p90",
-    "mean", "best_seed", "solve_seconds", "batch_wall_seconds",
+    "mean", "best_seed", "setup_seconds", "solve_seconds",
+    "batch_wall_seconds",
 )
 
 
@@ -87,6 +90,7 @@ def batch_rows(results) -> list[list[str]]:
             f"{summary['p90']:.0f}",
             f"{summary['mean']:.1f}",
             str(summary["best_seed"]),
+            format_seconds(summary["setup_seconds"]),
             format_seconds(summary["solve_seconds"]),
             format_seconds(summary["batch_wall_seconds"]),
         ])

@@ -59,6 +59,7 @@ class NeuroIsingSolver:
         sweeps: int | None = None,
         cluster_budget: int = DEFAULT_CLUSTER_BUDGET,
         seed: int | None = 0,
+        backend: str = "auto",
     ) -> None:
         if max_cluster_size < 4:
             raise SolverError(
@@ -71,6 +72,7 @@ class NeuroIsingSolver:
         self.sweeps = sweeps
         self.cluster_budget = cluster_budget
         self.seed = seed
+        self.backend = backend
 
     def solve(self, instance: TSPInstance) -> BaselineResult:
         rng = ensure_rng(self.seed)
@@ -87,6 +89,7 @@ class NeuroIsingSolver:
                 guarded_updates=True,
             ),
             seed=rng,
+            backend=self.backend,
         )
         selective = _SelectiveSolver(macro, self.cluster_budget)
         order, times, level_stats = solve_hierarchical(

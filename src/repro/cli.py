@@ -7,6 +7,7 @@ Commands
 ``batch``     fan a set of instances over seeded replicas (process pool)
 ``sweep``     sweep one solver parameter over a value list
 ``solvers``   list the solver registry
+``bench``     time the kernel backends and write ``BENCH_<rev>.json``
 ``table1``    print the Table I circuit-simulation reproduction
 ``devices``   print the SOT-MRAM switching operating points
 ``bench-info``  list the benchmark registry
@@ -18,6 +19,8 @@ Examples::
     python -m repro compare --size 318
     python -m repro batch --instances 76 101 200 262 --replicas 4 --workers 4
     python -m repro sweep --size 318 --param sweeps --values 30 60 120
+    python -m repro batch --instances 200 --solver sa_tsp --backend reference
+    python -m repro bench --quick
     python -m repro table1
 """
 
@@ -47,6 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annealing sweeps (default: full 1341-sweep ramp)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--clustering", choices=("ward", "kmeans"), default="ward")
+    solve.add_argument("--backend", choices=("auto", "reference", "fast"),
+                       default="auto", help="annealing kernel backend")
     solve.add_argument("--no-fixing", action="store_true",
                        help="disable inter-cluster endpoint fixing")
     solve.add_argument("--reference", action="store_true",
@@ -80,6 +85,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--values", nargs="+", required=True,
                        help="values to sweep (parsed as int/float/bool/str)")
 
+    bench = sub.add_parser(
+        "bench", help="time kernel backends over a solver x size grid"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small grid (still covers the headline cells)")
+    bench.add_argument("--out", default=".",
+                       help="output directory or explicit .json path "
+                            "(default: BENCH_<rev>.json in the cwd)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repetitions per cell (best-of)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--replicas", type=int, default=2,
+                       help="replicas per engine cell")
+    bench.add_argument("--ising-sizes", nargs="*", type=int, default=None,
+                       help="Metropolis spin counts (empty list skips)")
+    bench.add_argument("--tsp-sizes", nargs="*", type=int, default=None,
+                       help="SA-TSP city counts (empty list skips)")
+    bench.add_argument("--engine-sizes", nargs="*", type=int, default=None,
+                       help="engine-cell instance sizes (empty list skips)")
+    bench.add_argument("--engine-solvers", nargs="*", default=None,
+                       help="registered solvers for the engine cells")
+    bench.add_argument("--ising-sweeps", type=int, default=200)
+    bench.add_argument("--tsp-sweeps", type=int, default=400)
+    bench.add_argument("--engine-sweeps", type=int, default=30)
+
     sub.add_parser("solvers", help="list the solver registry")
     sub.add_parser("table1", help="print the Table I reproduction")
     sub.add_parser("devices", help="print SOT-MRAM operating points")
@@ -106,6 +136,9 @@ def _engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument("--sweeps", type=int, default=None,
                         help="annealing sweeps (stochastic solvers)")
+    parser.add_argument("--backend", choices=("auto", "reference", "fast"),
+                        default=None,
+                        help="annealing kernel backend (default: auto -> fast)")
     parser.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                         help="extra solver parameter (repeatable)")
     parser.add_argument("--quiet", action="store_true",
@@ -142,6 +175,8 @@ def _solver_params(args: argparse.Namespace) -> dict:
     params: dict = {}
     if getattr(args, "sweeps", None) is not None:
         params["sweeps"] = args.sweeps
+    if getattr(args, "backend", None) is not None:
+        params["backend"] = args.backend
     for item in getattr(args, "set", []):
         key, separator, value = item.partition("=")
         if not separator or not key:
@@ -159,6 +194,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         seed=args.seed,
         clustering=args.clustering,
         endpoint_fixing=not args.no_fixing,
+        backend=args.backend,
     )
     result = TAXISolver(config).solve(instance)
     print(f"instance      : {instance.name} ({instance.n} cities)")
@@ -275,6 +311,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import run_bench, write_bench
+
+    payload = run_bench(
+        quick=args.quick,
+        ising_sizes=args.ising_sizes,
+        tsp_sizes=args.tsp_sizes,
+        engine_solvers=args.engine_solvers,
+        engine_sizes=args.engine_sizes,
+        ising_sweeps=args.ising_sweeps,
+        tsp_sweeps=args.tsp_sweeps,
+        engine_sweeps=args.engine_sweeps,
+        replicas=args.replicas,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    rows = [
+        [
+            entry["kind"],
+            entry["name"],
+            str(entry["n"]),
+            str(entry["sweeps"]),
+            entry["backend"],
+            format_seconds(entry["seconds"]),
+            "-" if entry["sweeps_per_sec"] is None else f"{entry['sweeps_per_sec']:.0f}",
+            f"{entry['quality']:.1f}",
+        ]
+        for entry in payload["entries"]
+    ]
+    print(ascii_table(
+        ["kind", "name", "n", "sweeps", "backend", "wall", "sweeps/s", "quality"],
+        rows,
+        title=f"bench @ {payload['revision']} (best of {payload['repeats']})",
+    ))
+    if payload["speedups"]:
+        rows = [
+            [
+                cell["kind"],
+                cell["name"],
+                str(cell["n"]),
+                format_seconds(cell["reference_seconds"]),
+                format_seconds(cell["fast_seconds"]),
+                f"{cell['speedup']:.2f}x",
+            ]
+            for cell in payload["speedups"]
+        ]
+        print()
+        print(ascii_table(
+            ["kind", "name", "n", "reference", "fast", "speedup"],
+            rows, title="fast-vs-reference speedups",
+        ))
+    path = write_bench(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_solvers(_args: argparse.Namespace) -> int:
     from repro.engine import get_solver, solver_names
 
@@ -340,6 +432,7 @@ _COMMANDS = {
     "batch": cmd_batch,
     "sweep": cmd_sweep,
     "solvers": cmd_solvers,
+    "bench": cmd_bench,
     "table1": cmd_table1,
     "devices": cmd_devices,
     "bench-info": cmd_bench_info,

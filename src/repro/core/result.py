@@ -95,6 +95,10 @@ class ReplicaResult:
     order: np.ndarray
     length: float
     seconds: float
+    #: Wall-clock spent materializing the instance and building the
+    #: solver before the solve proper (cache hits make this ~0 after a
+    #: worker's first replica).
+    setup_seconds: float = 0.0
 
     def tour(self, instance) -> Tour:
         """Rebuild the full :class:`Tour` against ``instance``."""
@@ -161,6 +165,11 @@ class BatchResult:
         """Total solver CPU-side seconds summed over replicas."""
         return float(sum(replica.seconds for replica in self.replicas))
 
+    @property
+    def setup_seconds(self) -> float:
+        """Total instance/solver setup seconds summed over replicas."""
+        return float(sum(replica.setup_seconds for replica in self.replicas))
+
     def as_dict(self) -> dict[str, float | int | str]:
         """Flat summary row (for tables and CSV export)."""
         return {
@@ -173,6 +182,7 @@ class BatchResult:
             "p90": self.percentile(90.0),
             "mean": self.mean_length,
             "best_seed": self.best.seed,
+            "setup_seconds": self.setup_seconds,
             "solve_seconds": self.solve_seconds,
             "batch_wall_seconds": self.wall_seconds,
         }

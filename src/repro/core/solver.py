@@ -68,7 +68,9 @@ class TAXISolver:
         )
         clustering_seconds = time.perf_counter() - start
 
-        macro_solver = BatchedMacroSolver(config.macro_config(), seed=rng)
+        macro_solver = BatchedMacroSolver(
+            config.macro_config(), seed=rng, backend=config.backend
+        )
         order, times, level_stats = solve_hierarchical(
             hierarchy,
             macro_solver,

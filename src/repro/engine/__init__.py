@@ -9,7 +9,9 @@ The engine turns the single-shot :class:`~repro.core.solver.TAXISolver`
   over a process pool, aggregated into
   :class:`~repro.core.result.BatchResult`;
 * :mod:`repro.engine.jobs` — instance specs, per-process caches, and
-  streamed batch progress.
+  streamed batch progress;
+* :mod:`repro.engine.bench` — the perf-tracking bench harness behind
+  ``repro bench`` (kernel/solver grids -> ``BENCH_<rev>.json``).
 
 Quickstart::
 

@@ -1,0 +1,289 @@
+"""Perf-tracking bench harness: kernel/solver grids -> ``BENCH_<rev>.json``.
+
+Times the annealing hot paths on a solver x size grid, once per
+backend, and emits a JSON record (wall seconds, sweeps/sec, solution
+quality, reference-vs-fast speedups) keyed by the git revision, so the
+repo's perf trajectory is measurable from commit to commit::
+
+    python -m repro bench --quick          # small grid, < ~1 min
+    python -m repro bench                  # full grid
+    python -m repro bench --out results/   # BENCH_<rev>.json in results/
+
+Three grid kinds:
+
+* ``ising``  — :class:`~repro.ising.annealer.MetropolisAnnealer` on a
+  ring-lattice Ising model (sparse couplings: the checkerboard fast
+  kernel's home turf, and the shape hardware annealers batch).
+* ``sa_tsp`` — :class:`~repro.ising.sa_tsp.SimulatedAnnealingTSP` on
+  seeded uniform instances (full distance matrix).
+* ``engine`` — registered solvers through the multi-replica engine
+  (:func:`~repro.engine.runner.run_replicas`), so macro-backend and
+  end-to-end effects are captured too.
+
+Timing is best-of-``repeats`` to damp scheduler noise; quality is
+reported from the first run of each cell (all cells share seeds, so
+backends see identical instances).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels import BACKENDS
+
+#: Grid defaults: (ising sizes, tsp sizes, engine solvers, engine sizes).
+FULL_GRID = {
+    "ising_sizes": (200, 500, 1000),
+    "tsp_sizes": (100, 200, 500),
+    "engine_solvers": ("taxi", "sa_tsp"),
+    "engine_sizes": (76, 101),
+}
+
+#: The quick grid still covers the acceptance cells (Metropolis n=500
+#: at 200 sweeps, SA-TSP n=200 at 400 sweeps) plus one engine cell.
+QUICK_GRID = {
+    "ising_sizes": (500,),
+    "tsp_sizes": (200,),
+    "engine_solvers": ("taxi",),
+    "engine_sizes": (76,),
+}
+
+
+def bench_ising_model(n: int, seed: int = 0):
+    """A ring-lattice Ising model (degree 4, random Gaussian couplings).
+
+    Sparse and small-chromatic-number by construction — the model class
+    batched hardware annealers (and the checkerboard kernel) target.
+    """
+    from repro.ising.model import IsingModel
+
+    rng = np.random.default_rng(seed)
+    couplings = np.zeros((n, n))
+    for offset in (1, 2):
+        i = np.arange(n)
+        j = (i + offset) % n
+        w = rng.normal(size=n)
+        couplings[i, j] = w
+        couplings[j, i] = w
+    fields = 0.1 * rng.normal(size=n)
+    return IsingModel(couplings, fields=fields)
+
+
+def _time_call(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall seconds and the first run's result."""
+    best = np.inf
+    first = None
+    for rep in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+        if rep == 0:
+            first = result
+        best = min(best, seconds)
+    return float(best), first
+
+
+def _bench_ising(sizes, sweeps, seed, repeats, backends) -> list[dict]:
+    from repro.ising.annealer import MetropolisAnnealer
+
+    entries = []
+    for n in sizes:
+        model = bench_ising_model(n, seed=seed)
+        for backend in backends:
+            def run():
+                annealer = MetropolisAnnealer(
+                    sweeps=sweeps, seed=seed, backend=backend
+                )
+                return annealer.anneal(model)
+            seconds, result = _time_call(run, repeats)
+            entries.append({
+                "kind": "ising",
+                "name": "metropolis",
+                "n": int(n),
+                "sweeps": int(sweeps),
+                "backend": backend,
+                "seconds": seconds,
+                "sweeps_per_sec": sweeps / seconds if seconds > 0 else None,
+                "quality": float(result.energy),
+            })
+    return entries
+
+
+def _bench_sa_tsp(sizes, sweeps, seed, repeats, backends) -> list[dict]:
+    from repro.ising.sa_tsp import SimulatedAnnealingTSP
+    from repro.tsp.generators import uniform_instance
+
+    entries = []
+    for n in sizes:
+        instance = uniform_instance(n, seed=seed)
+        matrix = instance.distance_matrix()
+        for backend in backends:
+            def run():
+                solver = SimulatedAnnealingTSP(
+                    sweeps=sweeps, seed=seed, backend=backend
+                )
+                return solver.solve(instance, matrix=matrix)
+            seconds, tour = _time_call(run, repeats)
+            entries.append({
+                "kind": "sa_tsp",
+                "name": "sa_tsp",
+                "n": int(n),
+                "sweeps": int(sweeps),
+                "backend": backend,
+                "seconds": seconds,
+                "sweeps_per_sec": sweeps / seconds if seconds > 0 else None,
+                "quality": float(tour.length),
+            })
+    return entries
+
+
+def _bench_engine(solvers, sizes, sweeps, replicas, seed, repeats, backends) -> list[dict]:
+    from repro.engine.runner import run_replicas
+
+    entries = []
+    for solver in solvers:
+        for n in sizes:
+            for backend in backends:
+                def run():
+                    return run_replicas(
+                        n, solver=solver, replicas=replicas, seed=seed,
+                        workers=1, sweeps=sweeps, backend=backend,
+                    )
+                seconds, batch = _time_call(run, repeats)
+                entries.append({
+                    "kind": "engine",
+                    "name": solver,
+                    "n": int(n),
+                    "sweeps": int(sweeps),
+                    "backend": backend,
+                    "seconds": seconds,
+                    "sweeps_per_sec": sweeps * replicas / seconds if seconds > 0 else None,
+                    "quality": float(batch.best_length),
+                })
+    return entries
+
+
+def compute_speedups(entries: list[dict]) -> list[dict]:
+    """Reference-vs-fast wall-time ratio for every matched grid cell."""
+    by_cell: dict[tuple, dict[str, dict]] = {}
+    for entry in entries:
+        key = (entry["kind"], entry["name"], entry["n"], entry["sweeps"])
+        by_cell.setdefault(key, {})[entry["backend"]] = entry
+    speedups = []
+    for (kind, name, n, sweeps), cell in sorted(by_cell.items()):
+        if "reference" not in cell or "fast" not in cell:
+            continue
+        ref = cell["reference"]["seconds"]
+        fast = cell["fast"]["seconds"]
+        speedups.append({
+            "kind": kind,
+            "name": name,
+            "n": n,
+            "sweeps": sweeps,
+            "reference_seconds": ref,
+            "fast_seconds": fast,
+            "speedup": ref / fast if fast > 0 else None,
+        })
+    return speedups
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_bench(
+    quick: bool = False,
+    *,
+    ising_sizes=None,
+    tsp_sizes=None,
+    engine_solvers=None,
+    engine_sizes=None,
+    ising_sweeps: int = 200,
+    tsp_sweeps: int = 400,
+    engine_sweeps: int = 30,
+    replicas: int = 2,
+    seed: int = 0,
+    repeats: int = 3,
+    backends=None,
+) -> dict:
+    """Run the bench grid and return the BENCH payload (no file I/O).
+
+    Explicit size/solver lists override the quick/full grid defaults;
+    pass an empty list to skip a grid kind entirely.
+    """
+    grid = QUICK_GRID if quick else FULL_GRID
+    ising_sizes = grid["ising_sizes"] if ising_sizes is None else ising_sizes
+    tsp_sizes = grid["tsp_sizes"] if tsp_sizes is None else tsp_sizes
+    engine_solvers = grid["engine_solvers"] if engine_solvers is None else engine_solvers
+    engine_sizes = grid["engine_sizes"] if engine_sizes is None else engine_sizes
+    backends = tuple(BACKENDS) if backends is None else tuple(backends)
+    unknown = set(backends) - set(BACKENDS)
+    if unknown:
+        raise ConfigError(
+            f"unknown bench backend(s) {sorted(unknown)}; known: {', '.join(BACKENDS)}"
+        )
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+
+    entries: list[dict] = []
+    entries += _bench_ising(ising_sizes, ising_sweeps, seed, repeats, backends)
+    entries += _bench_sa_tsp(tsp_sizes, tsp_sweeps, seed, repeats, backends)
+    if engine_solvers:
+        entries += _bench_engine(
+            engine_solvers, engine_sizes, engine_sweeps, replicas, seed,
+            repeats, backends,
+        )
+    return {
+        "schema": "repro-bench/1",
+        "revision": git_revision(),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": bool(quick),
+        "seed": int(seed),
+        "repeats": int(repeats),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "entries": entries,
+        "speedups": compute_speedups(entries),
+    }
+
+
+def write_bench(payload: dict, out: str = ".") -> str:
+    """Write the payload as ``BENCH_<rev>.json``; returns the path.
+
+    ``out`` may be a directory (the canonical name is appended) or an
+    explicit ``.json`` file path.
+    """
+    if out.endswith(".json"):
+        path = out
+        parent = os.path.dirname(out)
+    else:
+        path = os.path.join(out, f"BENCH_{payload['revision']}.json")
+        parent = out
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

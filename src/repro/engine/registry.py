@@ -114,6 +114,7 @@ def _taxi(
     bits: int = 4,
     clustering: str = "ward",
     endpoint_fixing: bool = True,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.core.config import TAXIConfig
     from repro.core.solver import TAXISolver
@@ -125,6 +126,7 @@ def _taxi(
         seed=seed,
         clustering=clustering,
         endpoint_fixing=endpoint_fixing,
+        backend=backend,
     )
     solver = TAXISolver(config)
     return lambda instance: solver.solve(instance).tour
@@ -136,11 +138,13 @@ def _hvc(
     sweeps: int | None = None,
     max_cluster_size: int = 12,
     bits: int = 4,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.hvc import HVCSolver
 
     solver = HVCSolver(
-        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed
+        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed,
+        backend=backend,
     )
     return lambda instance: solver.solve(instance).tour
 
@@ -151,11 +155,13 @@ def _ima(
     sweeps: int | None = None,
     max_cluster_size: int = 12,
     bits: int = 4,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.cima import IMASolver
 
     solver = IMASolver(
-        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed
+        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed,
+        backend=backend,
     )
     return lambda instance: solver.solve(instance).tour
 
@@ -166,11 +172,13 @@ def _cima(
     sweeps: int | None = None,
     max_cluster_size: int = 12,
     bits: int = 4,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.cima import CIMASolver
 
     solver = CIMASolver(
-        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed
+        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed,
+        backend=backend,
     )
     return lambda instance: solver.solve(instance).tour
 
@@ -181,11 +189,13 @@ def _neuro_ising(
     sweeps: int | None = None,
     max_cluster_size: int = 12,
     bits: int = 4,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.neuro_ising import NeuroIsingSolver
 
     solver = NeuroIsingSolver(
-        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed
+        max_cluster_size=max_cluster_size, bits=bits, sweeps=sweeps, seed=seed,
+        backend=backend,
     )
     return lambda instance: solver.solve(instance).tour
 
@@ -196,6 +206,7 @@ def _sa_tsp(
     sweeps: int | None = None,
     t_start_frac: float = 1.0,
     t_end_frac: float = 0.001,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.ising.sa_tsp import SimulatedAnnealingTSP
 
@@ -204,6 +215,7 @@ def _sa_tsp(
         t_start_frac=t_start_frac,
         t_end_frac=t_end_frac,
         seed=seed,
+        backend=backend,
     )
 
     def solve(instance: TSPInstance) -> Tour:
@@ -222,21 +234,22 @@ def _sa_tsp(
 
 
 @register_solver("greedy", "greedy-edge construction heuristic", stochastic=False)
-def _greedy(seed: int | None = 0) -> SolveFn:
+def _greedy(seed: int | None = 0, backend: str = "auto") -> SolveFn:
     from repro.baselines.greedy import greedy_edge_tour
 
-    del seed  # deterministic; accepted so engine params stay uniform
+    del seed, backend  # deterministic; accepted so engine params stay uniform
     return lambda instance: Tour(instance, greedy_edge_tour(instance), closed=True)
 
 
 @register_solver("two_opt", "nearest-neighbour start + 2-opt/Or-opt", stochastic=False)
 def _two_opt(
-    seed: int | None = 0, k: int = 8, max_rounds: int = 30, use_or_opt: bool = True
+    seed: int | None = 0, k: int = 8, max_rounds: int = 30, use_or_opt: bool = True,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.greedy import nearest_neighbor_tour
     from repro.baselines.two_opt import two_opt
 
-    del seed  # deterministic; accepted so engine params stay uniform
+    del seed, backend  # deterministic; accepted so engine params stay uniform
 
     def solve(instance: TSPInstance) -> Tour:
         initial = nearest_neighbor_tour(instance)
@@ -249,10 +262,10 @@ def _two_opt(
 
 
 @register_solver("exact", "Held-Karp exact DP (tiny instances only)", stochastic=False)
-def _exact(seed: int | None = 0) -> SolveFn:
+def _exact(seed: int | None = 0, backend: str = "auto") -> SolveFn:
     from repro.baselines.exact import held_karp_tour
 
-    del seed  # deterministic; accepted so engine params stay uniform
+    del seed, backend  # deterministic; accepted so engine params stay uniform
 
     def solve(instance: TSPInstance) -> Tour:
         if instance.n > EXACT_SIZE_LIMIT:
@@ -270,11 +283,12 @@ def _exact(seed: int | None = 0) -> SolveFn:
     "concorde_surrogate", "offline Concorde stand-in reference", stochastic=False
 )
 def _concorde_surrogate(
-    seed: int | None = 0, neighbor_k: int = 10, max_rounds: int = 40
+    seed: int | None = 0, neighbor_k: int = 10, max_rounds: int = 40,
+    backend: str = "auto",
 ) -> SolveFn:
     from repro.baselines.concorde_surrogate import ConcordeSurrogate, SurrogateSettings
 
-    del seed  # deterministic; accepted so engine params stay uniform
+    del seed, backend  # deterministic; accepted so engine params stay uniform
     solver = ConcordeSurrogate(
         SurrogateSettings(neighbor_k=neighbor_k, max_rounds=max_rounds)
     )

@@ -5,6 +5,12 @@ proposals accepted with probability ``min(1, exp(-dE / T))`` under a
 decreasing temperature schedule.  Supports geometric, linear, and
 sigmoid-shaped schedules; the sigmoid mirrors TAXI's "natural
 annealing" stochasticity decay for apples-to-apples ablations.
+
+The sweep inner loops live in :mod:`repro.kernels.spin` behind the
+``backend`` knob: ``reference`` is the historical per-spin loop,
+``fast`` batches whole graph-coloring classes per accept step (and
+falls back to the reference loop on dense coupling graphs, where it is
+bit-exact with it).
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.ising.model import IsingModel
+from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels import spin as spin_kernels
 from repro.utils.rng import ensure_rng
 
 
@@ -83,6 +91,10 @@ class MetropolisAnnealer:
         Cooling curve shape.
     seed:
         RNG seed (or generator) for proposals and acceptances.
+    backend:
+        Kernel backend: ``auto`` (default, resolves to ``fast``),
+        ``fast`` (checkerboard class-batched updates), or
+        ``reference`` (the historical per-spin loop).
     """
 
     sweeps: int = 200
@@ -91,11 +103,13 @@ class MetropolisAnnealer:
     schedule: TemperatureSchedule = TemperatureSchedule.GEOMETRIC
     seed: int | None | np.random.Generator = None
     track_energy: bool = True
+    backend: str = "auto"
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.sweeps < 1:
             raise ConfigError(f"sweeps must be >= 1, got {self.sweeps}")
+        self.backend = resolve_backend(self.backend)
         self._rng = ensure_rng(self.seed)
 
     def anneal(
@@ -107,30 +121,14 @@ class MetropolisAnnealer:
             model.random_state(rng) if initial is None else model.check_state(initial).copy()
         )
         temperatures = self.schedule.temperatures(self.t_start, self.t_end, self.sweeps)
-        local = model.couplings @ spins + model.fields  # maintained incrementally
-        energy = model.energy(spins)
-        best_spins = spins.copy()
-        best_energy = energy
-        trace = np.empty(self.sweeps) if self.track_energy else np.empty(0)
-        accepted = 0
-        n = model.n
-
-        for sweep, temperature in enumerate(temperatures):
-            order = rng.permutation(n)
-            log_u = np.log(rng.random(n))
-            for k, i in enumerate(order):
-                delta = 2.0 * spins[i] * local[i]
-                if delta <= 0.0 or log_u[k] < -delta / temperature:
-                    spins[i] = -spins[i]
-                    # s_i flipped by 2*s_i_new: update neighbors' fields.
-                    local += model.couplings[:, i] * (2.0 * spins[i])
-                    energy += delta
-                    accepted += 1
-                    if energy < best_energy:
-                        best_energy = energy
-                        best_spins = spins.copy()
-            if self.track_energy:
-                trace[sweep] = energy
+        kernel = (
+            spin_kernels.anneal_fast
+            if self.backend == BACKEND_FAST
+            else spin_kernels.anneal_reference
+        )
+        best_spins, best_energy, trace, accepted = kernel(
+            model, spins, temperatures, rng, self.track_energy
+        )
         return AnnealResult(best_spins, best_energy, trace, self.sweeps, accepted)
 
     def descend(self, model: IsingModel, initial: np.ndarray | None = None) -> AnnealResult:
@@ -143,22 +141,11 @@ class MetropolisAnnealer:
         spins = (
             model.random_state(rng) if initial is None else model.check_state(initial).copy()
         )
-        local = model.couplings @ spins + model.fields
-        energy = model.energy(spins)
-        accepted = 0
-        sweeps_done = 0
-        for _ in range(self.sweeps):
-            improved = False
-            sweeps_done += 1
-            for i in rng.permutation(model.n):
-                delta = 2.0 * spins[i] * local[i]
-                if delta < 0.0:
-                    spins[i] = -spins[i]
-                    local += model.couplings[:, i] * (2.0 * spins[i])
-                    energy += delta
-                    accepted += 1
-                    improved = True
-            if not improved:
-                break
+        kernel = (
+            spin_kernels.descend_fast
+            if self.backend == BACKEND_FAST
+            else spin_kernels.descend_reference
+        )
+        spins, energy, sweeps_done, accepted = kernel(model, spins, self.sweeps, rng)
         trace = np.asarray([energy])
         return AnnealResult(spins, energy, trace, sweeps_done, accepted)

@@ -4,6 +4,11 @@ Anneals over the 2-opt neighbourhood of closed tours.  This is the
 software point of comparison for the Ising-hardware solvers: same
 stochastic-acceptance idea, but executed sequentially on a CPU with
 full-precision distances.
+
+The annealing loop itself lives in :mod:`repro.kernels.twoopt` behind
+the ``backend`` knob; the ``fast`` backend evaluates blocks of 2-opt
+candidates against the distance matrix in vectorized passes and is
+bit-exact with ``reference`` for any seed.
 """
 
 from __future__ import annotations
@@ -13,6 +18,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels.twoopt import (
+    FAST_MATRIX_LIMIT,
+    anneal_tours_fast,
+    anneal_tours_reference,
+)
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import Tour
 from repro.utils.rng import ensure_rng
@@ -31,12 +42,17 @@ class SimulatedAnnealingTSP:
         the initial tour (scale-free across instances).
     seed:
         RNG seed or generator.
+    backend:
+        Kernel backend: ``auto`` (default, resolves to ``fast``),
+        ``fast`` (batched 2-opt delta blocks, bit-exact with the
+        reference), or ``reference`` (the per-proposal loop).
     """
 
     sweeps: int = 400
     t_start_frac: float = 1.0
     t_end_frac: float = 0.001
     seed: int | None | np.random.Generator = None
+    backend: str = "auto"
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -44,6 +60,7 @@ class SimulatedAnnealingTSP:
             raise ConfigError(f"sweeps must be >= 1, got {self.sweeps}")
         if not 0 < self.t_end_frac <= self.t_start_frac:
             raise ConfigError("need 0 < t_end_frac <= t_start_frac")
+        self.backend = resolve_backend(self.backend)
         self._rng = ensure_rng(self.seed)
 
     def solve(
@@ -64,7 +81,7 @@ class SimulatedAnnealingTSP:
         order = (
             rng.permutation(n) if initial is None else np.asarray(initial, dtype=int).copy()
         )
-        dist = _distance_lookup(instance, matrix)
+        dist, matrix = _distance_lookup(instance, matrix)
         length = instance.tour_length(order)
         if not np.isfinite(length):
             raise ConfigError(
@@ -76,39 +93,32 @@ class SimulatedAnnealingTSP:
         t_end = self.t_end_frac * avg_edge
         ratio = (t_end / t_start) ** (1.0 / max(self.sweeps - 1, 1))
 
-        best_order = order.copy()
-        best_length = length
-        temperature = t_start
-        for _ in range(self.sweeps):
-            ii = rng.integers(0, n, size=n)
-            jj = rng.integers(0, n, size=n)
-            log_u = np.log(rng.random(n))
-            for k in range(n):
-                i, j = int(ii[k]), int(jj[k])
-                if i == j:
-                    continue
-                if i > j:
-                    i, j = j, i
-                if i == 0 and j == n - 1:
-                    continue  # reversing the whole tour is a no-op
-                a, b = int(order[(i - 1) % n]), int(order[i])
-                c, d = int(order[j]), int(order[(j + 1) % n])
-                delta = dist(a, c) + dist(b, d) - dist(a, b) - dist(c, d)
-                if delta <= 0.0 or log_u[k] < -delta / temperature:
-                    order[i : j + 1] = order[i : j + 1][::-1]
-                    length += delta
-                    if length < best_length:
-                        best_length = length
-                        best_order = order.copy()
-            temperature *= ratio
+        if (
+            self.backend == BACKEND_FAST
+            and matrix is not None
+            and n <= FAST_MATRIX_LIMIT
+        ):
+            best_order, _ = anneal_tours_fast(
+                rng, order, length, self.sweeps, t_start, ratio, matrix
+            )
+        else:
+            # No full matrix (huge coordinate instances) or one too big
+            # to box into scalar-mode lists: run the reference loop.
+            best_order, _ = anneal_tours_reference(
+                rng, order, length, self.sweeps, t_start, ratio, matrix, dist
+            )
         return Tour(instance, best_order, closed=True)
 
 
 def _distance_lookup(instance: TSPInstance, matrix: np.ndarray | None = None):
-    """An O(1) pairwise distance callable (matrix-backed when feasible).
+    """Pairwise distance access: ``(callable, matrix-or-None)``.
 
-    Matrix-backed lookups are validated up front: annealing on a NaN/inf
-    matrix would silently corrupt every delta, so reject it here.
+    When a full matrix is available (supplied, or small enough to
+    build) it is returned directly so hot loops index it raw instead of
+    paying a ``float(...)`` wrapper call per lookup; the callable then
+    simply mirrors it for sites that want one.  Matrix-backed lookups
+    are validated up front: annealing on a NaN/inf matrix would
+    silently corrupt every delta, so reject it here.
     """
     if matrix is None and instance.n <= 4096:
         matrix = instance.distance_matrix()
@@ -124,12 +134,13 @@ def _distance_lookup(instance: TSPInstance, matrix: np.ndarray | None = None):
                 "matrix; refusing to anneal"
             )
         lookup = matrix
-        return lambda a, b: float(lookup[a, b])
+        return (lambda a, b: float(lookup[a, b])), matrix
     coords = instance.coords
     if coords is None:
-        return instance.distance
+        return instance.distance, None
+
     # Large coordinate instances: compute single pairs directly.
     def pair(a: int, b: int) -> float:
         return float(instance._edge_lengths(np.asarray([a]), np.asarray([b]))[0])
 
-    return pair
+    return pair, None

@@ -1,0 +1,67 @@
+"""Vectorized hot-path kernels behind selectable backends.
+
+TAXI's X-bar Ising macros evaluate every candidate move of a visiting
+order in parallel; this package mirrors that algorithmically for the
+software solvers.  Each hot path ships two implementations:
+
+* ``reference`` — the original, loop-per-proposal semantics, kept
+  bit-for-bit stable as the ground truth;
+* ``fast`` — vectorized/batched evaluation (checkerboard spin classes,
+  batched 2-opt delta blocks, bulk-RNG macro sweeps) that is either
+  bit-exact with the reference (2-opt SA) or validated against it at
+  distribution level (spin annealing, macro batches).
+
+``auto`` (the default everywhere a ``backend=`` knob exists) resolves
+to ``fast``.  Kernels that cannot profit on a given input (dense
+coupling graphs, missing distance matrix) silently degrade to the
+reference loop, so ``fast`` is never a pessimisation cliff.
+
+Usage::
+
+    from repro.kernels import resolve_backend
+
+    backend = resolve_backend("auto")   # -> "fast"
+    backend = resolve_backend(None)     # -> "fast"
+    backend = resolve_backend("nope")   # ConfigError
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: The loop-per-proposal ground-truth implementation.
+BACKEND_REFERENCE = "reference"
+
+#: The vectorized implementation (checkerboard / batched kernels).
+BACKEND_FAST = "fast"
+
+#: Selectable backend names (``auto`` additionally resolves to one).
+BACKENDS = (BACKEND_REFERENCE, BACKEND_FAST)
+
+#: What ``auto`` (and ``None``) resolve to.
+DEFAULT_BACKEND = BACKEND_FAST
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve a backend knob value to a concrete backend name.
+
+    ``None`` and ``"auto"`` pick :data:`DEFAULT_BACKEND`; anything not
+    in :data:`BACKENDS` raises :class:`~repro.errors.ConfigError`.
+    """
+    if backend is None or backend == "auto":
+        return DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}; known backends: "
+            f"auto, {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_FAST",
+    "BACKEND_REFERENCE",
+    "DEFAULT_BACKEND",
+    "resolve_backend",
+]

@@ -8,6 +8,12 @@ using exactly the same per-iteration semantics as
 :class:`~repro.macro.ising_macro.IsingMacro` (same effective-weight
 math, stochastic gating with NAND fallback, finite-resolution WTA,
 swap updates) — verified against the faithful model in the test suite.
+
+The probability x position sweep loop lives in
+:mod:`repro.kernels.macro` behind the ``backend`` knob: ``reference``
+keeps the historical per-position random-draw order bit-for-bit,
+``fast`` hoists each sweep's draws into bulk generator calls (same
+distributions, different stream).
 """
 
 from __future__ import annotations
@@ -18,6 +24,12 @@ from typing import Any
 import numpy as np
 
 from repro.errors import MacroError
+from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels.macro import (
+    anneal_group_fast,
+    anneal_group_reference,
+    batch_proxy,
+)
 from repro.macro.config import MacroConfig
 from repro.macro.schedule import AnnealSchedule, paper_schedule
 from repro.utils.rng import ensure_rng
@@ -98,15 +110,21 @@ class BatchedMacroSolver:
     seed:
         RNG seed or generator for stochastic gating, variation, and
         tie-breaks.
+    backend:
+        Kernel backend: ``auto`` (default, resolves to ``fast``),
+        ``fast`` (bulk-RNG sweeps), or ``reference`` (the historical
+        per-position draw order).
     """
 
     def __init__(
         self,
         config: MacroConfig | None = None,
         seed: int | None | np.random.Generator = None,
+        backend: str = "auto",
     ) -> None:
         self.config = config if config is not None else MacroConfig()
         self._rng = ensure_rng(seed)
+        self.backend = resolve_backend(backend)
         self.total_iterations = 0
         self.total_sweeps = 0
 
@@ -219,68 +237,19 @@ class BatchedMacroSolver:
             if fixed_last:
                 allowed_cities[rows, order[:, -1]] = False
 
-        rng = self._rng
-        read_noise = self.config.crossbar.variation.read_noise_sigma
-        resolution = self.config.wta_resolution
-        guarded = self.config.guarded_updates
-        rows = np.arange(m)
-        sweeps = 0
-        probabilities = schedule.probabilities()
-        proxy = _batch_proxy(weights, order, closed)
-        for p_sw in probabilities:
-            for pos in positions:
-                prev_pos, next_pos = _neighbour_positions(int(pos), n, closed)
-                prev_cities = order[:, prev_pos]
-                next_cities = order[:, next_pos]
-                scores = weights[rows, prev_cities, :].copy()
-                distinct = prev_cities != next_cities
-                scores[distinct] += weights[rows[distinct], next_cities[distinct], :]
-                if read_noise > 0:
-                    scores *= 1.0 + rng.normal(0.0, read_noise, size=scores.shape)
-                mask = rng.random((m, n)) < p_sw
-                mask &= allowed_cities
-                # NAND fallback: rows with no switched (allowed) unit
-                # pass every allowed city.
-                empty = ~mask.any(axis=1)
-                mask[empty] = allowed_cities[empty]
-                gated = np.where(mask, scores, -np.inf)
-                if resolution > 0:
-                    peak = gated.max(axis=1, keepdims=True)
-                    window = resolution * np.abs(peak)
-                    jitter = rng.random((m, n)) * window
-                    gated = np.where(mask, gated + jitter, -np.inf)
-                winner = np.argmax(gated, axis=1)
-                # Copy: order[:, pos] is a view and the swap writes below
-                # would otherwise corrupt it mid-update.
-                current_city = order[:, pos].copy()
-                proposed = np.flatnonzero(winner != current_city)
-                if proposed.size == 0:
-                    continue
-                j = pos_of[proposed, winner[proposed]]
-                if guarded:
-                    # Current-comparison guard: evaluate each proposed
-                    # swap's attraction-current change; commit descents
-                    # (in energy = ascents in attraction) always, others
-                    # only on a stochastic write-path override.
-                    cand = order[proposed].copy()
-                    local = np.arange(proposed.size)
-                    cand[local, pos] = winner[proposed]
-                    cand[local, j] = current_city[proposed]
-                    new_proxy = _batch_proxy(weights[proposed], cand, closed)
-                    override = rng.random(proposed.size) < p_sw
-                    accept = (new_proxy >= proxy[proposed]) | override
-                    if not accept.any():
-                        continue
-                    changed = proposed[accept]
-                    j = j[accept]
-                    proxy[changed] = new_proxy[accept]
-                else:
-                    changed = proposed
-                order[changed, pos] = winner[changed]
-                order[changed, j] = current_city[changed]
-                pos_of[changed, winner[changed]] = pos
-                pos_of[changed, current_city[changed]] = j
-            sweeps += 1
+        kernel = (
+            anneal_group_fast if self.backend == BACKEND_FAST else anneal_group_reference
+        )
+        proxy = batch_proxy(weights, order, closed)
+        sweeps = kernel(
+            weights, order, pos_of, allowed_cities, proxy,
+            positions, schedule.probabilities(),
+            closed=closed,
+            read_noise=self.config.crossbar.variation.read_noise_sigma,
+            resolution=self.config.wta_resolution,
+            guarded=self.config.guarded_updates,
+            rng=self._rng,
+        )
         iterations = sweeps * positions.size
         self.total_sweeps += sweeps
         self.total_iterations += iterations * m
@@ -297,29 +266,8 @@ def _optimizable_positions(
     return np.arange(start, stop)
 
 
-def _neighbour_positions(pos: int, n: int, closed: bool) -> tuple[int, int]:
-    if closed:
-        return (pos - 1) % n, (pos + 1) % n
-    prev_pos = pos - 1 if pos > 0 else pos + 1
-    next_pos = pos + 1 if pos < n - 1 else pos - 1
-    return prev_pos, next_pos
-
-
 def _order_length(distances: np.ndarray, order: np.ndarray, closed: bool) -> float:
     length = float(distances[order[:-1], order[1:]].sum())
     if closed:
         length += float(distances[order[-1], order[0]])
     return length
-
-
-def _batch_proxy(weights: np.ndarray, orders: np.ndarray, closed: bool) -> np.ndarray:
-    """Total attraction current per row (the guard metric), vectorized.
-
-    ``weights`` is ``(m, n, n)``, ``orders`` is ``(m, n)``.
-    """
-    m = orders.shape[0]
-    rows = np.arange(m)[:, None]
-    totals = weights[rows, orders[:, :-1], orders[:, 1:]].sum(axis=1)
-    if closed:
-        totals = totals + weights[np.arange(m), orders[:, -1], orders[:, 0]]
-    return totals

@@ -1,0 +1,141 @@
+"""Tests for the perf-tracking bench harness (repro.engine.bench)."""
+
+import json
+
+import pytest
+
+from repro.engine.bench import (
+    bench_ising_model,
+    compute_speedups,
+    git_revision,
+    run_bench,
+    write_bench,
+)
+from repro.errors import ConfigError
+
+#: A grid small enough for test runs (sub-second) but covering all kinds.
+TINY = dict(
+    ising_sizes=[40],
+    tsp_sizes=[24],
+    engine_solvers=["sa_tsp"],
+    engine_sizes=[24],
+    ising_sweeps=10,
+    tsp_sweeps=10,
+    engine_sweeps=10,
+    replicas=2,
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(**TINY)
+
+
+class TestRunBench:
+    def test_entries_cover_grid_and_backends(self, payload):
+        cells = {(e["kind"], e["backend"]) for e in payload["entries"]}
+        for kind in ("ising", "sa_tsp", "engine"):
+            assert (kind, "reference") in cells
+            assert (kind, "fast") in cells
+
+    def test_entry_fields(self, payload):
+        for entry in payload["entries"]:
+            assert entry["seconds"] > 0
+            assert entry["sweeps_per_sec"] > 0
+            assert isinstance(entry["quality"], float)
+            assert entry["n"] > 0
+            assert entry["sweeps"] > 0
+
+    def test_speedups_pair_reference_and_fast(self, payload):
+        assert len(payload["speedups"]) == 3  # one per grid cell
+        for cell in payload["speedups"]:
+            assert cell["speedup"] == pytest.approx(
+                cell["reference_seconds"] / cell["fast_seconds"]
+            )
+
+    def test_sa_tsp_quality_identical_across_backends(self, payload):
+        # The 2-opt fast kernel is bit-exact: same seed, same tour.
+        lengths = {
+            e["backend"]: e["quality"]
+            for e in payload["entries"]
+            if e["kind"] == "sa_tsp"
+        }
+        assert lengths["reference"] == lengths["fast"]
+
+    def test_payload_metadata(self, payload):
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["revision"]
+        assert payload["platform"]["numpy"]
+        assert payload["seed"] == 0
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            run_bench(backends=("reference", "tpu"), **TINY)
+
+    def test_bad_repeats_rejected(self):
+        bad = dict(TINY)
+        bad["repeats"] = 0
+        with pytest.raises(ConfigError):
+            run_bench(**bad)
+
+    def test_empty_grids_skip(self):
+        payload = run_bench(
+            ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
+            tsp_sweeps=5, repeats=1,
+        )
+        kinds = {e["kind"] for e in payload["entries"]}
+        assert kinds == {"sa_tsp"}
+
+
+class TestWriteBench:
+    def test_canonical_name_in_directory(self, payload, tmp_path):
+        path = write_bench(payload, str(tmp_path))
+        assert path.endswith(f"BENCH_{payload['revision']}.json")
+        loaded = json.loads(open(path).read())
+        assert loaded["entries"] == payload["entries"]
+
+    def test_explicit_json_path(self, payload, tmp_path):
+        target = tmp_path / "sub" / "custom.json"
+        path = write_bench(payload, str(target))
+        assert path == str(target)
+        assert json.loads(open(path).read())["schema"] == "repro-bench/1"
+
+
+class TestHelpers:
+    def test_bench_ising_model_is_sparse_and_symmetric(self):
+        model = bench_ising_model(50, seed=1)
+        assert model.n == 50
+        assert (model.couplings != 0).sum() == 50 * 4  # degree-4 ring lattice
+
+    def test_git_revision_nonempty(self):
+        assert git_revision()
+
+    def test_compute_speedups_skips_unpaired(self):
+        entries = [{
+            "kind": "ising", "name": "metropolis", "n": 10, "sweeps": 5,
+            "backend": "fast", "seconds": 1.0, "sweeps_per_sec": 5.0,
+            "quality": 0.0,
+        }]
+        assert compute_speedups(entries) == []
+
+
+class TestBenchCLI:
+    @pytest.mark.smoke
+    def test_bench_command_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
+            "--engine-sizes", "--engine-solvers",
+            "--ising-sweeps", "10", "--tsp-sweeps", "10",
+            "--repeats", "1", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "wrote" in out
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert {e["kind"] for e in payload["entries"]} == {"ising", "sa_tsp"}

@@ -112,8 +112,40 @@ class TestEngineCommands:
         assert "wrote" in capsys.readouterr().out
         lines = csv_path.read_text().strip().splitlines()
         assert lines[0].startswith("instance,n,solver,replicas,best")
+        header = lines[0].split(",")
+        # per-replica setup-vs-solve wall-time split (backend speedups
+        # must stay visible in engine output)
+        assert "setup_seconds" in header
+        assert "solve_seconds" in header
+        assert header.index("setup_seconds") < header.index("solve_seconds")
         assert len(lines) == 2
         assert lines[1].startswith("uniform24@1,24,sa_tsp,2,")
+        row = dict(zip(header, lines[1].split(",")))
+        assert float(row["setup_seconds"]) >= 0.0
+        assert float(row["solve_seconds"]) > 0.0
+
+    def test_batch_backend_flag(self, capsys):
+        # --backend threads through the engine params; reference and
+        # fast are bit-exact for sa_tsp, so aggregates must agree.
+        outs = []
+        for backend in ("reference", "fast"):
+            code = main(
+                ["batch", "--instances", "uniform:24:1", "--solver", "sa_tsp",
+                 "--replicas", "2", "--workers", "1", "--sweeps", "10",
+                 "--quiet", "--backend", backend]
+            )
+            assert code == 0
+            outs.append(capsys.readouterr().out)
+        best = [line for line in outs[0].splitlines() if "uniform24@1" in line]
+        best_fast = [line for line in outs[1].splitlines() if "uniform24@1" in line]
+        # compare the quality columns (timings differ run to run)
+        assert best[0].split("|")[4:9] == best_fast[0].split("|")[4:9]
+
+    def test_batch_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "--instances", "24", "--backend", "gpu"]
+            )
 
     def test_batch_progress_streams_to_stderr(self, capsys):
         code = main(

