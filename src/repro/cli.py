@@ -6,6 +6,7 @@ Commands
 ``compare``   run TAXI against the comparator solvers on one instance
 ``batch``     fan a set of instances over seeded replicas (process pool)
 ``sweep``     sweep one solver parameter over a value list
+``scenarios``  list or run the named workload scenarios
 ``solvers``   list the solver registry
 ``bench``     time the kernel backends and write ``BENCH_<rev>.json``
 ``table1``    print the Table I circuit-simulation reproduction
@@ -15,11 +16,14 @@ Commands
 Examples::
 
     python -m repro solve --size 1060 --bits 4 --sweeps 300
+    python -m repro solve --size 262 --workers 4   # cluster-parallel pipeline
     python -m repro solve --tsplib path/to/instance.tsp
     python -m repro compare --size 318
     python -m repro batch --instances 76 101 200 262 --replicas 4 --workers 4
     python -m repro sweep --size 318 --param sweeps --values 30 60 120
     python -m repro batch --instances 200 --solver sa_tsp --backend reference
+    python -m repro scenarios
+    python -m repro scenarios --run ring-ladder --sweeps 60 --replicas 2
     python -m repro bench --quick
     python -m repro table1
 """
@@ -54,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto", help="annealing kernel backend")
     solve.add_argument("--no-fixing", action="store_true",
                        help="disable inter-cluster endpoint fixing")
+    solve.add_argument("--workers", type=int, default=1,
+                       help="wavefront pool width for the cluster-parallel "
+                            "pipeline (any width is bit-identical to 1)")
     solve.add_argument("--reference", action="store_true",
                        help="also compute the Concorde-surrogate reference")
 
@@ -85,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--values", nargs="+", required=True,
                        help="values to sweep (parsed as int/float/bool/str)")
 
+    scenarios = sub.add_parser(
+        "scenarios", help="list or run the named workload scenarios"
+    )
+    scenarios.add_argument("--run", metavar="NAME", default=None,
+                           help="run one scenario through the batch engine "
+                                "(default: list the registry)")
+    _engine_args(scenarios)
+    # No --solver means "the scenario's own default solver", so the
+    # shared engine default of "taxi" must not mask Scenario.solver.
+    scenarios.set_defaults(solver=None)
+    scenarios.add_argument("--csv", type=str, default=None,
+                           help="also export the summary table as CSV")
+
     bench = sub.add_parser(
         "bench", help="time kernel backends over a solver x size grid"
     )
@@ -106,9 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine-cell instance sizes (empty list skips)")
     bench.add_argument("--engine-solvers", nargs="*", default=None,
                        help="registered solvers for the engine cells")
+    bench.add_argument("--pipeline-sizes", nargs="*", type=int, default=None,
+                       help="hierarchical-pipeline instance sizes "
+                            "(empty list skips)")
+    bench.add_argument("--pipeline-workers", nargs="*", type=int,
+                       default=(1, 4),
+                       help="wavefront pool widths for the pipeline cells")
     bench.add_argument("--ising-sweeps", type=int, default=200)
     bench.add_argument("--tsp-sweeps", type=int, default=400)
     bench.add_argument("--engine-sweeps", type=int, default=30)
+    bench.add_argument("--pipeline-sweeps", type=int, default=60)
 
     sub.add_parser("solvers", help="list the solver registry")
     sub.add_parser("table1", help="print the Table I reproduction")
@@ -186,6 +213,8 @@ def _solver_params(args: argparse.Namespace) -> dict:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    import hashlib
+
     instance = _load_instance(args)
     config = TAXIConfig(
         max_cluster_size=args.cluster_size,
@@ -195,10 +224,17 @@ def cmd_solve(args: argparse.Namespace) -> int:
         clustering=args.clustering,
         endpoint_fixing=not args.no_fixing,
         backend=args.backend,
+        workers=args.workers,
     )
     result = TAXISolver(config).solve(instance)
+    # The tour hash makes worker-count parity checkable from the CLI:
+    # identical hashes mean bit-identical tours, not just equal lengths.
+    tour_hash = hashlib.sha256(
+        result.tour.order.astype("<i8").tobytes()
+    ).hexdigest()[:16]
     print(f"instance      : {instance.name} ({instance.n} cities)")
     print(f"tour length   : {result.tour.length:.0f}")
+    print(f"tour hash     : {tour_hash}")
     print(f"hierarchy     : {result.hierarchy_depth} levels, "
           f"{result.total_subproblems} sub-problems")
     for phase, seconds in result.phase_seconds.as_dict().items():
@@ -311,6 +347,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.tsp.scenarios import get_scenario, scenario_job, scenario_names
+
+    if args.run is None:
+        rows = []
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            rows.append([
+                name,
+                str(len(scenario.tokens)),
+                " ".join(scenario.tokens[:4])
+                + (" ..." if len(scenario.tokens) > 4 else ""),
+                scenario.description,
+            ])
+        print(ascii_table(["name", "instances", "tokens", "description"], rows,
+                          title="scenario registry"))
+        return 0
+
+    from repro.analysis import batch_table
+    from repro.engine import run_batch
+
+    job = scenario_job(
+        args.run,
+        replicas=args.replicas,
+        workers=args.workers,
+        seed=args.seed,
+        solver=args.solver,
+        params=_solver_params(args),
+    )
+    progress = None if args.quiet else _print_progress
+    results = run_batch(job, progress=progress)
+    workers = job.engine.resolved_workers(len(job.instances) * args.replicas)
+    print(batch_table(
+        results,
+        title=f"scenario {args.run}: solver={job.solver} "
+              f"replicas={args.replicas} workers={workers} seed={args.seed}",
+    ))
+    if args.csv:
+        from repro.analysis import write_batch_csv
+
+        write_batch_csv(results, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import run_bench, write_bench
 
@@ -320,9 +401,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         tsp_sizes=args.tsp_sizes,
         engine_solvers=args.engine_solvers,
         engine_sizes=args.engine_sizes,
+        pipeline_sizes=args.pipeline_sizes,
         ising_sweeps=args.ising_sweeps,
         tsp_sweeps=args.tsp_sweeps,
         engine_sweeps=args.engine_sweeps,
+        pipeline_sweeps=args.pipeline_sweeps,
+        pipeline_workers=args.pipeline_workers,
         replicas=args.replicas,
         seed=args.seed,
         repeats=args.repeats,
@@ -361,6 +445,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(ascii_table(
             ["kind", "name", "n", "reference", "fast", "speedup"],
             rows, title="fast-vs-reference speedups",
+        ))
+    if payload.get("pipeline_speedups"):
+        rows = [
+            [
+                str(cell["n"]),
+                str(cell["workers"]),
+                format_seconds(cell["serial_seconds"]),
+                format_seconds(cell["wavefront_seconds"]),
+                f"{cell['speedup']:.2f}x",
+                "yes" if cell["identical_quality"] else "NO",
+            ]
+            for cell in payload["pipeline_speedups"]
+        ]
+        print()
+        print(ascii_table(
+            ["n", "workers", "serial", "wavefront", "speedup", "bit-identical"],
+            rows, title="pipeline serial-vs-wavefront dispatch",
         ))
     path = write_bench(payload, args.out)
     print(f"wrote {path}")
@@ -431,6 +532,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "batch": cmd_batch,
     "sweep": cmd_sweep,
+    "scenarios": cmd_scenarios,
     "solvers": cmd_solvers,
     "bench": cmd_bench,
     "table1": cmd_table1,

@@ -10,6 +10,8 @@
   cities -> clusters -> centroids -> ... until one macro-sized level.
 * :mod:`~repro.clustering.fixing` — inter-cluster endpoint fixing via
   closest city pairs (Section IV-2).
+* :mod:`~repro.clustering.cache` — distance-submatrix cache keyed by
+  (instance, cluster), shared by endpoint fixing and cluster ordering.
 """
 
 from repro.clustering.agglomerative import (
@@ -20,8 +22,10 @@ from repro.clustering.agglomerative import (
 from repro.clustering.kmeans import kmeans_labels, kmeans_with_max_size
 from repro.clustering.hierarchy import Hierarchy, HierarchyLevel, build_hierarchy
 from repro.clustering.fixing import EndpointFixing, fix_level_endpoints
+from repro.clustering.cache import SubmatrixCache
 
 __all__ = [
+    "SubmatrixCache",
     "ward_labels",
     "ward_linkage_matrix",
     "cluster_with_max_size",

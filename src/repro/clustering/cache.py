@@ -1,0 +1,97 @@
+"""Distance-submatrix cache keyed by (instance, cluster).
+
+The hierarchical pipeline repeatedly slices the instance metric:
+endpoint fixing needs the cross-block between every consecutive
+cluster pair (twice, when the entry/exit child-conflict retry kicks
+in), and level-1 ordering needs each cluster's square submatrix.  On
+large instances these slices are the dominant host-side cost after
+clustering, and the near-memory reuse literature (Sundara Raman et
+al.) shows exactly this kind of sub-problem data reuse dominating
+end-to-end latency.
+
+One :class:`SubmatrixCache` lives for the duration of a hierarchical
+solve.  Callers key blocks by stable cluster identifiers (level, node),
+so a block is sliced from the instance at most once per solve; the
+conflict-retry path subsets rows of the cached block instead of
+re-slicing the metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsp.instance import TSPInstance
+
+#: Above this many pairwise entries, cross-blocks are not materialized
+#: (endpoint fixing falls back to the KD-tree path instead).
+PAIR_BLOCK_LIMIT = 4096
+
+
+class SubmatrixCache:
+    """Memoized distance sub-blocks for one instance.
+
+    Keys are caller-chosen hashables identifying a cluster (the
+    pipeline uses ``(level, node)`` tuples); the cache never inspects
+    them beyond hashing.  Returned arrays are shared — callers must
+    treat them as read-only.
+
+    ``retain_cross_blocks=False`` skips memoizing the rectangular
+    pair blocks: within one solve each cluster adjacency is requested
+    once (the conflict retry subsets the block it already holds), so a
+    per-solve cache would retain O(pairs x block) memory for zero
+    reuse.  Caller-shared caches keep the default ``True`` so repeated
+    solves over one hierarchy reuse the slices.
+    """
+
+    def __init__(
+        self, instance: TSPInstance, retain_cross_blocks: bool = True
+    ) -> None:
+        self.instance = instance
+        self.retain_cross_blocks = retain_cross_blocks
+        self._square: dict[object, np.ndarray] = {}
+        self._cross: dict[tuple[object, object], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def submatrix(self, key: object, indices: np.ndarray) -> np.ndarray:
+        """Square pairwise block over ``indices``, memoized under ``key``."""
+        block = self._square.get(key)
+        if block is not None:
+            self.hits += 1
+            return block
+        self.misses += 1
+        block = self.instance.distance_submatrix(np.asarray(indices, dtype=int))
+        self._square[key] = block
+        return block
+
+    def cross_block(
+        self,
+        key_a: object,
+        indices_a: np.ndarray,
+        key_b: object,
+        indices_b: np.ndarray,
+    ) -> np.ndarray:
+        """Rectangular block ``(len(a), len(b))``, memoized per key pair."""
+        key = (key_a, key_b)
+        block = self._cross.get(key)
+        if block is not None:
+            self.hits += 1
+            return block
+        self.misses += 1
+        block = self.instance.distance_block(
+            np.asarray(indices_a, dtype=int), np.asarray(indices_b, dtype=int)
+        )
+        if self.retain_cross_blocks:
+            self._cross[key] = block
+        return block
+
+    # ------------------------------------------------------------------
+    @property
+    def slices_computed(self) -> int:
+        """How many blocks were actually sliced from the instance."""
+        return self.misses
+
+    def clear(self) -> None:
+        self._square.clear()
+        self._cross.clear()

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.clustering.cache import PAIR_BLOCK_LIMIT, SubmatrixCache
 from repro.errors import ClusteringError
 from repro.tsp.instance import TSPInstance
 from repro.tsp.neighbors import closest_pair_between
@@ -42,6 +43,8 @@ def fix_level_endpoints(
     instance: TSPInstance,
     leaves_in_order: list[np.ndarray],
     child_of_leaf: list[dict[int, int]] | None = None,
+    cache: SubmatrixCache | None = None,
+    cluster_keys: list[object] | None = None,
 ) -> list[EndpointFixing]:
     """Fix entry/exit leaves for an ordered (cyclic) cluster sequence.
 
@@ -57,6 +60,18 @@ def fix_level_endpoints(
         Optional per-cluster map from leaf id to the child sub-cluster
         index containing it; enables the entry/exit child-conflict
         avoidance described in the module docstring.
+    cache:
+        Optional :class:`~repro.clustering.cache.SubmatrixCache`; each
+        cluster pair's cross-block is then sliced from the instance at
+        most once — the conflict-avoidance retry subsets rows of the
+        cached block instead of re-slicing the metric per child.
+        Passing a cache requires ``cluster_keys``: position-derived
+        default keys would silently alias different cluster sets
+        across calls sharing the cache.
+    cluster_keys:
+        Stable cache keys aligned with ``leaves_in_order`` (the
+        pipeline passes ``(level, node)``); defaults to the route
+        positions, which are only unique within one call.
 
     Returns
     -------
@@ -65,6 +80,19 @@ def fix_level_endpoints(
     count = len(leaves_in_order)
     if count < 2:
         raise ClusteringError("endpoint fixing needs at least 2 clusters")
+    if cache is None:
+        cache = SubmatrixCache(instance, retain_cross_blocks=False)
+    elif cluster_keys is None:
+        raise ClusteringError(
+            "a shared cache needs explicit cluster_keys: position-based "
+            "defaults would alias unrelated clusters across calls"
+        )
+    if cluster_keys is None:
+        cluster_keys = list(range(count))
+    elif len(cluster_keys) != count:
+        raise ClusteringError(
+            f"{len(cluster_keys)} cluster keys for {count} clusters"
+        )
     # pair[t] joins cluster t to cluster (t+1) % count.
     exit_leaf = [-1] * count
     entry_leaf = [-1] * count
@@ -76,8 +104,10 @@ def fix_level_endpoints(
         if child_of_leaf is not None and entry_leaf[t] >= 0:
             forbidden_child = child_of_leaf[t].get(entry_leaf[t])
         a, b = _closest_pair_avoiding(
-            instance,
+            cache,
+            cluster_keys[t],
             group_a,
+            cluster_keys[nxt],
             group_b,
             child_of_leaf[t] if child_of_leaf is not None else None,
             forbidden_child,
@@ -88,26 +118,41 @@ def fix_level_endpoints(
 
 
 def _closest_pair_avoiding(
-    instance: TSPInstance,
+    cache: SubmatrixCache,
+    key_a: object,
     group_a: np.ndarray,
+    key_b: object,
     group_b: np.ndarray,
     child_map: dict[int, int] | None,
     forbidden_child: int | None,
 ) -> tuple[int, int]:
     """Closest pair with A's leaf preferably outside ``forbidden_child``."""
+    instance = cache.instance
+    group_a = np.asarray(group_a, dtype=int)
+    group_b = np.asarray(group_b, dtype=int)
+    allowed_rows: np.ndarray | None = None
     if (
         child_map is not None
         and forbidden_child is not None
         and group_a.size > 1
     ):
-        allowed = np.asarray(
-            [leaf for leaf in group_a if child_map.get(int(leaf)) != forbidden_child]
+        mask = np.asarray(
+            [child_map.get(int(leaf)) != forbidden_child for leaf in group_a]
         )
-        if allowed.size > 0:
-            a, b, _ = closest_pair_between(instance, allowed, group_b)
-            return a, b
-    a, b, _ = closest_pair_between(instance, group_a, group_b)
-    return a, b
+        if mask.any():
+            allowed_rows = np.flatnonzero(mask)
+    if group_a.size * group_b.size > PAIR_BLOCK_LIMIT:
+        # Big pair: stay on the KD-tree path rather than materializing
+        # (and caching) an oversized cross-block.
+        rows = group_a if allowed_rows is None else group_a[allowed_rows]
+        a, b, _ = closest_pair_between(instance, rows, group_b)
+        return a, b
+    block = cache.cross_block(key_a, group_a, key_b, group_b)
+    view = block if allowed_rows is None else block[allowed_rows]
+    ai, bi = np.unravel_index(int(np.argmin(view)), view.shape)
+    if allowed_rows is not None:
+        ai = int(allowed_rows[ai])
+    return int(group_a[ai]), int(group_b[bi])
 
 
 def centroid_distance_matrix(centroids: np.ndarray) -> np.ndarray:

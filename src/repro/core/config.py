@@ -42,6 +42,15 @@ class TAXIConfig:
     backend:
         Kernel backend for the macro annealing sweeps (``auto`` |
         ``fast`` | ``reference``; see :mod:`repro.kernels`).
+    workers:
+        Wavefront process-pool width for the hierarchical pipeline's
+        per-level sub-problem batches.  ``1`` (default) solves chunks
+        inline; any width yields bit-identical tours (chunks are
+        deterministically cut and self-seeded).
+    chunk_size:
+        Sub-problems per wavefront dispatch chunk.  Part of the solve's
+        deterministic identity (chunk ordinals feed the per-chunk
+        seeds), so it is configuration, not a per-run tuning knob.
     """
 
     max_cluster_size: int = 12
@@ -54,6 +63,8 @@ class TAXIConfig:
     wta_resolution: float = 1e-3
     seed: int | None = 0
     backend: str = "auto"
+    workers: int = 1
+    chunk_size: int = 8
 
     def __post_init__(self) -> None:
         resolve_backend(self.backend)  # validate early: bad names raise
@@ -69,6 +80,10 @@ class TAXIConfig:
             raise ConfigError(
                 f"clustering must be 'ward' or 'kmeans', got {self.clustering!r}"
             )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     def macro_config(self) -> MacroConfig:
         """The per-macro configuration implied by this solver config."""

@@ -7,20 +7,36 @@ Given a bottom-up hierarchy, the pipeline:
 2. walking **down** one level at a time, fixes every consecutive
    cluster pair's entry/exit cities (closest leaf pairs), then orders
    each cluster's children as an open path between the children holding
-   the entry and exit leaves — all clusters of a level in one batched
-   macro wave (the chip's parallelism);
+   the entry and exit leaves — all clusters of a level form one
+   **wavefront** of mutually independent sub-problems (the chip's
+   parallelism);
 3. at level 0 the node sequence *is* the city tour.
 
+Wavefront dispatch
+------------------
+Each level's sub-problems are chunked deterministically (grouped by
+shape so the macro batch can vectorize, then cut into fixed-size runs;
+see :func:`repro.engine.wavefront.chunk_indices`) and dispatched
+through a :class:`~repro.engine.wavefront.WavefrontPool`.  Every chunk
+derives its own RNG from ``(master seed, level, chunk ordinal)``, so a
+chunk's result is a pure function of the chunk description:
+``workers=1`` reproduces any parallel run bit-for-bit — the same
+contract the replica engine established in PR 1.
+
 Distances: child orderings at levels >= 2 use centroid distances;
-level-1 clusters order actual cities with the instance metric.
+level-1 clusters order actual cities with the instance metric, sliced
+through a per-solve :class:`~repro.clustering.cache.SubmatrixCache`
+shared with the endpoint-fixing step.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.clustering.cache import SubmatrixCache
 from repro.clustering.fixing import (
     EndpointFixing,
     centroid_distance_matrix,
@@ -28,9 +44,112 @@ from repro.clustering.fixing import (
 )
 from repro.clustering.hierarchy import Hierarchy
 from repro.core.result import LevelStats, PhaseTimes
+from repro.engine.wavefront import WavefrontPool, chunk_indices
 from repro.errors import SolverError
-from repro.macro.batch import BatchedMacroSolver, SubProblem
+from repro.macro.batch import BatchedMacroSolver, SubProblem, SubSolution
+from repro.macro.config import MacroConfig
 from repro.macro.schedule import AnnealSchedule
+
+#: Sub-problems per dispatch chunk.  Part of the solve's deterministic
+#: identity (chunk boundaries feed the per-chunk seeds), NOT a tuning
+#: knob to vary per run: changing it changes the RNG streams.
+DEFAULT_CHUNK_SIZE = 8
+
+
+@dataclass(frozen=True)
+class WaveChunk:
+    """One picklable unit of wavefront work: a few sibling sub-problems.
+
+    The chunk seed is derived inside the worker from
+    ``(master_seed, level, ordinal)`` — nothing stateful crosses the
+    process boundary, so results are identical at any worker count.
+    """
+
+    level: int
+    ordinal: int
+    master_seed: int
+    config: MacroConfig
+    backend: str
+    schedule: AnnealSchedule
+    problems: tuple[SubProblem, ...]
+
+
+def solve_wave_chunk(chunk: WaveChunk) -> tuple[list[SubSolution], int, int]:
+    """Solve one chunk (module-level so process pools can pickle it).
+
+    Returns ``(solutions, sweeps, iterations)`` where the counters are
+    the chunk solver's totals (for the template solver's bookkeeping).
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([chunk.master_seed, chunk.level, chunk.ordinal])
+    )
+    solver = BatchedMacroSolver(chunk.config, seed=rng, backend=chunk.backend)
+    solutions = solver.solve_all(list(chunk.problems), chunk.schedule)
+    return solutions, solver.total_sweeps, solver.total_iterations
+
+
+class WaveScheduler:
+    """Dispatches one hierarchy's wavefronts through a pool.
+
+    Wraps the caller's template :class:`BatchedMacroSolver`: its config
+    and backend are shipped to every chunk, one master seed is drawn
+    from its RNG up front, and its sweep/iteration counters accumulate
+    the chunk totals so existing reporting keeps working.
+
+    Duck-typed solvers that only provide ``solve_all`` (e.g. the
+    Neuro-Ising selective-budget adapter, whose cluster ranking is a
+    barrier across the whole wavefront) fall back to one in-process
+    ``solve_all`` call per wave — the legacy serial semantics.
+    """
+
+    def __init__(
+        self,
+        solver: BatchedMacroSolver,
+        schedule: AnnealSchedule,
+        pool: WavefrontPool,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.solver = solver
+        self.schedule = schedule
+        self.pool = pool
+        self.chunk_size = chunk_size
+        self._dispatchable = isinstance(solver, BatchedMacroSolver)
+        # One draw, before any dispatch: every chunk seed derives from
+        # this, so the whole solve is a function of the template RNG.
+        self.master_seed = (
+            int(solver._rng.integers(0, 2**63 - 1)) if self._dispatchable else 0
+        )
+
+    def solve_wave(
+        self, problems: list[SubProblem], level: int
+    ) -> list[SubSolution]:
+        """Solve one level's wavefront; results align with the input."""
+        if not problems:
+            return []
+        if not self._dispatchable:
+            return self.solver.solve_all(problems, self.schedule)
+        chunks = chunk_indices([p.shape_key for p in problems], self.chunk_size)
+        tasks = [
+            WaveChunk(
+                level=level,
+                ordinal=ordinal,
+                master_seed=self.master_seed,
+                config=self.solver.config,
+                backend=self.solver.backend,
+                schedule=self.schedule,
+                problems=tuple(problems[i] for i in indices),
+            )
+            for ordinal, indices in enumerate(chunks)
+        ]
+        solutions: list[SubSolution | None] = [None] * len(problems)
+        for indices, (chunk_solutions, sweeps, iterations) in zip(
+            chunks, self.pool.map(solve_wave_chunk, tasks)
+        ):
+            self.solver.total_sweeps += sweeps
+            self.solver.total_iterations += iterations
+            for local, solution in zip(indices, chunk_solutions):
+                solutions[local] = solution
+        return solutions  # type: ignore[return-value]
 
 
 def solve_hierarchical(
@@ -38,23 +157,52 @@ def solve_hierarchical(
     solver: BatchedMacroSolver,
     schedule: AnnealSchedule,
     endpoint_fixing: bool = True,
+    workers: int = 1,
+    executor=None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache: SubmatrixCache | None = None,
 ) -> tuple[np.ndarray, PhaseTimes, list[LevelStats]]:
-    """Solve the hierarchy top-down; returns (city order, times, stats)."""
+    """Solve the hierarchy top-down; returns (city order, times, stats).
+
+    Parameters
+    ----------
+    workers:
+        Wavefront process-pool width.  ``1`` (default) solves every
+        chunk inline; any width produces bit-identical tours because
+        chunks are self-seeded and deterministically cut.
+    executor:
+        Explicit :class:`~concurrent.futures.Executor` overriding the
+        internal pool (tests inject thread/inline executors).
+    chunk_size:
+        Sub-problems per dispatch chunk; part of the deterministic
+        solve identity (see :data:`DEFAULT_CHUNK_SIZE`).
+    cache:
+        Distance-submatrix cache.  Defaults to a fresh per-solve cache;
+        callers solving one hierarchy repeatedly (replica batches over
+        a deterministic ward clustering) pass a shared instance so
+        endpoint fixing and child ordering reuse slices across solves
+        instead of re-slicing the metric per solve.
+    """
     instance = hierarchy.instance
     times = PhaseTimes()
     level_stats: list[LevelStats] = []
+    if cache is None:
+        # Per-solve cache: every pair block is requested once, so only
+        # the (reusable) square submatrices are worth retaining.
+        cache = SubmatrixCache(instance, retain_cross_blocks=False)
 
-    sequence = _solve_top_level(hierarchy, solver, schedule, times, level_stats)
-
-    for level_idx in range(hierarchy.depth - 1, 0, -1):
-        level = hierarchy.levels[level_idx]
-        fixings = _fix_endpoints_for(
-            hierarchy, level, sequence, endpoint_fixing, times
-        )
-        sequence = _order_children(
-            hierarchy, level, sequence, fixings, solver, schedule,
-            endpoint_fixing, times, level_stats,
-        )
+    with WavefrontPool(workers=workers, executor=executor) as pool:
+        scheduler = WaveScheduler(solver, schedule, pool, chunk_size)
+        sequence = _solve_top_level(hierarchy, scheduler, times, level_stats)
+        for level_idx in range(hierarchy.depth - 1, 0, -1):
+            level = hierarchy.levels[level_idx]
+            fixings = _fix_endpoints_for(
+                hierarchy, level, sequence, endpoint_fixing, times, cache
+            )
+            sequence = _order_children(
+                hierarchy, level, sequence, fixings, scheduler,
+                times, level_stats, cache,
+            )
     order = np.asarray(sequence, dtype=int)
     if np.unique(order).size != instance.n:
         raise SolverError(
@@ -69,8 +217,7 @@ def solve_hierarchical(
 # ----------------------------------------------------------------------
 def _solve_top_level(
     hierarchy: Hierarchy,
-    solver: BatchedMacroSolver,
-    schedule: AnnealSchedule,
+    scheduler: WaveScheduler,
     times: PhaseTimes,
     level_stats: list[LevelStats],
 ) -> list[int]:
@@ -89,7 +236,7 @@ def _solve_top_level(
         fixed_last=False,
         tag="top",
     )
-    solution = solver.solve_all([problem], schedule)[0]
+    solution = scheduler.solve_wave([problem], level=hierarchy.depth - 1)[0]
     times.ising += time.perf_counter() - start
     level_stats.append(
         LevelStats(
@@ -109,6 +256,7 @@ def _fix_endpoints_for(
     sequence: list[int],
     endpoint_fixing: bool,
     times: PhaseTimes,
+    cache: SubmatrixCache,
 ) -> list[EndpointFixing] | None:
     if not endpoint_fixing or len(sequence) < 2:
         return None
@@ -122,7 +270,13 @@ def _fix_endpoints_for(
             for leaf in below.leaves[child]:
                 mapping[int(leaf)] = child_pos
         child_maps.append(mapping)
-    fixings = fix_level_endpoints(hierarchy.instance, leaves_in_order, child_maps)
+    fixings = fix_level_endpoints(
+        hierarchy.instance,
+        leaves_in_order,
+        child_maps,
+        cache=cache,
+        cluster_keys=[(level.level, int(node)) for node in sequence],
+    )
     times.fixing += time.perf_counter() - start
     return fixings
 
@@ -132,11 +286,10 @@ def _order_children(
     level,
     sequence: list[int],
     fixings: list[EndpointFixing] | None,
-    solver: BatchedMacroSolver,
-    schedule: AnnealSchedule,
-    endpoint_fixing: bool,
+    scheduler: WaveScheduler,
     times: PhaseTimes,
     level_stats: list[LevelStats],
+    cache: SubmatrixCache,
 ) -> list[int]:
     instance = hierarchy.instance
     below = hierarchy.levels[level.level - 1]
@@ -155,7 +308,7 @@ def _order_children(
             entry_child = _locate_child(below, children, fixing.entry_leaf)
             exit_child = _locate_child(below, children, fixing.exit_leaf)
         if level.level == 1:
-            dist = instance.distance_submatrix(children)
+            dist = cache.submatrix(("sub", level.level, int(node)), children)
         else:
             dist = centroid_distance_matrix(below.centroids[children])
         initial, fixed_first, fixed_last = _initial_child_order(
@@ -175,7 +328,7 @@ def _order_children(
     times.merge += time.perf_counter() - build_start
 
     solve_start = time.perf_counter()
-    solutions = solver.solve_all(problems, schedule) if problems else []
+    solutions = scheduler.solve_wave(problems, level=level.level)
     times.ising += time.perf_counter() - solve_start
 
     solved_orders: dict[int, np.ndarray] = {}

@@ -33,8 +33,12 @@ class TAXISolver:
     def __init__(self, config: TAXIConfig | None = None) -> None:
         self.config = config if config is not None else TAXIConfig()
 
-    def solve(self, instance: TSPInstance) -> TAXIResult:
-        """Solve ``instance`` and return the tour with phase statistics."""
+    def solve(self, instance: TSPInstance, executor=None) -> TAXIResult:
+        """Solve ``instance`` and return the tour with phase statistics.
+
+        ``executor`` optionally overrides the wavefront pool implied by
+        ``config.workers`` (tests inject thread/inline executors).
+        """
         config = self.config
         if instance.n <= 3:
             # Degenerate: any permutation is optimal.
@@ -76,6 +80,9 @@ class TAXISolver:
             macro_solver,
             config.schedule(),
             endpoint_fixing=config.endpoint_fixing,
+            workers=config.workers,
+            executor=executor,
+            chunk_size=config.chunk_size,
         )
         times.clustering = clustering_seconds
 

@@ -10,6 +10,8 @@ The engine turns the single-shot :class:`~repro.core.solver.TAXISolver`
   :class:`~repro.core.result.BatchResult`;
 * :mod:`repro.engine.jobs` — instance specs, per-process caches, and
   streamed batch progress;
+* :mod:`repro.engine.wavefront` — deterministic chunked fan-out used
+  by the hierarchical pipeline's per-level sub-problem batches;
 * :mod:`repro.engine.bench` — the perf-tracking bench harness behind
   ``repro bench`` (kernel/solver grids -> ``BENCH_<rev>.json``).
 
@@ -48,8 +50,11 @@ from repro.engine.runner import (
     run_replicas,
     validate_finite_instance,
 )
+from repro.engine.wavefront import WavefrontPool, chunk_indices
 
 __all__ = [
+    "WavefrontPool",
+    "chunk_indices",
     "EngineConfig",
     "BatchResult",
     "ReplicaResult",

@@ -9,7 +9,7 @@ repo's perf trajectory is measurable from commit to commit::
     python -m repro bench                  # full grid
     python -m repro bench --out results/   # BENCH_<rev>.json in results/
 
-Three grid kinds:
+Four grid kinds:
 
 * ``ising``  — :class:`~repro.ising.annealer.MetropolisAnnealer` on a
   ring-lattice Ising model (sparse couplings: the checkerboard fast
@@ -19,6 +19,10 @@ Three grid kinds:
 * ``engine`` — registered solvers through the multi-replica engine
   (:func:`~repro.engine.runner.run_replicas`), so macro-backend and
   end-to-end effects are captured too.
+* ``pipeline`` — the hierarchical pipeline end-to-end at n >= 1000,
+  serial (``workers=1``) vs wavefront dispatch (``workers>1``); tours
+  are bit-identical at every width, so the cells measure pure dispatch
+  cost/benefit.
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -39,21 +43,25 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.kernels import BACKENDS
 
-#: Grid defaults: (ising sizes, tsp sizes, engine solvers, engine sizes).
+#: Grid defaults: (ising sizes, tsp sizes, engine solvers, engine sizes,
+#: hierarchical-pipeline sizes).
 FULL_GRID = {
     "ising_sizes": (200, 500, 1000),
     "tsp_sizes": (100, 200, 500),
     "engine_solvers": ("taxi", "sa_tsp"),
     "engine_sizes": (76, 101),
+    "pipeline_sizes": (1000, 2000),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
-#: at 200 sweeps, SA-TSP n=200 at 400 sweeps) plus one engine cell.
+#: at 200 sweeps, SA-TSP n=200 at 400 sweeps, pipeline n=1000 serial
+#: vs wavefront) plus one engine cell.
 QUICK_GRID = {
     "ising_sizes": (500,),
     "tsp_sizes": (200,),
     "engine_solvers": ("taxi",),
     "engine_sizes": (76,),
+    "pipeline_sizes": (1000,),
 }
 
 
@@ -171,6 +179,81 @@ def _bench_engine(solvers, sizes, sweeps, replicas, seed, repeats, backends) -> 
     return entries
 
 
+def _bench_pipeline(sizes, sweeps, workers_list, seed, repeats) -> list[dict]:
+    """Hierarchical pipeline wall-time: serial vs wavefront dispatch.
+
+    Each cell solves one clustered instance end-to-end through
+    :class:`~repro.core.solver.TAXISolver` at a given wavefront pool
+    width (``workers=1`` is the serial baseline; tours are
+    bit-identical at every width, so the quality column doubles as a
+    determinism check).
+    """
+    import hashlib
+
+    from repro.core.config import TAXIConfig
+    from repro.core.solver import TAXISolver
+    from repro.tsp.generators import clustered_instance
+
+    entries = []
+    for n in sizes:
+        instance = clustered_instance(n, seed=seed)
+        for workers in workers_list:
+            def run():
+                config = TAXIConfig(sweeps=sweeps, seed=seed, workers=workers)
+                return TAXISolver(config).solve(instance)
+            seconds, result = _time_call(run, repeats)
+            tour_hash = hashlib.sha256(
+                result.tour.order.astype("<i8").tobytes()
+            ).hexdigest()[:16]
+            entries.append({
+                "kind": "pipeline",
+                "name": f"taxi-w{workers}",
+                "n": int(n),
+                "sweeps": int(sweeps),
+                "backend": "fast",
+                "workers": int(workers),
+                "seconds": seconds,
+                "sweeps_per_sec": sweeps / seconds if seconds > 0 else None,
+                "quality": float(result.tour.length),
+                "tour_hash": tour_hash,
+            })
+    return entries
+
+
+def compute_pipeline_speedups(entries: list[dict]) -> list[dict]:
+    """Serial-vs-wavefront wall-time ratio per pipeline grid cell."""
+    by_n: dict[tuple[int, int], dict[int, dict]] = {}
+    for entry in entries:
+        if entry["kind"] != "pipeline":
+            continue
+        key = (entry["n"], entry["sweeps"])
+        by_n.setdefault(key, {})[entry["workers"]] = entry
+    speedups = []
+    for (n, sweeps), cell in sorted(by_n.items()):
+        serial = cell.get(1)
+        if serial is None:
+            continue
+        for workers, entry in sorted(cell.items()):
+            if workers == 1:
+                continue
+            speedups.append({
+                "kind": "pipeline",
+                "n": n,
+                "sweeps": sweeps,
+                "workers": workers,
+                "serial_seconds": serial["seconds"],
+                "wavefront_seconds": entry["seconds"],
+                "speedup": (
+                    serial["seconds"] / entry["seconds"]
+                    if entry["seconds"] > 0 else None
+                ),
+                # Tour-order hash equality: equal lengths alone would
+                # pass e.g. a reversed tour as "identical".
+                "identical_quality": entry["tour_hash"] == serial["tour_hash"],
+            })
+    return speedups
+
+
 def compute_speedups(entries: list[dict]) -> list[dict]:
     """Reference-vs-fast wall-time ratio for every matched grid cell."""
     by_cell: dict[tuple, dict[str, dict]] = {}
@@ -216,9 +299,12 @@ def run_bench(
     tsp_sizes=None,
     engine_solvers=None,
     engine_sizes=None,
+    pipeline_sizes=None,
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
+    pipeline_sweeps: int = 60,
+    pipeline_workers=(1, 4),
     replicas: int = 2,
     seed: int = 0,
     repeats: int = 3,
@@ -234,6 +320,9 @@ def run_bench(
     tsp_sizes = grid["tsp_sizes"] if tsp_sizes is None else tsp_sizes
     engine_solvers = grid["engine_solvers"] if engine_solvers is None else engine_solvers
     engine_sizes = grid["engine_sizes"] if engine_sizes is None else engine_sizes
+    pipeline_sizes = (
+        grid["pipeline_sizes"] if pipeline_sizes is None else pipeline_sizes
+    )
     backends = tuple(BACKENDS) if backends is None else tuple(backends)
     unknown = set(backends) - set(BACKENDS)
     if unknown:
@@ -251,6 +340,11 @@ def run_bench(
             engine_solvers, engine_sizes, engine_sweeps, replicas, seed,
             repeats, backends,
         )
+    if pipeline_sizes:
+        entries += _bench_pipeline(
+            pipeline_sizes, pipeline_sweeps, tuple(pipeline_workers), seed,
+            repeats,
+        )
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -266,6 +360,7 @@ def run_bench(
         },
         "entries": entries,
         "speedups": compute_speedups(entries),
+        "pipeline_speedups": compute_pipeline_speedups(entries),
     }
 
 

@@ -19,8 +19,8 @@ Spec tokens (CLI ``--instances`` and :func:`spec_from_token`):
 ``"path/to/inst.tsp"``
     A TSPLIB file.
 ``"clustered:500"`` or ``"grid:300:7"``
-    Generator spec ``family:n[:seed]`` over the four synthetic
-    families (uniform, clustered, grid, drilling).
+    Generator spec ``family:n[:seed]`` over the synthetic families
+    (uniform, clustered, grid, drilling, ring, power_law).
 """
 
 from __future__ import annotations
@@ -37,6 +37,8 @@ from repro.tsp.generators import (
     clustered_instance,
     drilling_instance,
     grid_instance,
+    power_law_instance,
+    ring_instance,
     uniform_instance,
 )
 from repro.tsp.instance import TSPInstance
@@ -47,6 +49,9 @@ _GENERATORS = {
     "grid": grid_instance,
     "drilling": drilling_instance,
     "drill": drilling_instance,
+    "ring": ring_instance,
+    "power_law": power_law_instance,
+    "powerlaw": power_law_instance,
 }
 
 #: Per-process instance cache (keyed by spec cache key).

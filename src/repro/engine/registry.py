@@ -115,6 +115,8 @@ def _taxi(
     clustering: str = "ward",
     endpoint_fixing: bool = True,
     backend: str = "auto",
+    workers: int = 1,
+    chunk_size: int = 8,
 ) -> SolveFn:
     from repro.core.config import TAXIConfig
     from repro.core.solver import TAXISolver
@@ -127,6 +129,8 @@ def _taxi(
         clustering=clustering,
         endpoint_fixing=endpoint_fixing,
         backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
     )
     solver = TAXISolver(config)
     return lambda instance: solver.solve(instance).tour

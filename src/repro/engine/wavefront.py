@@ -1,0 +1,113 @@
+"""Deterministic wavefront dispatch over an optional process pool.
+
+The hierarchical pipeline produces *wavefronts*: at each hierarchy
+level, every cluster's sub-problem is independent of its siblings, so
+the whole level can be solved as one batch — the software analogue of
+TAXI's chip annealing all of a level's macros in parallel.
+
+This module provides the dispatch mechanics, shared with the engine's
+replica runner philosophy (PR 1):
+
+* work is split into **chunks deterministically** — chunk boundaries
+  depend only on the task list and ``chunk_size``, never on worker
+  count or completion order;
+* each chunk carries its **own derived seed**, so a chunk's result is a
+  pure function of the chunk description;
+* results are re-assembled in submission order, so ``workers=1``
+  reproduces any parallel run bit-for-bit.
+
+:class:`WavefrontPool` keeps one process pool alive across many
+``map`` calls (one per hierarchy level) instead of paying pool startup
+per level.  An explicit ``executor`` (e.g. a thread pool, or an inline
+test executor) overrides the pool entirely.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def chunk_indices(
+    keys: Sequence[object], chunk_size: int
+) -> list[list[int]]:
+    """Split item indices into dispatch chunks, grouping equal keys first.
+
+    Items sharing a key (e.g. a sub-problem shape) are kept together so
+    a chunk's solver can vectorize across them, then each group is cut
+    into runs of at most ``chunk_size``.  The split depends only on the
+    key sequence and ``chunk_size`` — two runs over the same wavefront
+    always produce identical chunks, whatever the worker count.
+    """
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    groups: dict[object, list[int]] = {}
+    for index, key in enumerate(keys):
+        groups.setdefault(key, []).append(index)
+    chunks: list[list[int]] = []
+    for indices in groups.values():  # first-occurrence order (dict is ordered)
+        for start in range(0, len(indices), chunk_size):
+            chunks.append(indices[start : start + chunk_size])
+    return chunks
+
+
+class WavefrontPool:
+    """Order-preserving task fan-out with a reusable process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool width.  ``1`` (the default) runs every task inline in the
+        parent process — bit-identical to any parallel run because
+        tasks are self-seeded.
+    executor:
+        Optional explicit :class:`~concurrent.futures.Executor` that
+        overrides the internal process pool (tests inject thread or
+        inline executors here).
+    """
+
+    def __init__(self, workers: int = 1, executor: Executor | None = None) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._external = executor
+        self._own: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
+        """Run ``fn`` over ``tasks``; results align with the task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        executor = self._resolve_executor(len(tasks))
+        if executor is None:
+            return [fn(task) for task in tasks]
+        futures = [executor.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _resolve_executor(self, pending: int) -> Executor | None:
+        if self._external is not None:
+            return self._external
+        if self.workers <= 1 or pending <= 1:
+            return None
+        if self._own is None:
+            self._own = ProcessPoolExecutor(max_workers=self.workers)
+        return self._own
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the internal pool (external executors are left alone)."""
+        if self._own is not None:
+            self._own.shutdown(wait=True)
+            self._own = None
+
+    def __enter__(self) -> "WavefrontPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

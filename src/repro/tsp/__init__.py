@@ -11,6 +11,8 @@ It provides:
 * :mod:`~repro.tsp.tsplib` — a TSPLIB95 parser/writer.
 * :mod:`~repro.tsp.generators` — seeded synthetic instance families.
 * :mod:`~repro.tsp.benchmarks` — the 20 paper-scale benchmark instances.
+* :mod:`~repro.tsp.scenarios` — named workload scenarios (size ladders
+  per geometry family) runnable through the batch engine.
 """
 
 from repro.tsp.instance import EdgeWeightType, TSPInstance
@@ -20,7 +22,16 @@ from repro.tsp.generators import (
     clustered_instance,
     drilling_instance,
     grid_instance,
+    power_law_instance,
+    ring_instance,
     uniform_instance,
+)
+from repro.tsp.scenarios import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_job,
+    scenario_names,
 )
 from repro.tsp.benchmarks import (
     BENCHMARK_SIZES,
@@ -43,6 +54,13 @@ __all__ = [
     "clustered_instance",
     "grid_instance",
     "drilling_instance",
+    "ring_instance",
+    "power_law_instance",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_job",
+    "scenario_names",
     "BENCHMARK_SIZES",
     "BenchmarkSpec",
     "benchmark_names",

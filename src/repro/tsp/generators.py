@@ -14,6 +14,12 @@ instances with these generators:
 * :func:`drilling_instance` — blocks of dense hole patterns mimicking
   the ``pla*`` programmed-logic-array drilling boards (the paper's two
   largest instances, pla33810 and pla85900).
+* :func:`ring_instance` — concentric rings (radial road-network
+  geometry; an adversarial case for coordinate clustering, which must
+  cut each ring somewhere).
+* :func:`power_law_instance` — hub-and-spoke cities whose hub
+  populations follow a power law (a few dense metros, a long tail of
+  villages; cluster sizes are maximally unbalanced).
 
 All generators take a seed, so the whole evaluation is reproducible.
 """
@@ -154,6 +160,96 @@ def drilling_instance(
     # Deterministic shuffle so city index does not encode block order.
     coords = coords[rng.permutation(n)]
     return TSPInstance(name or f"drill{n}", coords, metric)
+
+
+def ring_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    extent: float = 10_000.0,
+    n_rings: int | None = None,
+    noise: float = 0.01,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D,
+) -> TSPInstance:
+    """``n`` cities on concentric rings around the square's center.
+
+    Parameters
+    ----------
+    n_rings:
+        Ring count; defaults to ``max(2, round(sqrt(n) / 3))``.
+    noise:
+        Radial/angular jitter as a fraction of ``extent``.
+    """
+    _check_n(n)
+    rng = ensure_rng(seed)
+    if n_rings is None:
+        n_rings = max(2, int(round(np.sqrt(n) / 3)))
+    if n_rings < 1:
+        raise InstanceError(f"n_rings must be >= 1, got {n_rings}")
+    center = 0.5 * extent
+    radii = (np.arange(1, n_rings + 1) / n_rings) * 0.46 * extent
+    # Cities per ring proportional to circumference (i.e. to radius).
+    weights = radii / radii.sum()
+    counts = np.floor(weights * n).astype(int)
+    counts[: n - int(counts.sum())] += 1  # distribute the remainder
+    parts: list[np.ndarray] = []
+    for radius, count in zip(radii, counts):
+        if count == 0:
+            continue
+        theta = np.linspace(0.0, 2.0 * np.pi, count, endpoint=False)
+        theta = theta + rng.uniform(0.0, 2.0 * np.pi)  # random phase per ring
+        r = radius + rng.normal(0.0, noise * extent, size=count)
+        parts.append(
+            np.column_stack([center + r * np.cos(theta), center + r * np.sin(theta)])
+        )
+    coords = np.vstack(parts)
+    coords = np.clip(coords[rng.permutation(coords.shape[0])], 0.0, extent)
+    return TSPInstance(name or f"ring{n}", coords, metric)
+
+
+def power_law_instance(
+    n: int,
+    seed: int | None | np.random.Generator = 0,
+    extent: float = 10_000.0,
+    exponent: float = 1.6,
+    n_hubs: int | None = None,
+    spread: float = 0.03,
+    name: str | None = None,
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D,
+) -> TSPInstance:
+    """``n`` cities around hubs whose populations follow a power law.
+
+    Hub ``k`` (1-based, by rank) attracts mass proportional to
+    ``k ** -exponent``: a few dense metropolitan blobs plus a long tail
+    of near-empty outposts — the maximally unbalanced cluster-size
+    regime for a hierarchical solver.
+
+    Parameters
+    ----------
+    exponent:
+        Power-law (Zipf) exponent of the hub-population ranking.
+    n_hubs:
+        Hub count; defaults to ``max(3, round(sqrt(n)))``.
+    spread:
+        Per-hub Gaussian spread as a fraction of ``extent``.
+    """
+    _check_n(n)
+    if exponent <= 0:
+        raise InstanceError(f"exponent must be > 0, got {exponent}")
+    rng = ensure_rng(seed)
+    if n_hubs is None:
+        n_hubs = max(3, int(round(np.sqrt(n))))
+    if n_hubs < 1:
+        raise InstanceError(f"n_hubs must be >= 1, got {n_hubs}")
+    weights = np.arange(1, n_hubs + 1, dtype=float) ** -exponent
+    weights /= weights.sum()
+    hubs = rng.uniform(0.08 * extent, 0.92 * extent, size=(n_hubs, 2))
+    assignment = rng.choice(n_hubs, size=n, p=weights)
+    # Bigger hubs sprawl: spread grows with the hub's population share.
+    hub_spread = spread * extent * (1.0 + 3.0 * weights / weights[0])
+    coords = hubs[assignment] + rng.normal(size=(n, 2)) * hub_spread[assignment, None]
+    coords = np.clip(coords, 0.0, extent)
+    return TSPInstance(name or f"powerlaw{n}", coords, metric)
 
 
 def _check_n(n: int) -> None:

@@ -1,0 +1,19 @@
+"""Shared pytest configuration: the golden-regression update flag."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-regression fixtures in tests/golden/ "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should regenerate golden fixtures."""
+    return request.config.getoption("--update-golden")

@@ -19,9 +19,12 @@ TINY = dict(
     tsp_sizes=[24],
     engine_solvers=["sa_tsp"],
     engine_sizes=[24],
+    pipeline_sizes=[80],
     ising_sweeps=10,
     tsp_sweeps=10,
     engine_sweeps=10,
+    pipeline_sweeps=10,
+    pipeline_workers=(1, 2),
     replicas=2,
     repeats=1,
 )
@@ -63,6 +66,22 @@ class TestRunBench:
         }
         assert lengths["reference"] == lengths["fast"]
 
+    def test_pipeline_cells_cover_worker_widths(self, payload):
+        cells = [e for e in payload["entries"] if e["kind"] == "pipeline"]
+        assert {e["workers"] for e in cells} == {1, 2}
+        # Wavefront dispatch must not change the tour: same quality.
+        qualities = {e["quality"] for e in cells}
+        assert len(qualities) == 1
+
+    def test_pipeline_speedups_pair_serial_and_wavefront(self, payload):
+        assert len(payload["pipeline_speedups"]) == 1
+        cell = payload["pipeline_speedups"][0]
+        assert cell["workers"] == 2
+        assert cell["identical_quality"]
+        assert cell["speedup"] == pytest.approx(
+            cell["serial_seconds"] / cell["wavefront_seconds"]
+        )
+
     def test_payload_metadata(self, payload):
         assert payload["schema"] == "repro-bench/1"
         assert payload["revision"]
@@ -82,7 +101,7 @@ class TestRunBench:
     def test_empty_grids_skip(self):
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
-            tsp_sweeps=5, repeats=1,
+            pipeline_sizes=[], tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
@@ -127,7 +146,7 @@ class TestBenchCLI:
 
         code = main([
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
-            "--engine-sizes", "--engine-solvers",
+            "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])

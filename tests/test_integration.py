@@ -106,12 +106,16 @@ class TestBenchmarkFlow:
         assert small.tour.length <= large.tour.length * 1.12
 
     def test_bit_precision_fluctuation_band(self):
-        # Fig 5b: dropping from 4-bit to 2-bit stays within a few percent.
+        # Fig 5b: dropping from 4-bit to 2-bit stays within a few
+        # percent.  Averaged over seeds so the band tests the physics,
+        # not one RNG stream's luck.
         inst = uniform_instance(150, seed=31)
-        lengths = {}
-        for bits in (2, 4):
-            lengths[bits] = TAXISolver(
-                TAXIConfig(bits=bits, sweeps=100, seed=0)
-            ).solve(inst).tour.length
-        degradation = (lengths[2] - lengths[4]) / lengths[4]
-        assert abs(degradation) < 0.12
+        degradations = []
+        for seed in range(3):
+            lengths = {}
+            for bits in (2, 4):
+                lengths[bits] = TAXISolver(
+                    TAXIConfig(bits=bits, sweeps=100, seed=seed)
+                ).solve(inst).tour.length
+            degradations.append((lengths[2] - lengths[4]) / lengths[4])
+        assert abs(np.mean(degradations)) < 0.12

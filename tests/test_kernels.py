@@ -150,30 +150,20 @@ class TestMetropolisBackends:
 
 
 class TestSATSPBackends:
-    @pytest.mark.parametrize("size", [76, 101, 200])
+    # Backend parity (bit-exact tours on registry instances, aggregate
+    # quality over seeds) lives in the backend x solver matrix:
+    # tests/test_parity_matrix.py.
+
+    @pytest.mark.parametrize("size", [76, 200])
     def test_registry_instances_bit_exact(self, size):
-        # The fast kernel replays the reference Markov chain exactly:
-        # identical tours on the registry instances, any seed.
+        # Larger-n spot check than the matrix's common instance: the
+        # hybrid scalar/batch sweep must replay the reference Markov
+        # chain exactly at realistic sizes too.
         inst = load_benchmark(size)
         ref = SimulatedAnnealingTSP(sweeps=60, seed=11, backend="reference").solve(inst)
         fast = SimulatedAnnealingTSP(sweeps=60, seed=11, backend="fast").solve(inst)
         assert fast.length == ref.length
         np.testing.assert_array_equal(fast.order, ref.order)
-
-    def test_quality_parity_over_seeds(self):
-        # Belt and braces on top of bit-exactness: aggregate quality.
-        inst = uniform_instance(80, seed=12)
-        ref = [
-            SimulatedAnnealingTSP(sweeps=80, seed=s, backend="reference")
-            .solve(inst).length
-            for s in range(3)
-        ]
-        fast = [
-            SimulatedAnnealingTSP(sweeps=80, seed=s, backend="fast")
-            .solve(inst).length
-            for s in range(3)
-        ]
-        assert np.mean(fast) == pytest.approx(np.mean(ref))
 
     def test_initial_order_respected(self):
         inst = uniform_instance(20, seed=13)
@@ -208,19 +198,8 @@ class TestMacroBackends:
             assert sol.order[0] == 0
             assert sol.order[-1] == 7
 
-    def test_quality_parity(self):
-        # Same dynamics, hoisted draws: mean tour length within a few
-        # percent of the reference stream.
-        schedule = paper_schedule(150)
-        ref = BatchedMacroSolver(seed=1, backend="reference").solve_all(
-            self.problems(8), schedule
-        )
-        fast = BatchedMacroSolver(seed=1, backend="fast").solve_all(
-            self.problems(8), schedule
-        )
-        ref_mean = np.mean([s.length for s in ref])
-        fast_mean = np.mean([s.length for s in fast])
-        assert abs(fast_mean - ref_mean) <= 0.10 * ref_mean
+    # Macro-level distribution parity between backends is asserted for
+    # every macro-based registry solver in tests/test_parity_matrix.py.
 
     def test_fast_deterministic_given_seed(self):
         a = BatchedMacroSolver(seed=5, backend="fast").solve_all(
@@ -234,13 +213,9 @@ class TestMacroBackends:
 
 
 class TestBackendThreading:
-    def test_registry_backend_param_reaches_sa_tsp(self):
-        from repro.engine import solve_with
-
-        inst = uniform_instance(40, seed=15)
-        ref = solve_with("sa_tsp", inst, seed=4, sweeps=30, backend="reference")
-        fast = solve_with("sa_tsp", inst, seed=4, sweeps=30, backend="fast")
-        np.testing.assert_array_equal(ref.order, fast.order)
+    # Per-solver backend agreement (bit-exact and distribution-level)
+    # is swept across the whole registry in tests/test_parity_matrix.py;
+    # here we only keep the TAXI end-to-end threading check.
 
     def test_taxi_backend_flows_to_macro(self):
         from repro.core import TAXIConfig, TAXISolver
@@ -251,11 +226,3 @@ class TestBackendThreading:
                 TAXIConfig(sweeps=20, seed=0, backend=backend)
             ).solve(inst)
             assert sorted(result.tour.order.tolist()) == list(range(50))
-
-    def test_deterministic_solvers_accept_backend(self):
-        from repro.engine import solve_with
-
-        inst = uniform_instance(12, seed=17)
-        a = solve_with("greedy", inst, backend="reference")
-        b = solve_with("greedy", inst, backend="fast")
-        np.testing.assert_array_equal(a.order, b.order)

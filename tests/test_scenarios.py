@@ -1,0 +1,157 @@
+"""Tests for the scenario registry and the new generator families."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_batch, spec_from_token
+from repro.errors import ConfigError, InstanceError
+from repro.tsp.generators import power_law_instance, ring_instance
+from repro.tsp.scenarios import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_job,
+    scenario_names,
+)
+
+
+class TestNewGenerators:
+    @pytest.mark.parametrize("factory", [ring_instance, power_law_instance])
+    def test_size_seed_and_bounds(self, factory):
+        inst = factory(300, seed=4)
+        assert inst.n == 300
+        assert inst.coords.shape == (300, 2)
+        assert inst.coords.min() >= 0.0
+        assert inst.coords.max() <= 10_000.0
+        again = factory(300, seed=4)
+        np.testing.assert_array_equal(inst.coords, again.coords)
+        different = factory(300, seed=5)
+        assert not np.array_equal(inst.coords, different.coords)
+
+    def test_ring_structure_is_radial(self):
+        inst = ring_instance(400, seed=1, noise=0.0)
+        center = np.array([5_000.0, 5_000.0])
+        radii = np.linalg.norm(inst.coords - center, axis=1)
+        # Noise-free cities collapse onto the discrete ring radii.
+        assert np.unique(np.round(radii, 6)).size <= 10
+
+    def test_power_law_is_top_heavy(self):
+        inst = power_law_instance(1000, seed=2, n_hubs=20, spread=0.001)
+        # Bin into a 20x20 grid: the top hub (~half the power-law mass,
+        # tightly spread) lands in one cell, far above the ~2.5 cities
+        # a uniform scatter would put there.
+        cells = np.floor(inst.coords / 500.0).astype(int)
+        _, counts = np.unique(cells, axis=0, return_counts=True)
+        assert counts.max() > 100
+
+    @pytest.mark.parametrize("token", ["ring:40:3", "power_law:40:3",
+                                       "powerlaw:40:3"])
+    def test_engine_tokens_resolve(self, token):
+        spec = spec_from_token(token)
+        inst = spec.resolve()
+        assert inst.n == 40
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InstanceError):
+            ring_instance(10, n_rings=0)
+        with pytest.raises(InstanceError):
+            power_law_instance(10, exponent=0.0)
+        with pytest.raises(InstanceError):
+            power_law_instance(10, n_hubs=0)
+
+
+class TestScenarioRegistry:
+    def test_builtins_present(self):
+        names = scenario_names()
+        for expected in (
+            "clustered-ladder", "grid-ladder", "ring-ladder",
+            "powerlaw-ladder", "paper-small", "tsplib-mid", "mixed-1k",
+            "wavefront-stress",
+        ):
+            assert expected in names
+
+    def test_every_scenario_token_parses(self):
+        for name in scenario_names():
+            for token in get_scenario(name).tokens:
+                spec_from_token(token)  # raises on a bad token
+
+    def test_ladders_span_500_to_5000(self):
+        for name in scenario_names():
+            if not name.endswith("-ladder"):
+                continue
+            sizes = [spec_from_token(t).size for t in get_scenario(name).tokens]
+            assert min(sizes) == 500
+            assert max(sizes) == 5000
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_scenario("paper-small", "dup", ["76"])
+
+    def test_scenario_is_frozen(self):
+        scenario = get_scenario("paper-small")
+        assert isinstance(scenario, Scenario)
+        with pytest.raises(AttributeError):
+            scenario.name = "other"
+
+
+class TestScenarioJobs:
+    def test_job_carries_tokens_and_params(self):
+        job = scenario_job("paper-small", replicas=2, seed=5,
+                           params={"sweeps": 15})
+        assert len(job.instances) == 4
+        assert job.engine.replicas == 2
+        assert job.engine.seed == 5
+        assert job.params_dict()["sweeps"] == 15
+
+    def test_overrides_merge_over_defaults(self):
+        # wavefront-stress pins sweeps=60; a run-time value wins.
+        job = scenario_job("wavefront-stress", params={"sweeps": 10})
+        assert job.params_dict()["sweeps"] == 10
+        assert scenario_job("wavefront-stress").params_dict()["sweeps"] == 60
+
+    def test_solver_override(self):
+        job = scenario_job("paper-small", solver="sa_tsp")
+        assert job.solver == "sa_tsp"
+
+    def test_cli_respects_scenario_default_solver(self, capsys):
+        # `repro scenarios --run X` without --solver must use the
+        # scenario's own default solver, not the engine default "taxi".
+        from repro.cli import main
+
+        register_scenario(
+            "_test-solver-default", "test-only", ["uniform:20:1"],
+            solver="greedy",
+        )
+        try:
+            code = main(["scenarios", "--run", "_test-solver-default",
+                         "--replicas", "1", "--quiet"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "solver=greedy" in out
+        finally:
+            from repro.tsp import scenarios as _scenarios
+
+            _scenarios._SCENARIOS.pop("_test-solver-default", None)
+
+    @pytest.mark.smoke
+    def test_tiny_scenario_runs_through_engine(self):
+        register_scenario(
+            "_test-tiny", "test-only tiny scenario",
+            ["uniform:24:1", "ring:24:1"], params={"sweeps": 8},
+        )
+        try:
+            job = scenario_job("_test-tiny", replicas=1, workers=1)
+            results = run_batch(job)
+            assert [r.instance_name for r in results] == [
+                "uniform24@1", "ring24@1"
+            ]
+            for result in results:
+                assert np.isfinite(result.best_length)
+        finally:
+            from repro.tsp import scenarios as _scenarios
+
+            _scenarios._SCENARIOS.pop("_test-tiny", None)
