@@ -7,6 +7,7 @@ Commands
 ``batch``     fan a set of instances over seeded replicas (process pool)
 ``sweep``     sweep one solver parameter over a value list
 ``scenarios``  list or run the named workload scenarios
+``serve``     run the solve service (HTTP, content-addressed result cache)
 ``solvers``   list the solver registry
 ``bench``     time the kernel backends and write ``BENCH_<rev>.json``
 ``table1``    print the Table I circuit-simulation reproduction
@@ -24,6 +25,7 @@ Examples::
     python -m repro batch --instances 200 --solver sa_tsp --backend reference
     python -m repro scenarios
     python -m repro scenarios --run ring-ladder --sweeps 60 --replicas 2
+    python -m repro serve --port 8080 --workers 2
     python -m repro bench --quick
     python -m repro table1
 """
@@ -105,6 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--csv", type=str, default=None,
                            help="also export the summary table as CSV")
 
+    serve = sub.add_parser(
+        "serve", help="run the solve service (HTTP, result caching)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool width for dispatched solve batches")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max admitted-but-unsolved requests (backpressure)")
+    serve.add_argument("--batch-window", type=float, default=0.02,
+                       help="seconds to micro-batch compatible requests")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max requests grouped into one dispatch")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity (LRU entries)")
+    serve.add_argument("--cache-path", default=None,
+                       help="JSON file for cache persistence across restarts")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+
     bench = sub.add_parser(
         "bench", help="time kernel backends over a solver x size grid"
     )
@@ -132,10 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--pipeline-workers", nargs="*", type=int,
                        default=(1, 4),
                        help="wavefront pool widths for the pipeline cells")
+    bench.add_argument("--service-sizes", nargs="*", type=int, default=None,
+                       help="solve-service instance sizes (empty list skips)")
     bench.add_argument("--ising-sweeps", type=int, default=200)
     bench.add_argument("--tsp-sweeps", type=int, default=400)
     bench.add_argument("--engine-sweeps", type=int, default=30)
     bench.add_argument("--pipeline-sweeps", type=int, default=60)
+    bench.add_argument("--service-sweeps", type=int, default=30)
 
     sub.add_parser("solvers", help="list the solver registry")
     sub.add_parser("table1", help="print the Table I reproduction")
@@ -213,7 +238,7 @@ def _solver_params(args: argparse.Namespace) -> dict:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
-    import hashlib
+    from repro.utils.hashing import tour_hash
 
     instance = _load_instance(args)
     config = TAXIConfig(
@@ -229,12 +254,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     result = TAXISolver(config).solve(instance)
     # The tour hash makes worker-count parity checkable from the CLI:
     # identical hashes mean bit-identical tours, not just equal lengths.
-    tour_hash = hashlib.sha256(
-        result.tour.order.astype("<i8").tobytes()
-    ).hexdigest()[:16]
+    # Shared with the service layer, so `repro serve` results are
+    # directly comparable.
     print(f"instance      : {instance.name} ({instance.n} cities)")
     print(f"tour length   : {result.tour.length:.0f}")
-    print(f"tour hash     : {tour_hash}")
+    print(f"tour hash     : {tour_hash(result.tour.order)}")
     print(f"hierarchy     : {result.hierarchy_depth} levels, "
           f"{result.total_subproblems} sub-problems")
     for phase, seconds in result.phase_seconds.as_dict().items():
@@ -402,10 +426,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         engine_solvers=args.engine_solvers,
         engine_sizes=args.engine_sizes,
         pipeline_sizes=args.pipeline_sizes,
+        service_sizes=args.service_sizes,
         ising_sweeps=args.ising_sweeps,
         tsp_sweeps=args.tsp_sweeps,
         engine_sweeps=args.engine_sweeps,
         pipeline_sweeps=args.pipeline_sweeps,
+        service_sweeps=args.service_sweeps,
         pipeline_workers=args.pipeline_workers,
         replicas=args.replicas,
         seed=args.seed,
@@ -463,8 +489,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ["n", "workers", "serial", "wavefront", "speedup", "bit-identical"],
             rows, title="pipeline serial-vs-wavefront dispatch",
         ))
+    if payload.get("service_speedups"):
+        rows = [
+            [
+                str(cell["n"]),
+                format_seconds(cell["cold_seconds"]),
+                format_seconds(cell["cached_seconds"]),
+                f"{cell['speedup']:.0f}x" if cell["speedup"] else "-",
+                f"{cell['requests_per_sec']:.0f}" if cell["requests_per_sec"] else "-",
+            ]
+            for cell in payload["service_speedups"]
+        ]
+        print()
+        print(ascii_table(
+            ["n", "cold solve", "cache hit", "hit speedup", "hit req/s"],
+            rows, title="solve service cold-vs-cached",
+        ))
     path = write_bench(payload, args.out)
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.config import ServiceConfig
+    from repro.service.http import serve_forever
+
+    config = ServiceConfig(
+        queue_depth=args.queue_depth,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        cache_path=args.cache_path,
+        workers=args.workers,
+    )
+    serve_forever(config, host=args.host, port=args.port, verbose=args.verbose)
     return 0
 
 
@@ -533,6 +591,7 @@ _COMMANDS = {
     "batch": cmd_batch,
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
+    "serve": cmd_serve,
     "solvers": cmd_solvers,
     "bench": cmd_bench,
     "table1": cmd_table1,

@@ -32,8 +32,12 @@ class SubmatrixCache:
 
     Keys are caller-chosen hashables identifying a cluster (the
     pipeline uses ``(level, node)`` tuples); the cache never inspects
-    them beyond hashing.  Returned arrays are shared — callers must
-    treat them as read-only.
+    them beyond hashing.  Returned arrays are shared and **read-only**:
+    since every block is marked ``writeable=False`` at insertion, the
+    contract is enforced, not advisory — an in-place write through a
+    returned block raises ``ValueError`` instead of silently poisoning
+    the cache for every later consumer.  Callers needing a mutable
+    block must copy it.
 
     ``retain_cross_blocks=False`` skips memoizing the rectangular
     pair blocks: within one solve each cluster adjacency is requested
@@ -62,6 +66,7 @@ class SubmatrixCache:
             return block
         self.misses += 1
         block = self.instance.distance_submatrix(np.asarray(indices, dtype=int))
+        block.setflags(write=False)
         self._square[key] = block
         return block
 
@@ -82,6 +87,10 @@ class SubmatrixCache:
         block = self.instance.distance_block(
             np.asarray(indices_a, dtype=int), np.asarray(indices_b, dtype=int)
         )
+        # Non-retained blocks are frozen too: the read-only contract is
+        # uniform, so callers cannot depend on mutability that silently
+        # disappears when a shared cache replaces a per-solve one.
+        block.setflags(write=False)
         if self.retain_cross_blocks:
             self._cross[key] = block
         return block

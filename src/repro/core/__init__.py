@@ -10,7 +10,7 @@ Typical use::
     print(result.tour.length, result.phase_seconds)
 """
 
-from repro.core.config import EngineConfig, TAXIConfig
+from repro.core.config import EngineConfig, ServiceConfig, TAXIConfig
 from repro.core.result import (
     BatchResult,
     LevelStats,
@@ -24,6 +24,7 @@ from repro.core.pipeline import solve_hierarchical
 __all__ = [
     "TAXIConfig",
     "EngineConfig",
+    "ServiceConfig",
     "TAXISolver",
     "TAXIResult",
     "BatchResult",

@@ -136,3 +136,63 @@ class EngineConfig:
         if task_count is not None:
             width = min(width, task_count)
         return max(1, width)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the solve-as-a-service layer.
+
+    Parameters
+    ----------
+    queue_depth:
+        Maximum requests admitted but not yet dispatched; further
+        submissions are refused with :class:`ServiceError` (backpressure
+        instead of unbounded memory).
+    batch_window:
+        Seconds the dispatcher waits after the first queued request to
+        micro-batch more compatible requests into one engine job.
+        ``0`` still coalesces whatever is already queued.
+    max_batch:
+        Upper bound on requests grouped into one dispatch.
+    cache_size:
+        Result-cache capacity in entries (LRU eviction beyond it).
+    cache_path:
+        Optional JSON file for cache persistence: loaded at startup,
+        written on shutdown/save.  ``None`` keeps the cache in memory
+        only.
+    job_history:
+        Maximum finished (done/failed) jobs retained for ``GET
+        /jobs/<id>``; the oldest are dropped beyond it so a long-lived
+        process cannot grow without bound.  Queued/running jobs are
+        never evicted.
+    workers:
+        Process-pool width for dispatched solve batches.  ``1`` solves
+        inline in the dispatcher thread; results are bit-identical at
+        any width (requests carry explicit seeds).
+    """
+
+    queue_depth: int = 64
+    batch_window: float = 0.02
+    max_batch: int = 16
+    cache_size: int = 256
+    cache_path: str | None = None
+    job_history: int = 1024
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.job_history < 1:
+            raise ConfigError(
+                f"job_history must be >= 1, got {self.job_history}"
+            )
+        if self.batch_window < 0:
+            raise ConfigError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.cache_size < 1:
+            raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")

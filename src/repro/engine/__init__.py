@@ -48,6 +48,7 @@ from repro.engine.runner import (
     run_batch,
     run_replica_task,
     run_replicas,
+    run_tasks,
     validate_finite_instance,
 )
 from repro.engine.wavefront import WavefrontPool, chunk_indices
@@ -75,5 +76,6 @@ __all__ = [
     "run_replica_task",
     "run_replicas",
     "run_batch",
+    "run_tasks",
     "validate_finite_instance",
 ]

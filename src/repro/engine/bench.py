@@ -23,6 +23,10 @@ Four grid kinds:
   serial (``workers=1``) vs wavefront dispatch (``workers>1``); tours
   are bit-identical at every width, so the cells measure pure dispatch
   cost/benefit.
+* ``service`` — the solve service end-to-end: cold solve latency vs
+  cache-hit latency for an identical fingerprint, plus sustained
+  cache-hit requests/s through submit -> wait (the ``service_speedups``
+  payload records the hit speedup per cell).
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -51,17 +55,19 @@ FULL_GRID = {
     "engine_solvers": ("taxi", "sa_tsp"),
     "engine_sizes": (76, 101),
     "pipeline_sizes": (1000, 2000),
+    "service_sizes": (101, 262),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
 #: at 200 sweeps, SA-TSP n=200 at 400 sweeps, pipeline n=1000 serial
-#: vs wavefront) plus one engine cell.
+#: vs wavefront, one service cold-vs-cached cell) plus one engine cell.
 QUICK_GRID = {
     "ising_sizes": (500,),
     "tsp_sizes": (200,),
     "engine_solvers": ("taxi",),
     "engine_sizes": (76,),
     "pipeline_sizes": (1000,),
+    "service_sizes": (101,),
 }
 
 
@@ -188,11 +194,10 @@ def _bench_pipeline(sizes, sweeps, workers_list, seed, repeats) -> list[dict]:
     bit-identical at every width, so the quality column doubles as a
     determinism check).
     """
-    import hashlib
-
     from repro.core.config import TAXIConfig
     from repro.core.solver import TAXISolver
     from repro.tsp.generators import clustered_instance
+    from repro.utils.hashing import tour_hash
 
     entries = []
     for n in sizes:
@@ -202,9 +207,7 @@ def _bench_pipeline(sizes, sweeps, workers_list, seed, repeats) -> list[dict]:
                 config = TAXIConfig(sweeps=sweeps, seed=seed, workers=workers)
                 return TAXISolver(config).solve(instance)
             seconds, result = _time_call(run, repeats)
-            tour_hash = hashlib.sha256(
-                result.tour.order.astype("<i8").tobytes()
-            ).hexdigest()[:16]
+            order_hash = tour_hash(result.tour.order)
             entries.append({
                 "kind": "pipeline",
                 "name": f"taxi-w{workers}",
@@ -215,9 +218,86 @@ def _bench_pipeline(sizes, sweeps, workers_list, seed, repeats) -> list[dict]:
                 "seconds": seconds,
                 "sweeps_per_sec": sweeps / seconds if seconds > 0 else None,
                 "quality": float(result.tour.length),
-                "tour_hash": tour_hash,
+                "tour_hash": order_hash,
             })
     return entries
+
+
+#: Cache-hit submissions timed per service cell (requests/s sample).
+_SERVICE_HIT_REQUESTS = 32
+
+
+def _bench_service(sizes, sweeps, seed, repeats) -> list[dict]:
+    """Solve-service cells: cold latency, cache-hit latency, requests/s.
+
+    Each cell spins up one in-process :class:`SolveService`, pays a
+    single cold solve, then measures repeated identical submissions
+    (same fingerprint) that are answered from the result cache —
+    exactly the reuse the serving layer exists for.
+    """
+    from repro.core.config import ServiceConfig
+    from repro.service import SolveRequest, SolveService
+
+    entries = []
+    for n in sizes:
+        with SolveService(ServiceConfig(batch_window=0.0)) as service:
+            request = SolveRequest.create(
+                f"uniform:{int(n)}:{seed}", solver="taxi",
+                params={"sweeps": int(sweeps)}, seed=seed,
+            )
+            cold_start = time.perf_counter()
+            cold = service.solve(request, timeout=600)
+            cold_seconds = time.perf_counter() - cold_start
+            assert cold.status == "done", cold.error
+            hit_best = np.inf
+            hit_total = 0.0
+            hit_count = max(_SERVICE_HIT_REQUESTS, repeats)
+            for _ in range(hit_count):
+                start = time.perf_counter()
+                hit = service.solve(request, timeout=60)
+                elapsed = time.perf_counter() - start
+                hit_best = min(hit_best, elapsed)
+                hit_total += elapsed
+            assert hit.cached and hit.result["tour_hash"] == cold.result["tour_hash"]
+            cache_stats = service.cache.stats()
+        entries.append({
+            "kind": "service",
+            "name": "taxi",
+            "n": int(n),
+            "sweeps": int(sweeps),
+            "backend": "fast",
+            "seconds": cold_seconds,
+            "sweeps_per_sec": sweeps / cold_seconds if cold_seconds > 0 else None,
+            "quality": float(cold.result["length"]),
+            "tour_hash": cold.result["tour_hash"],
+            "cached_seconds": float(hit_best),
+            "cache_hit_requests_per_sec": (
+                hit_count / hit_total if hit_total > 0 else None
+            ),
+            "cache_hits": cache_stats["hits"],
+            "cache_misses": cache_stats["misses"],
+        })
+    return entries
+
+
+def compute_service_speedups(entries: list[dict]) -> list[dict]:
+    """Cold-vs-cached latency ratio per service grid cell."""
+    speedups = []
+    for entry in entries:
+        if entry["kind"] != "service":
+            continue
+        cached = entry["cached_seconds"]
+        speedups.append({
+            "kind": "service",
+            "name": entry["name"],
+            "n": entry["n"],
+            "sweeps": entry["sweeps"],
+            "cold_seconds": entry["seconds"],
+            "cached_seconds": cached,
+            "requests_per_sec": entry["cache_hit_requests_per_sec"],
+            "speedup": entry["seconds"] / cached if cached > 0 else None,
+        })
+    return speedups
 
 
 def compute_pipeline_speedups(entries: list[dict]) -> list[dict]:
@@ -300,10 +380,12 @@ def run_bench(
     engine_solvers=None,
     engine_sizes=None,
     pipeline_sizes=None,
+    service_sizes=None,
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
     pipeline_sweeps: int = 60,
+    service_sweeps: int = 30,
     pipeline_workers=(1, 4),
     replicas: int = 2,
     seed: int = 0,
@@ -322,6 +404,9 @@ def run_bench(
     engine_sizes = grid["engine_sizes"] if engine_sizes is None else engine_sizes
     pipeline_sizes = (
         grid["pipeline_sizes"] if pipeline_sizes is None else pipeline_sizes
+    )
+    service_sizes = (
+        grid["service_sizes"] if service_sizes is None else service_sizes
     )
     backends = tuple(BACKENDS) if backends is None else tuple(backends)
     unknown = set(backends) - set(BACKENDS)
@@ -345,6 +430,8 @@ def run_bench(
             pipeline_sizes, pipeline_sweeps, tuple(pipeline_workers), seed,
             repeats,
         )
+    if service_sizes:
+        entries += _bench_service(service_sizes, service_sweeps, seed, repeats)
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -361,6 +448,7 @@ def run_bench(
         "entries": entries,
         "speedups": compute_speedups(entries),
         "pipeline_speedups": compute_pipeline_speedups(entries),
+        "service_speedups": compute_service_speedups(entries),
     }
 
 

@@ -127,6 +127,21 @@ class InstanceSpec:
         _INSTANCE_CACHE[key] = instance
         return instance
 
+    def effective_seed(self) -> int | None:
+        """The deterministic seed a generator spec actually resolves with.
+
+        The generators themselves accept ``seed=None`` (OS entropy), but
+        a spec must never resolve nondeterministically: its cache key is
+        shared per process and its label lands in golden fixtures and
+        result-cache entries.  ``seed=None`` is therefore canonicalized
+        here to the registry-derived fallback, so equal specs always
+        materialize equal instances.  Non-generator kinds return
+        ``None`` (their content is deterministic by construction).
+        """
+        if self.kind != "generator":
+            return None
+        return self.seed if self.seed is not None else _REGISTRY_SEED + self.size
+
     def _build(self) -> TSPInstance:
         if self.kind == "benchmark":
             return load_benchmark(self.value)
@@ -135,8 +150,9 @@ class InstanceSpec:
 
             return read_tsplib(self.value)
         if self.kind == "generator":
-            seed = self.seed if self.seed is not None else _REGISTRY_SEED + self.size
-            return _GENERATORS[self.value](self.size, seed=seed, name=self.label)
+            return _GENERATORS[self.value](
+                self.size, seed=self.effective_seed(), name=self.label
+            )
         raise ConfigError(f"unknown instance spec kind {self.kind!r}")
 
     @property

@@ -141,6 +141,37 @@ def _execute_tasks(
                     queued += 1
 
 
+def run_tasks(
+    tasks: list[ReplicaTask],
+    workers: int = 1,
+    executor: Executor | None = None,
+) -> list[ReplicaResult]:
+    """Run explicit :class:`ReplicaTask` lists; results align with input.
+
+    Reuse hook for layers that need the engine's task machinery (per
+    -process instance caches, finite validation, setup/solve timing)
+    but *not* the replica-seed derivation of :func:`run_batch` — the
+    solve service builds one task per request with the request's exact
+    seed, so a service solve is bit-identical to ``repro solve`` with
+    the same instance/config/seed.  ``tasks[i].instance_index`` must be
+    ``i`` so results can be re-ordered deterministically regardless of
+    completion order.
+    """
+    for position, task in enumerate(tasks):
+        if task.instance_index != position:
+            raise ConfigError(
+                f"run_tasks requires instance_index == position; task "
+                f"{position} carries instance_index={task.instance_index}"
+            )
+    collected: dict[int, ReplicaResult] = {}
+
+    def on_result(instance_index: int, replica: ReplicaResult) -> None:
+        collected[instance_index] = replica
+
+    _execute_tasks(tasks, workers, executor, on_result)
+    return [collected[i] for i in range(len(tasks))]
+
+
 def run_batch(
     job: BatchJob,
     progress: Callable[[BatchProgress], None] | None = None,

@@ -24,6 +24,7 @@ test executor) overrides the pool entirely.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -77,6 +78,9 @@ class WavefrontPool:
         self.workers = workers
         self._external = executor
         self._own: ProcessPoolExecutor | None = None
+        # Guards lazy pool creation: the solve service resolves the
+        # executor from concurrent dispatcher threads.
+        self._own_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
@@ -90,14 +94,26 @@ class WavefrontPool:
         futures = [executor.submit(fn, task) for task in tasks]
         return [future.result() for future in futures]
 
+    def executor_for(self, pending: int) -> Executor | None:
+        """The executor ``pending`` tasks would run on (``None`` = inline).
+
+        Public reuse hook for layers that drive the engine's task
+        functions directly (the solve service dispatches its
+        micro-batches over this pool instead of paying pool startup per
+        batch).  Lazily starts the internal process pool exactly like
+        :meth:`map` would.
+        """
+        return self._resolve_executor(pending)
+
     def _resolve_executor(self, pending: int) -> Executor | None:
         if self._external is not None:
             return self._external
         if self.workers <= 1 or pending <= 1:
             return None
-        if self._own is None:
-            self._own = ProcessPoolExecutor(max_workers=self.workers)
-        return self._own
+        with self._own_lock:
+            if self._own is None:
+                self._own = ProcessPoolExecutor(max_workers=self.workers)
+            return self._own
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -55,3 +55,7 @@ class ArchitectureError(ReproError):
 
 class SolverError(ReproError):
     """An end-to-end solve failed to produce a valid tour."""
+
+
+class ServiceError(ReproError):
+    """The solve service refused a request (queue full, not running)."""

@@ -1,0 +1,47 @@
+"""Solve-as-a-service: content-addressed caching + micro-batched queue.
+
+The serving layer on top of the batch engine (PR 1), the vectorized
+kernels (PR 2), and the wavefront pipeline (PR 3):
+
+* :mod:`repro.service.fingerprint` — canonical, deterministic solve
+  fingerprints (instance bytes + solver + canonical config + seed);
+* :mod:`repro.service.cache` — LRU result cache with JSON persistence
+  and hit/miss/eviction counters;
+* :mod:`repro.service.queue` — asyncio dispatcher with in-flight
+  deduplication and micro-batching over the engine's wavefront pool;
+* :mod:`repro.service.http` — the stdlib HTTP front-end behind
+  ``repro serve``.
+
+Quickstart::
+
+    from repro.core.config import ServiceConfig
+    from repro.service import SolveRequest, SolveService
+
+    with SolveService(ServiceConfig(workers=2)) as service:
+        request = SolveRequest.create(262, solver="taxi",
+                                      params={"sweeps": 60}, seed=0)
+        job = service.solve(request)        # cold: runs the engine
+        again = service.submit(request)     # hit: served from cache
+        assert again.result["tour_hash"] == job.result["tour_hash"]
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import (
+    canonical_params,
+    canonical_seed,
+    instance_digest,
+    solve_fingerprint,
+)
+from repro.service.queue import Job, SolveRequest, SolveService, job_id_for
+
+__all__ = [
+    "ResultCache",
+    "canonical_params",
+    "canonical_seed",
+    "instance_digest",
+    "solve_fingerprint",
+    "Job",
+    "SolveRequest",
+    "SolveService",
+    "job_id_for",
+]

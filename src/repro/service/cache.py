@@ -1,0 +1,147 @@
+"""Content-addressed LRU result cache with optional JSON persistence.
+
+The serving analogue of the host-side
+:class:`~repro.clustering.cache.SubmatrixCache` (PR 3): where that
+cache reuses distance slices *within* a solve, this one reuses whole
+solve results *across* requests.  Keys are the canonical fingerprints
+of :mod:`repro.service.fingerprint`, so a hit is guaranteed to be
+bit-identical to re-running the solve.
+
+Values are plain JSON-safe dicts (tour order as a list, lengths and
+timings as floats), which makes the on-disk format trivially
+inspectable and diffable.  The cache stores and returns **deep
+copies**: a caller mutating a dict it got from (or gave to) the cache
+can never poison the stored entry — the same shared-mutable-state
+defect this PR fixes in ``SubmatrixCache``, enforced here by isolation
+rather than by read-only flags.  Hit/miss/eviction counters are
+first-class: the service surfaces them through ``GET /stats`` and the
+bench's ``service`` grid reads them to report hit rates.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+#: On-disk schema tag; files with another tag are ignored at load so a
+#: stale cache can never serve results from an incompatible recipe.
+CACHE_SCHEMA = "repro-result-cache/1"
+
+
+class ResultCache:
+    """Thread-safe in-memory LRU of solve results, keyed by fingerprint."""
+
+    def __init__(self, capacity: int = 256, path: str | None = None) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> dict | None:
+        """A deep copy of the cached result, or ``None``; hits refresh recency."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return copy.deepcopy(entry)
+
+    def put(self, fingerprint: str, value: dict) -> None:
+        """Insert (or refresh) one result, evicting LRU entries beyond capacity."""
+        with self._lock:
+            self._entries[fingerprint] = copy.deepcopy(value)
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot (what ``GET /stats`` and the bench report)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | None = None) -> str:
+        """Write the cache as JSON (atomic rename); returns the path."""
+        target = path if path is not None else self.path
+        if target is None:
+            raise ConfigError("no cache path configured; pass one to save()")
+        with self._lock:
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "entries": list(self._entries.items()),
+            }
+        parent = os.path.dirname(os.path.abspath(target))
+        os.makedirs(parent, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return target
+
+    def load(self, path: str) -> int:
+        """Merge entries persisted by :meth:`save`; returns entries loaded.
+
+        Unreadable files and unknown schemas are ignored (a cache is an
+        optimization — a corrupt file must never block serving).
+        """
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return 0
+        entries = payload.get("entries", [])
+        loaded = 0
+        with self._lock:
+            for item in entries:
+                if not (isinstance(item, list) and len(item) == 2):
+                    continue
+                fingerprint, value = item
+                if isinstance(fingerprint, str) and isinstance(value, dict):
+                    self._entries[fingerprint] = value
+                    loaded += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return loaded

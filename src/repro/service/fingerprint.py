@@ -1,0 +1,139 @@
+"""Canonical solve fingerprints for content-addressed result caching.
+
+A fingerprint names one *deterministic* solve: the instance content
+(coordinate or matrix bytes plus metric — never the display name), the
+registered solver, a canonicalized parameter set, and an explicit
+integer seed.  Two requests with equal fingerprints are guaranteed to
+produce bit-identical tours, which is what lets the service return a
+cached result in place of a solve.
+
+Determinism is enforced at this boundary, not assumed:
+
+* ``seed=None`` is rejected with :class:`~repro.errors.ConfigError` —
+  OS-entropy solves must never enter a content-addressed cache;
+* parameter values must be canonical JSON scalars (str/int/float/bool/
+  None, finite floats only), so the serialized key is unique and
+  stable across processes;
+* the parameter set is validated against the solver's factory up
+  front, so a bad request fails at admission rather than inside a
+  worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+import numpy as np
+
+from repro.engine.registry import get_solver
+from repro.errors import ConfigError
+from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+#: Fingerprint schema version; bump when the digest recipe changes so
+#: persisted caches from older recipes can never serve wrong results.
+FINGERPRINT_SCHEMA = "repro-solve/1"
+
+
+def canonical_seed(seed: object) -> int:
+    """Coerce ``seed`` to a plain int; ``None``/non-integers are rejected.
+
+    ``None`` means "draw OS entropy" everywhere else in the library —
+    a legitimate request for a one-shot experiment, but poison for a
+    content-addressed cache or a golden fixture, where the key must
+    fully determine the result.
+    """
+    if seed is None:
+        raise ConfigError(
+            "seed=None is nondeterministic and cannot be fingerprinted; "
+            "pass an explicit integer seed"
+        )
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise ConfigError(
+            f"seed must be an integer, got {type(seed).__name__} ({seed!r})"
+        )
+    return int(seed)
+
+
+def canonical_params(params: dict | None) -> tuple[tuple[str, object], ...]:
+    """Sorted, canonicalized solver parameters.
+
+    Every value must be a JSON scalar; floats must be finite (NaN/inf
+    compare unequal to themselves, so they can never form a stable
+    key).  ``seed`` is owned by the request, never by the params.
+    """
+    canonical = []
+    for key, value in sorted((params or {}).items()):
+        if not isinstance(key, str):
+            raise ConfigError(f"parameter names must be strings, got {key!r}")
+        if key == "seed":
+            raise ConfigError(
+                "'seed' is owned by the solve request, not the parameter "
+                "set; pass it as the request seed"
+            )
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ConfigError(
+                f"parameter {key!r} is non-finite ({value!r}); "
+                "non-finite values have no canonical form"
+            )
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise ConfigError(
+                f"parameter {key!r} has non-canonical type "
+                f"{type(value).__name__}; fingerprinted configs accept "
+                "only str/int/float/bool/None"
+            )
+        canonical.append((key, value))
+    return tuple(canonical)
+
+
+def instance_digest(instance: TSPInstance) -> str:
+    """Content hash of the instance geometry (name-independent).
+
+    Two instances with identical coordinates and metric share a digest
+    whatever they are called — the solver only ever sees the geometry.
+    """
+    digest = hashlib.sha256()
+    digest.update(instance.metric.value.encode())
+    if instance.metric is EdgeWeightType.EXPLICIT:
+        matrix = np.ascontiguousarray(instance.matrix, dtype="<f8")
+        digest.update(str(matrix.shape).encode())
+        digest.update(matrix.tobytes())
+    else:
+        coords = np.ascontiguousarray(instance.coords, dtype="<f8")
+        digest.update(str(coords.shape).encode())
+        digest.update(coords.tobytes())
+    return digest.hexdigest()
+
+
+def solve_fingerprint(
+    instance: TSPInstance,
+    solver: str,
+    params: dict | None,
+    seed: object,
+) -> str:
+    """The content-addressed key of one deterministic solve."""
+    spec = get_solver(solver)  # unknown solver names raise ConfigError
+    canonical = canonical_params(params)
+    unknown = {key for key, _ in canonical} - set(spec.accepted_params())
+    if unknown:
+        raise ConfigError(
+            f"solver {solver!r} does not accept parameter(s) "
+            f"{sorted(unknown)}; accepted: {sorted(spec.accepted_params())}"
+        )
+    payload = json.dumps(
+        {
+            "schema": FINGERPRINT_SCHEMA,
+            "instance": instance_digest(instance),
+            "solver": solver,
+            "params": canonical,
+            "seed": canonical_seed(seed),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

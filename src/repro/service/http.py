@@ -1,0 +1,197 @@
+"""Stdlib HTTP front-end for the solve service (``repro serve``).
+
+Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
+
+``POST /solve``
+    Body: ``{"instance": "<token>"}`` (benchmark size/name, TSPLIB
+    path, or ``family:n[:seed]`` generator spec) **or**
+    ``{"coords": [[x, y], ...], "metric": "EUC_2D"}`` for an inline
+    instance; optional ``"solver"`` (default ``taxi``), integer
+    ``"seed"`` (default 0; ``null`` is rejected — cache keys must be
+    deterministic), and ``"params"`` (canonical JSON scalars only).
+    Returns the job view with its deterministic ``job_id``; repeated
+    identical requests are answered from the result cache.
+
+``GET /jobs/<id>``
+    Job state; ``?wait=<seconds>`` blocks up to that long for
+    completion before answering.
+
+``GET /stats``
+    Queue/cache/request counters.
+
+Error mapping: validation problems -> 400, unknown jobs/paths -> 404,
+queue backpressure -> 429.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.config import ServiceConfig
+from repro.errors import ConfigError, ReproError, ServiceError
+from repro.service.queue import SolveRequest, SolveService
+
+#: Request bodies beyond this are refused (inline coords for ~500k
+#: cities still fit; anything bigger should arrive as a token).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def build_request(body: dict) -> SolveRequest:
+    """Translate one ``POST /solve`` JSON body into a validated request."""
+    if not isinstance(body, dict):
+        raise ConfigError("request body must be a JSON object")
+    token = body.get("instance")
+    coords = body.get("coords")
+    if (token is None) == (coords is None):
+        raise ConfigError(
+            "provide exactly one of 'instance' (token) or 'coords' (inline)"
+        )
+    if coords is not None:
+        from repro.tsp.instance import EdgeWeightType, TSPInstance
+
+        metric = EdgeWeightType.from_string(str(body.get("metric", "EUC_2D")))
+        token = TSPInstance(str(body.get("name", "inline")), coords, metric)
+    params = body.get("params") or {}
+    if not isinstance(params, dict):
+        raise ConfigError("'params' must be a JSON object")
+    return SolveRequest.create(
+        token,
+        solver=str(body.get("solver", "taxi")),
+        params=params,
+        seed=body.get("seed", 0),
+    )
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request handler bound to the server's :class:`SolveService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if urlparse(self.path).path != "/solve":
+            self._send(404, {"error": f"unknown endpoint {self.path!r}"})
+            return
+        try:
+            body = self._read_json()
+            request = build_request(body)
+            job = self.service.submit(request)
+        except ServiceError as exc:
+            self._send(429, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except (ValueError, TypeError) as exc:
+            # e.g. jagged/non-numeric inline coords: numpy raises before
+            # the library's own validation can; still a caller error.
+            self._send(400, {"error": f"invalid request: {exc}"})
+            return
+        self._send(200, job.as_dict())
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path == "/stats":
+            self._send(200, self.service.stats())
+            return
+        if parsed.path.startswith("/jobs/"):
+            job_id = parsed.path[len("/jobs/"):]
+            job = self.service.job(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+                return
+            wait = parse_qs(parsed.query).get("wait")
+            if wait and job.status in ("queued", "running"):
+                try:
+                    timeout = min(float(wait[0]), 300.0)
+                except ValueError:
+                    self._send(400, {"error": f"bad wait value {wait[0]!r}"})
+                    return
+                job.done_event.wait(timeout)
+            self._send(200, job.as_dict())
+            return
+        self._send(404, {"error": f"unknown endpoint {parsed.path!r}"})
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ConfigError("empty request body; POST a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise ConfigError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ConfigError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+
+def make_server(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> tuple[ThreadingHTTPServer, SolveService]:
+    """Build (but do not start) the HTTP server + its solve service.
+
+    The caller owns the lifecycle: ``service.start()``, then
+    ``server.serve_forever()``; shut down with ``server.shutdown()``
+    followed by ``service.close()`` (which persists the cache).
+    """
+    service = SolveService(config)
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server, service
+
+
+def serve_forever(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    server, service = make_server(config, host, port, verbose)
+    service.start()
+    # SIGTERM (systemd/docker/CI `kill`) must unwind through the
+    # finally below, or --cache-path would never be written.
+    import signal
+
+    def _sigterm(_signum, _frame):
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread (tests drive make_server)
+        pass
+    bound = server.server_address
+    print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
+          f"(workers={service.config.workers}, "
+          f"cache={service.config.cache_size})", flush=True)
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.server_close()
+        service.close()

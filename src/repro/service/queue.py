@@ -1,0 +1,437 @@
+"""Solve-as-a-service: asyncio job queue with micro-batching.
+
+:class:`SolveService` turns the one-shot solve path into a long-lived
+serving process:
+
+* **admission** — a :class:`SolveRequest` is fingerprinted
+  (:mod:`repro.service.fingerprint`); cache hits complete immediately,
+  identical in-flight fingerprints deduplicate onto one job, and a
+  full queue refuses with :class:`~repro.errors.ServiceError`
+  (backpressure, never unbounded memory);
+* **micro-batching** — an asyncio dispatcher collects requests for up
+  to ``batch_window`` seconds, groups compatible ones (same solver /
+  params / seed), and runs each group as one engine job
+  (:func:`repro.engine.runner.run_tasks`) over the service's shared
+  :class:`~repro.engine.wavefront.WavefrontPool`;
+* **determinism** — every request carries an explicit integer seed
+  that the engine task uses *directly* (no replica-seed derivation),
+  so a service solve is bit-identical to ``repro solve`` with the same
+  instance/config/seed, and job IDs are derived from the fingerprint
+  (re-submitting an identical request always names the same job).
+
+The event loop runs on a dedicated daemon thread; ``submit``/``job``/
+``stats`` are thread-safe and callable from any number of HTTP handler
+threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import ServiceConfig
+from repro.engine.jobs import InstanceSpec, spec_from_token
+from repro.engine.runner import ReplicaTask, run_tasks
+from repro.engine.wavefront import WavefrontPool
+from repro.errors import ReproError, ServiceError
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import (
+    canonical_params,
+    canonical_seed,
+    solve_fingerprint,
+)
+from repro.utils.hashing import tour_hash
+
+#: Job-id prefix + fingerprint digits: deterministic, short, greppable.
+_JOB_ID_DIGITS = 16
+
+#: Dispatcher shutdown sentinel.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One admitted, validated solve request.
+
+    Build through :meth:`create`, which canonicalizes the parameter set
+    and seed at the boundary — a constructed request is always
+    fingerprintable.
+    """
+
+    spec: InstanceSpec
+    solver: str = "taxi"
+    params: tuple[tuple[str, object], ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        instance,
+        solver: str = "taxi",
+        params: dict | None = None,
+        seed: object = 0,
+    ) -> "SolveRequest":
+        """Validate and canonicalize one request from loose inputs.
+
+        ``instance`` accepts everything ``repro batch`` does (benchmark
+        size/name, TSPLIB path, ``family:n[:seed]`` token) plus an
+        inline :class:`~repro.tsp.instance.TSPInstance`.
+        """
+        return cls(
+            spec=spec_from_token(instance),
+            solver=solver,
+            params=canonical_params(params),
+            seed=canonical_seed(seed),
+        )
+
+    def fingerprint(self) -> str:
+        """Content-addressed key (resolves the instance to hash its bytes)."""
+        return solve_fingerprint(
+            self.spec.resolve(), self.solver, dict(self.params), self.seed
+        )
+
+    def group_key(self) -> tuple:
+        """Requests sharing this key may ride one micro-batched engine job."""
+        return (self.solver, self.params, self.seed)
+
+
+@dataclass
+class Job:
+    """One tracked solve job (shared by every duplicate submission)."""
+
+    id: str
+    fingerprint: str
+    request: SolveRequest
+    status: str = "queued"  # queued | running | done | failed
+    cached: bool = False
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def finish(self, result: dict | None, error: str | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.status = "failed" if error is not None else "done"
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (what ``GET /jobs/<id>`` returns)."""
+        return {
+            "job_id": self.id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "cached": self.cached,
+            "solver": self.request.solver,
+            "instance": self.request.spec.label,
+            "seed": self.request.seed,
+            "params": dict(self.request.params),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+def job_id_for(fingerprint: str) -> str:
+    """Deterministic job id: same request content -> same id, always."""
+    return f"job-{fingerprint[:_JOB_ID_DIGITS]}"
+
+
+class SolveService:
+    """The serving facade: cache + queue + dispatcher + worker pool."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(self.config.cache_size, self.config.cache_path)
+        self.pool = WavefrontPool(workers=self.config.workers)
+        self.started_at = time.time()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._counters = {
+            "requests": 0,
+            "deduplicated": 0,
+            "served_from_cache": 0,
+            "completed": 0,
+            "failed": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SolveService":
+        """Start the dispatcher loop on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        ready = threading.Event()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self._queue = asyncio.Queue()
+            ready.set()
+            try:
+                loop.run_until_complete(self._dispatch())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-service-dispatch", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        return self
+
+    def close(self) -> None:
+        """Drain-free shutdown: stop the dispatcher, pool, persist the cache.
+
+        Jobs admitted before the close are still processed (the stop
+        sentinel queues behind them); the lock hand-off with
+        :meth:`submit` guarantees no job is enqueued after the
+        sentinel, so nothing can be left 'queued' forever.
+        """
+        with self._lock:
+            thread, loop, queue = self._thread, self._loop, self._queue
+            self._stopping = True
+        if thread is not None:
+            assert loop is not None and queue is not None
+            loop.call_soon_threadsafe(queue.put_nowait, _STOP)
+            thread.join(timeout=30)
+            with self._lock:
+                self._thread = None
+                self._loop = None
+                self._queue = None
+        self.pool.close()
+        if self.config.cache_path is not None:
+            self.cache.save()
+
+    def __enter__(self) -> "SolveService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> Job:
+        """Admit one request; returns its (possibly pre-existing) job.
+
+        Cache hits return an already-completed job; identical in-flight
+        fingerprints return the job already queued/running for them.
+        """
+        fingerprint = request.fingerprint()  # validates; may raise ConfigError
+        job_id = job_id_for(fingerprint)
+        with self._lock:
+            # Checked (and the job enqueued) under the same lock close()
+            # takes to flip _stopping, so a job can never slip in after
+            # the stop sentinel and sit 'queued' forever.
+            if self._thread is None or self._stopping:
+                raise ServiceError("service is not running; call start() first")
+            self._counters["requests"] += 1
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status in ("queued", "running"):
+                self._counters["deduplicated"] += 1
+                return existing
+            cached = self.cache.get(fingerprint)
+            if cached is not None:
+                self._counters["served_from_cache"] += 1
+                job = Job(
+                    id=job_id,
+                    fingerprint=fingerprint,
+                    request=request,
+                    cached=True,
+                )
+                job.finish(cached)
+                self._jobs.pop(job_id, None)  # re-insert as most recent
+                self._jobs[job_id] = job
+                self._prune_history()
+                return job
+            if self._pending >= self.config.queue_depth:
+                raise ServiceError(
+                    f"queue full ({self.config.queue_depth} pending); retry later"
+                )
+            job = Job(id=job_id, fingerprint=fingerprint, request=request)
+            self._jobs[job_id] = job
+            self._pending += 1
+            self._prune_history()
+            assert self._loop is not None and self._queue is not None
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, job)
+        return job
+
+    def _prune_history(self) -> None:
+        """Drop the oldest finished jobs beyond ``job_history`` (lock held).
+
+        Bounds the job table in a long-lived process: queue_depth
+        bounds pending work and the result cache bounds cached values,
+        but without this the per-job result dicts (full tour lists)
+        would accumulate forever.  Queued/running jobs are never
+        dropped — their submitters still hold the job id.
+        """
+        excess = len(self._jobs) - self.config.job_history
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id
+            for job_id, job in self._jobs.items()  # insertion order = oldest first
+            if job.status in ("done", "failed")
+        ][:excess]:
+            del self._jobs[job_id]
+
+    def solve(self, request: SolveRequest, timeout: float | None = None) -> Job:
+        """Submit and block until done (convenience for bench/tests)."""
+        job = self.submit(request)
+        return self.wait(job.id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        job = self.job(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if not job.done_event.wait(timeout):
+            raise ServiceError(f"job {job_id!r} did not finish within {timeout}s")
+        return job
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+            jobs_by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                jobs_by_status[job.status] = jobs_by_status.get(job.status, 0) + 1
+            pending = self._pending
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": {
+                "pending": pending,
+                "depth": self.config.queue_depth,
+                "batch_window": self.config.batch_window,
+                "max_batch": self.config.max_batch,
+                "workers": self.config.workers,
+            },
+            "requests": counters,
+            "jobs": jobs_by_status,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self) -> None:
+        """Dispatcher main loop: collect a window, group, run, repeat."""
+        assert self._loop is not None and self._queue is not None
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            stop = await self._collect_window(batch)
+            groups: dict[tuple, list[Job]] = {}
+            for job in batch:
+                groups.setdefault(job.request.group_key(), []).append(job)
+            with self._lock:
+                self._counters["batches"] += len(groups)
+                self._counters["batched_requests"] += len(batch)
+                for job in batch:
+                    job.status = "running"
+            # Incompatible groups from one window run concurrently —
+            # they share the wavefront pool, so serializing them would
+            # idle workers and stack latency per extra group.
+            await asyncio.gather(*(
+                self._loop.run_in_executor(None, self._run_group, jobs)
+                for jobs in groups.values()
+            ))
+            if stop:
+                return
+
+    async def _collect_window(self, batch: list[Job]) -> bool:
+        """Fill ``batch`` up to ``max_batch`` within the batching window.
+
+        Returns True when the stop sentinel arrived mid-window.
+        """
+        assert self._loop is not None and self._queue is not None
+        deadline = self._loop.time() + self.config.batch_window
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - self._loop.time()
+            try:
+                if remaining > 0:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    def _run_group(self, jobs: list[Job]) -> None:
+        """Run one compatible group as a single engine task batch."""
+        tasks = [
+            ReplicaTask(
+                spec=job.request.spec,
+                solver=job.request.solver,
+                params=job.request.params,
+                seed=job.request.seed,
+                index=0,
+                instance_index=position,
+            )
+            for position, job in enumerate(jobs)
+        ]
+        # Resolve the shared pool first: when it declines (workers=1 or
+        # a single task), run inline rather than letting run_tasks spin
+        # up a throwaway ProcessPoolExecutor per dispatch — sporadic
+        # single-request traffic must not pay pool startup every time.
+        executor = self.pool.executor_for(len(tasks))
+        try:
+            replicas = run_tasks(
+                tasks,
+                workers=1 if executor is None else self.config.workers,
+                executor=executor,
+            )
+        except ReproError as exc:
+            self._finish_group(jobs, error=str(exc))
+            return
+        except Exception as exc:  # worker crash: fail the group, keep serving
+            self._finish_group(jobs, error=f"{type(exc).__name__}: {exc}")
+            return
+        for job, replica in zip(jobs, replicas):
+            value = {
+                "instance": job.request.spec.label,
+                "n": int(replica.order.size),
+                "solver": job.request.solver,
+                "seed": job.request.seed,
+                "params": dict(job.request.params),
+                "length": replica.length,
+                "tour": [int(city) for city in replica.order],
+                "tour_hash": tour_hash(replica.order),
+                "solve_seconds": replica.seconds,
+                "setup_seconds": replica.setup_seconds,
+            }
+            self.cache.put(job.fingerprint, value)
+            job.finish(value)
+        with self._lock:
+            self._pending -= len(jobs)
+            self._counters["completed"] += len(jobs)
+
+    def _finish_group(self, jobs: list[Job], error: str) -> None:
+        for job in jobs:
+            job.finish(None, error=error)
+        with self._lock:
+            self._pending -= len(jobs)
+            self._counters["failed"] += len(jobs)

@@ -106,18 +106,27 @@ def scenario_job(
     name: str,
     replicas: int = 2,
     workers: int | None = None,
-    seed: int | None = 0,
+    seed: int = 0,
     solver: str | None = None,
     params: dict | None = None,
 ):
     """Build a ready-to-run :class:`~repro.engine.jobs.BatchJob`.
 
     Run-time ``params`` override the scenario's defaults; ``solver``
-    overrides its default solver.
+    overrides its default solver.  ``seed`` must be an integer:
+    scenarios are documented as reproducible bit-for-bit, and their
+    results feed golden comparisons and the content-addressed result
+    cache, so the OS-entropy ``seed=None`` path is rejected at this
+    boundary rather than silently producing an unrepeatable run.
     """
     from repro.core.config import EngineConfig
     from repro.engine.jobs import BatchJob
 
+    if seed is None:
+        raise ConfigError(
+            "scenario runs are reproducible by contract; pass an integer "
+            "seed (seed=None would draw OS entropy)"
+        )
     scenario = get_scenario(name)
     merged = scenario.params_dict()
     merged.update(params or {})

@@ -1,0 +1,27 @@
+"""Stable content hashes shared by the CLI, bench, and service layers.
+
+Tour hashes make determinism checkable across entry points: the CLI
+prints them, the bench pipeline grid diffs serial vs wavefront runs,
+and the solve service returns them so a cached result can be compared
+bit-for-bit against a cold ``repro solve`` of the same request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Hex digits kept from the sha256 digest (plenty against collisions in
+#: any realistic run set, short enough to eyeball-diff).
+TOUR_HASH_LENGTH = 16
+
+
+def tour_hash(order: np.ndarray) -> str:
+    """Short sha256 of a tour order's canonical little-endian bytes.
+
+    Identical hashes mean bit-identical tours, not merely equal
+    lengths — a reversed tour hashes differently.
+    """
+    canonical = np.asarray(order).astype("<i8").tobytes()
+    return hashlib.sha256(canonical).hexdigest()[:TOUR_HASH_LENGTH]

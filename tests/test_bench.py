@@ -20,10 +20,12 @@ TINY = dict(
     engine_solvers=["sa_tsp"],
     engine_sizes=[24],
     pipeline_sizes=[80],
+    service_sizes=[40],
     ising_sweeps=10,
     tsp_sweeps=10,
     engine_sweeps=10,
     pipeline_sweeps=10,
+    service_sweeps=10,
     pipeline_workers=(1, 2),
     replicas=2,
     repeats=1,
@@ -101,10 +103,28 @@ class TestRunBench:
     def test_empty_grids_skip(self):
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
-            pipeline_sizes=[], tsp_sweeps=5, repeats=1,
+            pipeline_sizes=[], service_sizes=[], tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
+
+    def test_service_cells_record_cold_vs_cached(self, payload):
+        cells = [e for e in payload["entries"] if e["kind"] == "service"]
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["seconds"] > 0  # cold solve latency
+        assert cell["cached_seconds"] > 0
+        assert cell["cache_hit_requests_per_sec"] > 0
+        assert cell["cache_hits"] >= 1
+        assert cell["tour_hash"]
+
+    def test_service_speedups_pair_cold_and_cached(self, payload):
+        assert len(payload["service_speedups"]) == 1
+        cell = payload["service_speedups"][0]
+        assert cell["speedup"] == pytest.approx(
+            cell["cold_seconds"] / cell["cached_seconds"]
+        )
+        assert cell["requests_per_sec"] > 0
 
 
 class TestWriteBench:
@@ -147,6 +167,7 @@ class TestBenchCLI:
         code = main([
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
             "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
+            "--service-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])

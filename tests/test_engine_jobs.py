@@ -50,6 +50,22 @@ class TestSpecFromToken:
         assert instance.n == 40
         assert spec.seed == 9
 
+    def test_seedless_generator_spec_is_canonicalized(self):
+        # seed=None on a generator *spec* must never mean OS entropy:
+        # specs are cache-keyed per process and their labels land in
+        # golden fixtures and result-cache entries, so the boundary
+        # canonicalizes to the deterministic registry-derived seed.
+        spec = spec_from_token("clustered:40")
+        assert spec.seed is None
+        assert isinstance(spec.effective_seed(), int)
+        first = spec.resolve()
+        second = spec_from_token("clustered:40").resolve()
+        assert np.array_equal(first.coords, second.coords)
+
+    def test_effective_seed_passthrough_and_non_generator(self):
+        assert spec_from_token("clustered:40:9").effective_seed() == 9
+        assert spec_from_token(318).effective_seed() is None
+
     def test_generator_token_unknown_family(self):
         with pytest.raises(ConfigError, match="unknown generator family"):
             spec_from_token("hexagonal:40")

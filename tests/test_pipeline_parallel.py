@@ -34,8 +34,10 @@ from repro.tsp.generators import (
     ring_instance,
     uniform_instance,
 )
-from repro.tsp.instance import TSPInstance
+from repro.tsp.instance import EdgeWeightType, TSPInstance
 from repro.tsp.tour import tour_length, validate_permutation
+
+_EXPLICIT = EdgeWeightType.EXPLICIT
 
 SWEEPS = 30
 
@@ -275,6 +277,121 @@ class TestSubmatrixCache:
         # handful of new adjacencies may still be sliced.
         new_misses = cache.misses - first_misses
         assert new_misses < first_misses / 3
+
+    def test_square_blocks_are_read_only(self):
+        # Regression: returned blocks used to be writeable shared
+        # views, so one caller's in-place write silently poisoned the
+        # cache for every later consumer.
+        inst = uniform_instance(30, seed=5)
+        cache = SubmatrixCache(inst)
+        indices = np.arange(0, 8)
+        block = cache.submatrix("A", indices)
+        pristine = block.copy()
+        with pytest.raises(ValueError):
+            block[0, 1] = -1.0
+        with pytest.raises(ValueError):
+            block += 1.0
+        # A fetch after the attempted write must be bit-identical to
+        # the original slice — nothing leaked through.
+        np.testing.assert_array_equal(cache.submatrix("A", indices), pristine)
+
+    def test_cross_blocks_are_read_only(self):
+        inst = uniform_instance(30, seed=5)
+        a, b = np.arange(0, 6), np.arange(6, 12)
+        for retain in (True, False):
+            cache = SubmatrixCache(inst, retain_cross_blocks=retain)
+            block = cache.cross_block("A", a, "B", b)
+            pristine = block.copy()
+            with pytest.raises(ValueError):
+                block[0, 0] = 1e9
+            np.testing.assert_array_equal(
+                cache.cross_block("A", a, "B", b), pristine
+            )
+
+    def test_read_only_does_not_freeze_explicit_matrix(self):
+        # setflags happens on the sliced copy, never on the instance's
+        # own matrix: the source stays writeable.
+        matrix = np.array([[0.0, 2.0, 3.0], [2.0, 0.0, 4.0], [3.0, 4.0, 0.0]])
+        inst = TSPInstance("explicit", None, metric=_EXPLICIT, matrix=matrix)
+        cache = SubmatrixCache(inst)
+        cache.submatrix("A", np.array([0, 1]))
+        assert inst.matrix.flags.writeable
+
+    def test_hit_miss_accounting_is_exact(self):
+        inst = uniform_instance(30, seed=5)
+        cache = SubmatrixCache(inst)
+        a, b, c = np.arange(0, 5), np.arange(5, 10), np.arange(10, 15)
+        cache.submatrix("A", a)          # miss
+        cache.submatrix("A", a)          # hit
+        cache.submatrix("B", b)          # miss
+        cache.cross_block("A", a, "B", b)  # miss
+        cache.cross_block("A", a, "B", b)  # hit
+        cache.cross_block("B", b, "C", c)  # miss (direction is part of the key)
+        cache.cross_block("C", c, "B", b)  # miss
+        assert (cache.hits, cache.misses) == (2, 5)
+        assert cache.slices_computed == 5
+        cache.clear()
+        # clear() drops blocks but keeps the lifetime counters.
+        assert (cache.hits, cache.misses) == (2, 5)
+        cache.submatrix("A", a)
+        assert cache.misses == 6
+
+    def test_keys_never_alias_across_distinct_clusters(self):
+        # The aliasing contract: the cache trusts keys, so distinct
+        # keys must yield independent blocks even for identical index
+        # sets, and the same key returns the memoized block regardless
+        # of the indices passed (callers own key stability).
+        inst = uniform_instance(30, seed=5)
+        cache = SubmatrixCache(inst)
+        indices = np.arange(0, 6)
+        block_a = cache.submatrix(("L1", 0), indices)
+        block_b = cache.submatrix(("L1", 1), indices)
+        assert block_a is not block_b
+        np.testing.assert_array_equal(block_a, block_b)
+        assert cache.misses == 2
+        # Same key, different indices: the memoized block wins — this
+        # is why shared caches demand explicit, stable cluster keys.
+        assert cache.submatrix(("L1", 0), np.arange(6, 12)) is block_a
+
+    def test_retain_false_keeps_no_cross_block_memory(self):
+        # The memory path: a per-solve cache must not accumulate the
+        # O(pairs x block) rectangular slices it will never reuse.
+        inst = uniform_instance(40, seed=6)
+        cache = SubmatrixCache(inst, retain_cross_blocks=False)
+        for pair in range(5):
+            cache.cross_block(
+                ("A", pair), np.arange(0, 5), ("B", pair), np.arange(5, 10)
+            )
+        assert len(cache._cross) == 0
+        assert len(cache._square) == 0
+        retained = SubmatrixCache(inst, retain_cross_blocks=True)
+        for pair in range(5):
+            retained.cross_block(
+                ("A", pair), np.arange(0, 5), ("B", pair), np.arange(5, 10)
+            )
+        assert len(retained._cross) == 5
+
+    def test_explicit_keys_reuse_across_two_solves_one_hierarchy(self):
+        # Two replica solves over one ward hierarchy, one shared cache,
+        # explicit (level, node) keys: the second solve's square-block
+        # lookups must all be hits (cluster membership is solve
+        # -independent), and the hit counter must move.
+        inst = clustered_instance(100, seed=13)
+        hierarchy = build_hierarchy(inst, 12)
+        cache = SubmatrixCache(inst)
+        schedule = paper_schedule(SWEEPS)
+        solve_hierarchical(
+            hierarchy, BatchedMacroSolver(MacroConfig(), seed=0), schedule,
+            cache=cache,
+        )
+        hits_after_first = cache.hits
+        squares_after_first = len(cache._square)
+        solve_hierarchical(
+            hierarchy, BatchedMacroSolver(MacroConfig(), seed=1), schedule,
+            cache=cache,
+        )
+        assert len(cache._square) == squares_after_first  # no new squares
+        assert cache.hits > hits_after_first
 
     def test_pipeline_slice_count_bounded(self):
         # End-to-end regression: one solve slices each (pair, cluster)

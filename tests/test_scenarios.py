@@ -117,6 +117,13 @@ class TestScenarioJobs:
         job = scenario_job("paper-small", solver="sa_tsp")
         assert job.solver == "sa_tsp"
 
+    def test_seed_none_rejected(self):
+        # Scenario runs are reproducible by contract and feed golden
+        # comparisons/result caches; the OS-entropy path is refused at
+        # the boundary instead of silently producing unrepeatable runs.
+        with pytest.raises(ConfigError, match="integer seed"):
+            scenario_job("paper-small", seed=None)
+
     def test_cli_respects_scenario_default_solver(self, capsys):
         # `repro scenarios --run X` without --solver must use the
         # scenario's own default solver, not the engine default "taxi".

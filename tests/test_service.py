@@ -1,0 +1,381 @@
+"""Solve-as-a-service tests: fingerprints, result cache, queue, HTTP.
+
+The serving contract under test:
+
+* fingerprints are canonical and deterministic — ``seed=None`` and
+  non-canonical configs are rejected at admission, never cached;
+* a repeated identical request is served from the result cache and is
+  bit-identical (tour hash) to the cold solve and to the direct
+  registry solve with the same instance/config/seed;
+* identical in-flight fingerprints deduplicate onto one job with a
+  deterministic job id;
+* the HTTP front-end exposes the whole flow over stdlib sockets.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.engine import solve_with
+from repro.errors import ConfigError, ServiceError
+from repro.service import (
+    ResultCache,
+    SolveRequest,
+    SolveService,
+    canonical_params,
+    canonical_seed,
+    instance_digest,
+    job_id_for,
+    solve_fingerprint,
+)
+from repro.tsp.generators import uniform_instance
+from repro.utils.hashing import tour_hash
+
+SWEEPS = 20
+
+
+def _request(token=52, solver="taxi", seed=0, **params):
+    params.setdefault("sweeps", SWEEPS)
+    return SolveRequest.create(token, solver=solver, params=params, seed=seed)
+
+
+@pytest.fixture()
+def service():
+    with SolveService(ServiceConfig(batch_window=0.0)) as svc:
+        yield svc
+
+
+class TestFingerprint:
+    def test_seed_none_rejected(self):
+        inst = uniform_instance(20, seed=1)
+        with pytest.raises(ConfigError, match="seed=None"):
+            solve_fingerprint(inst, "taxi", {}, None)
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            canonical_seed(1.5)
+        with pytest.raises(ConfigError):
+            canonical_seed(True)
+        assert canonical_seed(np.int64(7)) == 7
+
+    def test_non_canonical_params_rejected(self):
+        with pytest.raises(ConfigError, match="non-canonical"):
+            canonical_params({"sweeps": [10, 20]})
+        with pytest.raises(ConfigError, match="non-finite"):
+            canonical_params({"t_start_frac": float("nan")})
+        with pytest.raises(ConfigError, match="owned by the solve request"):
+            canonical_params({"seed": 3})
+
+    def test_numpy_scalars_canonicalized(self):
+        # Must be a plain int, not np.int64 (which json.dumps rejects
+        # and would crash fingerprinting instead of hashing).
+        ((key, value),) = canonical_params({"sweeps": np.int64(10)})
+        assert (key, value) == ("sweeps", 10)
+        assert type(value) is int
+        inst = uniform_instance(20, seed=1)
+        assert solve_fingerprint(
+            inst, "taxi", {"sweeps": np.int64(10)}, 0
+        ) == solve_fingerprint(inst, "taxi", {"sweeps": 10}, 0)
+
+    def test_unknown_solver_and_params_rejected(self):
+        inst = uniform_instance(20, seed=1)
+        with pytest.raises(ConfigError):
+            solve_fingerprint(inst, "quantum", {}, 0)
+        with pytest.raises(ConfigError, match="does not accept"):
+            solve_fingerprint(inst, "taxi", {"voltage": 3}, 0)
+
+    def test_content_addressed_not_name_addressed(self):
+        a = uniform_instance(30, seed=4, name="alpha")
+        b = uniform_instance(30, seed=4, name="beta")
+        assert instance_digest(a) == instance_digest(b)
+        assert solve_fingerprint(a, "taxi", {}, 0) == solve_fingerprint(
+            b, "taxi", {}, 0
+        )
+
+    def test_every_component_changes_the_key(self):
+        inst = uniform_instance(30, seed=4)
+        base = solve_fingerprint(inst, "taxi", {"sweeps": 10}, 0)
+        other_geom = uniform_instance(30, seed=5)
+        assert solve_fingerprint(other_geom, "taxi", {"sweeps": 10}, 0) != base
+        assert solve_fingerprint(inst, "sa_tsp", {"sweeps": 10}, 0) != base
+        assert solve_fingerprint(inst, "taxi", {"sweeps": 20}, 0) != base
+        assert solve_fingerprint(inst, "taxi", {"sweeps": 10}, 1) != base
+
+    def test_param_order_is_canonicalized(self):
+        inst = uniform_instance(30, seed=4)
+        assert solve_fingerprint(
+            inst, "taxi", {"sweeps": 10, "bits": 3}, 0
+        ) == solve_fingerprint(inst, "taxi", {"bits": 3, "sweeps": 10}, 0)
+
+
+class TestResultCache:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes recency: b is LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None  # evicted
+        assert cache.get("c") == {"v": 3}
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["size"] == 2
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=8, path=path)
+        cache.put("fp1", {"length": 42.0, "tour": [0, 1, 2]})
+        cache.save()
+        reloaded = ResultCache(capacity=8, path=path)
+        assert reloaded.get("fp1") == {"length": 42.0, "tour": [0, 1, 2]}
+
+    def test_corrupt_or_foreign_file_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        assert ResultCache(capacity=4, path=str(path)).stats()["size"] == 0
+        path.write_text(json.dumps({"schema": "other/1", "entries": [["a", {}]]}))
+        assert ResultCache(capacity=4, path=str(path)).stats()["size"] == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=0)
+
+
+class TestSolveService:
+    def test_cold_then_cached_bit_identical(self, service):
+        request = _request()
+        cold = service.solve(request, timeout=120)
+        assert cold.status == "done" and not cold.cached
+        hit = service.submit(request)
+        assert hit.status == "done" and hit.cached
+        assert hit.result["tour_hash"] == cold.result["tour_hash"]
+        assert hit.result["tour"] == cold.result["tour"]
+        assert service.cache.stats()["hits"] == 1
+
+    def test_service_matches_direct_registry_solve(self, service):
+        request = _request(token=52, seed=3)
+        job = service.solve(request, timeout=120)
+        direct = solve_with(
+            "taxi", request.spec.resolve(), seed=3, sweeps=SWEEPS
+        )
+        assert job.result["tour_hash"] == tour_hash(direct.order)
+        assert job.result["length"] == pytest.approx(direct.length)
+
+    def test_job_ids_are_deterministic(self, service):
+        request = _request()
+        job = service.solve(request, timeout=120)
+        assert job.id == job_id_for(request.fingerprint())
+        assert service.submit(request).id == job.id
+
+    def test_micro_batch_groups_compatible_requests(self):
+        # A wide window + burst of compatible requests must coalesce
+        # into fewer engine dispatches than requests.
+        config = ServiceConfig(batch_window=0.25, max_batch=8)
+        with SolveService(config) as svc:
+            jobs = [
+                svc.submit(_request(token=f"uniform:24:{i}", solver="sa_tsp",
+                                    sweeps=10))
+                for i in range(4)
+            ]
+            for job in jobs:
+                svc.wait(job.id, timeout=120)
+        counters = svc.stats()["requests"]
+        assert counters["completed"] == 4
+        assert counters["batches"] < 4
+        assert counters["batched_requests"] == 4
+
+    def test_inflight_deduplication(self):
+        # Slow the dispatcher with a window so the second submit lands
+        # while the first is still queued.
+        with SolveService(ServiceConfig(batch_window=0.3)) as svc:
+            request = _request()
+            first = svc.submit(request)
+            second = svc.submit(request)
+            assert second is first
+            assert svc.stats()["requests"]["deduplicated"] == 1
+            svc.wait(first.id, timeout=120)
+
+    def test_failed_solve_reports_error(self, service):
+        bad = TSPInstanceWithNaN()
+        job = service.solve(
+            SolveRequest.create(bad, solver="sa_tsp", params={"sweeps": 5},
+                                seed=0),
+            timeout=120,
+        )
+        assert job.status == "failed"
+        assert "non-finite" in job.error
+        assert service.stats()["requests"]["failed"] == 1
+
+    def test_submit_requires_running_service(self):
+        svc = SolveService(ServiceConfig())
+        with pytest.raises(ServiceError, match="not running"):
+            svc.submit(_request())
+
+    def test_submit_after_close_rejected(self):
+        svc = SolveService(ServiceConfig(batch_window=0.0))
+        svc.start()
+        svc.close()
+        with pytest.raises(ServiceError, match="not running"):
+            svc.submit(_request())
+
+    def test_jobs_admitted_before_close_still_complete(self):
+        # close() queues the stop sentinel *behind* admitted work, so a
+        # request racing shutdown finishes instead of hanging 'queued'.
+        svc = SolveService(ServiceConfig(batch_window=0.2))
+        svc.start()
+        job = svc.submit(_request(token="uniform:24:9", solver="sa_tsp",
+                                  sweeps=5))
+        svc.close()
+        assert job.done_event.is_set()
+        assert job.status == "done"
+
+    def test_queue_backpressure(self):
+        config = ServiceConfig(queue_depth=1, batch_window=0.5)
+        with SolveService(config) as svc:
+            first = svc.submit(_request(token="uniform:24:1", solver="sa_tsp",
+                                        sweeps=10))
+            with pytest.raises(ServiceError, match="queue full"):
+                svc.submit(_request(token="uniform:24:2", solver="sa_tsp",
+                                    sweeps=10))
+            svc.wait(first.id, timeout=120)
+
+    def test_cache_persists_across_service_restarts(self, tmp_path):
+        path = str(tmp_path / "results.json")
+        request = _request()
+        with SolveService(ServiceConfig(batch_window=0.0,
+                                        cache_path=path)) as svc:
+            cold = svc.solve(request, timeout=120)
+        with SolveService(ServiceConfig(batch_window=0.0,
+                                        cache_path=path)) as svc:
+            warm = svc.submit(request)
+            assert warm.cached
+            assert warm.result["tour_hash"] == cold.result["tour_hash"]
+
+    def test_seed_none_rejected_at_admission(self):
+        with pytest.raises(ConfigError, match="seed=None"):
+            SolveRequest.create(52, solver="taxi", seed=None)
+
+    def test_cache_entries_isolated_from_caller_mutation(self, service):
+        # Mutating a returned result must never poison the cache — the
+        # serving-layer analogue of the SubmatrixCache read-only fix.
+        request = _request()
+        cold = service.solve(request, timeout=120)
+        pristine_tour = list(cold.result["tour"])
+        cold.result["tour"].reverse()
+        cold.result["length"] = -1.0
+        hit = service.submit(request)
+        assert hit.cached
+        assert hit.result["tour"] == pristine_tour
+        assert hit.result["length"] != -1.0
+
+    def test_finished_job_history_is_bounded(self):
+        config = ServiceConfig(batch_window=0.0, job_history=2)
+        with SolveService(config) as svc:
+            for i in range(5):
+                job = svc.submit(_request(token=f"uniform:24:{i}",
+                                          solver="sa_tsp", sweeps=5))
+                svc.wait(job.id, timeout=120)
+                last = job.id
+            # One more submit triggers pruning of the oldest done jobs.
+            refreshed = svc.submit(_request(token=f"uniform:24:{4}",
+                                            solver="sa_tsp", sweeps=5))
+            svc.wait(refreshed.id, timeout=120)
+            assert len(svc._jobs) <= config.job_history
+            assert svc.job(last) is not None  # newest survives
+
+
+def TSPInstanceWithNaN():
+    """An instance whose geometry the engine must refuse to solve."""
+    from repro.tsp.instance import TSPInstance
+
+    coords = np.array([[0.0, 0.0], [1.0, np.nan], [2.0, 0.0]])
+    return TSPInstance("nan-city", coords)
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def http_service():
+    from repro.service.http import make_server
+
+    server, svc = make_server(ServiceConfig(batch_window=0.0), port=0)
+    svc.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base
+    server.shutdown()
+    server.server_close()
+    svc.close()
+
+
+def _post(base, path, body):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path) as response:
+        return json.load(response)
+
+
+@pytest.mark.smoke
+class TestHTTPFrontend:
+    BODY = {"instance": "52", "solver": "taxi", "seed": 0,
+            "params": {"sweeps": SWEEPS}}
+
+    def test_solve_poll_and_cache_hit(self, http_service):
+        posted = _post(http_service, "/solve", self.BODY)
+        job = _get(http_service, f"/jobs/{posted['job_id']}?wait=120")
+        assert job["status"] == "done"
+        assert job["result"]["tour_hash"]
+        second = _post(http_service, "/solve", self.BODY)
+        assert second["cached"] and second["status"] == "done"
+        assert second["result"]["tour_hash"] == job["result"]["tour_hash"]
+        stats = _get(http_service, "/stats")
+        assert stats["cache"]["hits"] >= 1
+        assert stats["requests"]["served_from_cache"] >= 1
+
+    def test_inline_coords_instance(self, http_service):
+        body = {
+            "coords": [[0, 0], [3, 4], [6, 0], [3, -4]],
+            "solver": "two_opt",
+            "seed": 1,
+        }
+        posted = _post(http_service, "/solve", body)
+        job = _get(http_service, f"/jobs/{posted['job_id']}?wait=60")
+        assert job["status"] == "done"
+        assert job["result"]["n"] == 4
+
+    def test_validation_errors_are_400(self, http_service):
+        for body in (
+            {"instance": "52", "seed": None},
+            {"instance": "52", "solver": "quantum"},
+            {"instance": "52", "coords": [[0, 0]]},
+            {"coords": [[0, 0], [1]]},      # jagged -> numpy ValueError
+            {"coords": "not-coordinates"},  # non-numeric
+            {},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(http_service, "/solve", body)
+            assert err.value.code == 400
+            assert "error" in json.load(err.value)
+
+    def test_unknown_job_and_endpoint_are_404(self, http_service):
+        for path in ("/jobs/job-ffffffffffffffff", "/nope"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(http_service, path)
+            assert err.value.code == 404
