@@ -8,6 +8,7 @@ Commands
 ``sweep``     sweep one solver parameter over a value list
 ``scenarios``  list or run the named workload scenarios
 ``serve``     run the solve service (HTTP, content-addressed result cache)
+``loadtest``  drive the solve service with seeded traffic, report latency
 ``solvers``   list the solver registry
 ``bench``     time the kernel backends and write ``BENCH_<rev>.json``
 ``table1``    print the Table I circuit-simulation reproduction
@@ -26,6 +27,8 @@ Examples::
     python -m repro scenarios
     python -m repro scenarios --run ring-ladder --sweeps 60 --replicas 2
     python -m repro serve --port 8080 --workers 2
+    python -m repro loadtest --instances 101 --concurrency 8 --requests 200
+    python -m repro loadtest --http http://127.0.0.1:8080 --requests 50
     python -m repro bench --quick
     python -m repro table1
 """
@@ -127,6 +130,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
 
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive the solve service with seeded traffic and report "
+             "latency percentiles, req/s, and cache behavior",
+    )
+    loadtest.add_argument("--instances", nargs="+", default=["101"],
+                          metavar="SPEC",
+                          help="instance tokens cold requests draw from "
+                               "(registry size/name, TSPLIB path, "
+                               "family:n[:seed] spec, or scenario:<name> "
+                               "to expand a workload scenario)")
+    loadtest.add_argument("--requests", type=int, default=100,
+                          help="total requests in the schedule")
+    loadtest.add_argument("--concurrency", type=int, default=8,
+                          help="closed-loop worker count")
+    loadtest.add_argument("--warm-ratio", type=float, default=0.5,
+                          help="fraction of requests repeating an earlier "
+                               "fingerprint (guaranteed cache hits)")
+    loadtest.add_argument("--mode", choices=("closed", "open"),
+                          default="closed",
+                          help="closed-loop (issue on completion) or "
+                               "open-loop (seeded Poisson arrivals)")
+    loadtest.add_argument("--rate", type=float, default=50.0,
+                          help="open-loop mean arrivals per second")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="master seed (fully determines the schedule)")
+    loadtest.add_argument("--solver", default="taxi",
+                          help="registered solver name")
+    loadtest.add_argument("--sweeps", type=int, default=30,
+                          help="annealing sweeps per request")
+    loadtest.add_argument("--set", action="append", default=[],
+                          metavar="KEY=VALUE",
+                          help="extra solver parameter (repeatable)")
+    loadtest.add_argument("--http", default=None, metavar="URL",
+                          help="drive a running repro serve at URL instead "
+                               "of an in-process service")
+    loadtest.add_argument("--workers", type=int, default=1,
+                          help="in-process service pool width")
+    loadtest.add_argument("--timeout", type=float, default=300.0,
+                          help="per-request completion timeout (seconds)")
+    loadtest.add_argument("--out", default=".",
+                          help="output directory or explicit .json path "
+                               "(default: LOADTEST_<rev>.json in the cwd)")
+
     bench = sub.add_parser(
         "bench", help="time kernel backends over a solver x size grid"
     )
@@ -156,11 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wavefront pool widths for the pipeline cells")
     bench.add_argument("--service-sizes", nargs="*", type=int, default=None,
                        help="solve-service instance sizes (empty list skips)")
+    bench.add_argument("--loadtest-sizes", nargs="*", type=int, default=None,
+                       help="loadgen-cell instance sizes (empty list skips)")
+    bench.add_argument("--loadtest-requests", type=int, default=32,
+                       help="requests per loadgen cell")
+    bench.add_argument("--loadtest-concurrency", type=int, default=4,
+                       help="closed-loop workers per loadgen cell")
     bench.add_argument("--ising-sweeps", type=int, default=200)
     bench.add_argument("--tsp-sweeps", type=int, default=400)
     bench.add_argument("--engine-sweeps", type=int, default=30)
     bench.add_argument("--pipeline-sweeps", type=int, default=60)
     bench.add_argument("--service-sweeps", type=int, default=30)
+    bench.add_argument("--loadtest-sweeps", type=int, default=30)
 
     sub.add_parser("solvers", help="list the solver registry")
     sub.add_parser("table1", help="print the Table I reproduction")
@@ -427,11 +481,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         engine_sizes=args.engine_sizes,
         pipeline_sizes=args.pipeline_sizes,
         service_sizes=args.service_sizes,
+        loadtest_sizes=args.loadtest_sizes,
         ising_sweeps=args.ising_sweeps,
         tsp_sweeps=args.tsp_sweeps,
         engine_sweeps=args.engine_sweeps,
         pipeline_sweeps=args.pipeline_sweeps,
         service_sweeps=args.service_sweeps,
+        loadtest_sweeps=args.loadtest_sweeps,
+        loadtest_requests=args.loadtest_requests,
+        loadtest_concurrency=args.loadtest_concurrency,
         pipeline_workers=args.pipeline_workers,
         replicas=args.replicas,
         seed=args.seed,
@@ -505,7 +563,95 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ["n", "cold solve", "cache hit", "hit speedup", "hit req/s"],
             rows, title="solve service cold-vs-cached",
         ))
+    loadtest_cells = [e for e in payload["entries"] if e["kind"] == "loadtest"]
+    if loadtest_cells:
+        rows = [
+            [
+                str(cell["n"]),
+                str(cell["requests"]),
+                str(cell["concurrency"]),
+                _format_latency(cell["p50_seconds"]),
+                _format_latency(cell["p99_seconds"]),
+                f"{cell['requests_per_sec']:.1f}" if cell["requests_per_sec"] else "-",
+                f"{cell['cache_hit_rate']:.2f}",
+                f"{cell['mean_batch_size']:.2f}",
+            ]
+            for cell in loadtest_cells
+        ]
+        print()
+        print(ascii_table(
+            ["n", "requests", "conc", "p50", "p99", "req/s", "hit rate",
+             "mean batch"],
+            rows, title="loadgen closed-loop traffic",
+        ))
     path = write_bench(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _format_latency(seconds) -> str:
+    return "-" if seconds is None else format_seconds(seconds)
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.core.config import LoadgenConfig
+    from repro.engine.bench import loadtest_payload, write_bench
+    from repro.service.loadgen import HTTPDriver, run_loadtest
+
+    params: dict = {"sweeps": args.sweeps}
+    for item in args.set:
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        params[key] = _parse_value(value)
+    config = LoadgenConfig(
+        instances=tuple(args.instances),
+        requests=args.requests,
+        concurrency=args.concurrency,
+        warm_ratio=args.warm_ratio,
+        mode=args.mode,
+        rate=args.rate,
+        solver=args.solver,
+        params=tuple(sorted(params.items())),
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    driver = HTTPDriver(args.http) if args.http else None
+    report = run_loadtest(config, driver=driver, workers=args.workers)
+    summary = report.summary()
+    rows = []
+    for label in ("overall", "cold", "warm"):
+        cell = summary["latency"][label]
+        rows.append([
+            label,
+            str(cell["count"]),
+            _format_latency(cell["p50"]),
+            _format_latency(cell["p95"]),
+            _format_latency(cell["p99"]),
+            _format_latency(cell["mean"]),
+            _format_latency(cell["max"]),
+        ])
+    print(ascii_table(
+        ["requests", "count", "p50", "p95", "p99", "mean", "max"],
+        rows,
+        title=f"loadtest: {summary['driver']} {summary['mode']}-loop "
+              f"concurrency={summary['concurrency']} seed={summary['seed']}",
+    ))
+    rps = summary["requests_per_sec"]
+    print(f"wall          : {format_seconds(summary['wall_seconds'])}")
+    print(f"throughput    : {rps:.1f} req/s" if rps else "throughput    : -")
+    print(f"completed     : {summary['completed']}/{summary['requests']} "
+          f"({summary['errors']} errors)")
+    print(f"cold / warm   : {summary['scheduled_cold']} / "
+          f"{summary['scheduled_warm']} scheduled")
+    print(f"cache         : {summary['cache_hits']} hits, "
+          f"{summary['cache_misses']} misses "
+          f"(hit rate {summary['cache_hit_rate']:.2f})")
+    print(f"mean batch    : {summary['mean_batch_size']:.2f} requests/dispatch")
+    print(f"schedule hash : {summary['schedule_digest'][:16]}")
+    for sample in summary["error_samples"]:
+        print(f"error sample  : {sample}")
+    path = write_bench(loadtest_payload(report), args.out, prefix="LOADTEST")
     print(f"wrote {path}")
     return 0
 
@@ -592,6 +738,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "solvers": cmd_solvers,
     "bench": cmd_bench,
     "table1": cmd_table1,

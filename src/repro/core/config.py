@@ -196,3 +196,78 @@ class ServiceConfig:
             raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Configuration of one seeded load-test run (``repro loadtest``).
+
+    Parameters
+    ----------
+    instances:
+        Instance tokens (everything ``repro batch --instances`` takes)
+        that cold requests draw from, uniformly under the run seed.
+        ``scenario:<name>`` entries expand to that registered workload
+        scenario's token list (:mod:`repro.tsp.scenarios`).
+    requests:
+        Total requests in the schedule.
+    concurrency:
+        Closed-loop worker count (in-flight ceiling).
+    warm_ratio:
+        Probability that a scheduled request repeats the fingerprint of
+        an earlier cold request (a guaranteed cache hit) instead of
+        opening a fresh one.  The schedule — not thread timing —
+        decides the cold/warm split, so two runs with one seed report
+        identical cache hit/miss totals.
+    mode:
+        ``"closed"`` (each worker issues its next request as soon as
+        the previous completes) or ``"open"`` (requests are released at
+        seeded Poisson arrival times regardless of completions — the
+        saturation-probe mode).
+    rate:
+        Mean arrivals per second for ``mode="open"``.
+    solver, params:
+        Solver configuration shared by every scheduled request
+        (``params`` canonical per the service fingerprint rules).
+    seed:
+        Master seed: fully determines the schedule (tokens, cold
+        seeds, warm references, arrival times).
+    timeout:
+        Per-request completion timeout in seconds.
+    """
+
+    instances: tuple[str, ...] = ("101",)
+    requests: int = 100
+    concurrency: int = 8
+    warm_ratio: float = 0.5
+    mode: str = "closed"
+    rate: float = 50.0
+    solver: str = "taxi"
+    params: tuple[tuple[str, object], ...] = (("sweeps", 30),)
+    seed: int = 0
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ConfigError("loadgen needs at least one instance token")
+        if self.requests < 1:
+            raise ConfigError(f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise ConfigError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if not 0.0 <= self.warm_ratio <= 1.0:
+            raise ConfigError(
+                f"warm_ratio must be in [0, 1], got {self.warm_ratio}"
+            )
+        if self.mode not in ("closed", "open"):
+            raise ConfigError(
+                f"mode must be 'closed' or 'open', got {self.mode!r}"
+            )
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {self.rate}")
+        if self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+
+    def params_dict(self) -> dict:
+        return dict(self.params)

@@ -27,6 +27,10 @@ Four grid kinds:
   cache-hit latency for an identical fingerprint, plus sustained
   cache-hit requests/s through submit -> wait (the ``service_speedups``
   payload records the hit speedup per cell).
+* ``loadtest`` — seeded concurrent traffic through the loadgen
+  (:mod:`repro.service.loadgen`): closed-loop workers over a cold/warm
+  request mix, reporting p50/p95/p99 latency, requests/s, cache hit
+  rate, and mean dispatch batch size per cell.
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -56,6 +60,7 @@ FULL_GRID = {
     "engine_sizes": (76, 101),
     "pipeline_sizes": (1000, 2000),
     "service_sizes": (101, 262),
+    "loadtest_sizes": (101,),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
@@ -68,6 +73,7 @@ QUICK_GRID = {
     "engine_sizes": (76,),
     "pipeline_sizes": (1000,),
     "service_sizes": (101,),
+    "loadtest_sizes": (52,),
 }
 
 
@@ -280,6 +286,64 @@ def _bench_service(sizes, sweeps, seed, repeats) -> list[dict]:
     return entries
 
 
+def loadtest_entry(report, n: int | None = None) -> dict:
+    """One BENCH-convention grid entry from a loadgen report.
+
+    Shared by the ``loadtest`` grid kind and the standalone ``repro
+    loadtest`` payload, so both land in the same perf-trajectory
+    pipeline with identical keys.  ``quality`` carries requests/s (the
+    serving analogue of sweeps/s).
+    """
+    summary = report.summary()
+    sweeps = int(summary["params"].get("sweeps") or 0)
+    return {
+        "kind": "loadtest",
+        "name": f"loadgen-{summary['mode']}",
+        "n": int(n) if n is not None else 0,
+        "sweeps": sweeps,
+        "backend": "fast",
+        "seconds": summary["wall_seconds"],
+        "sweeps_per_sec": None,
+        "quality": float(summary["requests_per_sec"] or 0.0),
+        "requests": summary["requests"],
+        "completed": summary["completed"],
+        "errors": summary["errors"],
+        "concurrency": summary["concurrency"],
+        "requests_per_sec": summary["requests_per_sec"],
+        "p50_seconds": summary["p50_seconds"],
+        "p95_seconds": summary["p95_seconds"],
+        "p99_seconds": summary["p99_seconds"],
+        "cache_hit_rate": summary["cache_hit_rate"],
+        "mean_batch_size": summary["mean_batch_size"],
+        "schedule_digest": summary["schedule_digest"],
+    }
+
+
+def _bench_loadtest(sizes, sweeps, requests, concurrency, seed) -> list[dict]:
+    """Loadgen cells: seeded closed-loop traffic against an in-process
+    service, reporting p50/p95/p99, req/s, hit rate, and batch size.
+
+    Not best-of-``repeats``: one load test *is* a population of
+    requests (its percentiles already damp scheduler noise), and the
+    cold/warm ledger of a repeat run would be altered by the first
+    run's warm cache.
+    """
+    from repro.core.config import LoadgenConfig
+    from repro.service.loadgen import run_loadtest
+
+    entries = []
+    for n in sizes:
+        config = LoadgenConfig(
+            instances=(str(int(n)),),
+            requests=requests,
+            concurrency=concurrency,
+            params=(("sweeps", int(sweeps)),),
+            seed=seed,
+        )
+        entries.append(loadtest_entry(run_loadtest(config), n=n))
+    return entries
+
+
 def compute_service_speedups(entries: list[dict]) -> list[dict]:
     """Cold-vs-cached latency ratio per service grid cell."""
     speedups = []
@@ -381,11 +445,15 @@ def run_bench(
     engine_sizes=None,
     pipeline_sizes=None,
     service_sizes=None,
+    loadtest_sizes=None,
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
     pipeline_sweeps: int = 60,
     service_sweeps: int = 30,
+    loadtest_sweeps: int = 30,
+    loadtest_requests: int = 32,
+    loadtest_concurrency: int = 4,
     pipeline_workers=(1, 4),
     replicas: int = 2,
     seed: int = 0,
@@ -407,6 +475,9 @@ def run_bench(
     )
     service_sizes = (
         grid["service_sizes"] if service_sizes is None else service_sizes
+    )
+    loadtest_sizes = (
+        grid["loadtest_sizes"] if loadtest_sizes is None else loadtest_sizes
     )
     backends = tuple(BACKENDS) if backends is None else tuple(backends)
     unknown = set(backends) - set(BACKENDS)
@@ -432,6 +503,11 @@ def run_bench(
         )
     if service_sizes:
         entries += _bench_service(service_sizes, service_sweeps, seed, repeats)
+    if loadtest_sizes:
+        entries += _bench_loadtest(
+            loadtest_sizes, loadtest_sweeps, loadtest_requests,
+            loadtest_concurrency, seed,
+        )
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -452,8 +528,35 @@ def run_bench(
     }
 
 
-def write_bench(payload: dict, out: str = ".") -> str:
-    """Write the payload as ``BENCH_<rev>.json``; returns the path.
+def loadtest_payload(report) -> dict:
+    """Wrap one loadgen report in the BENCH-convention envelope.
+
+    What ``repro loadtest`` writes (``LOADTEST_<rev>.json``): the same
+    schema/revision/platform header and ``entries`` list the bench
+    emits, so the perf-trajectory tooling parses both, plus the full
+    run ``summary`` and server-side metric snapshot.
+    """
+    summary = report.summary()
+    return {
+        "schema": "repro-bench/1",
+        "revision": git_revision(),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "kind": "loadtest",
+        "seed": int(report.config.seed),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "entries": [loadtest_entry(report)],
+        "summary": summary,
+        "server_metrics": report.metrics,
+    }
+
+
+def write_bench(payload: dict, out: str = ".", prefix: str = "BENCH") -> str:
+    """Write the payload as ``<prefix>_<rev>.json``; returns the path.
 
     ``out`` may be a directory (the canonical name is appended) or an
     explicit ``.json`` file path.
@@ -462,7 +565,7 @@ def write_bench(payload: dict, out: str = ".") -> str:
         path = out
         parent = os.path.dirname(out)
     else:
-        path = os.path.join(out, f"BENCH_{payload['revision']}.json")
+        path = os.path.join(out, f"{prefix}_{payload['revision']}.json")
         parent = out
     if parent:
         os.makedirs(parent, exist_ok=True)

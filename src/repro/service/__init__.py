@@ -10,7 +10,11 @@ kernels (PR 2), and the wavefront pipeline (PR 3):
 * :mod:`repro.service.queue` — asyncio dispatcher with in-flight
   deduplication and micro-batching over the engine's wavefront pool;
 * :mod:`repro.service.http` — the stdlib HTTP front-end behind
-  ``repro serve``.
+  ``repro serve`` (``/solve``, ``/jobs``, ``/stats``, ``/metrics``);
+* :mod:`repro.service.metrics` — lock-safe counters/gauges/streaming
+  histograms behind ``GET /metrics`` (JSON + Prometheus text);
+* :mod:`repro.service.loadgen` — the seeded closed/open-loop load
+  generator behind ``repro loadtest``.
 
 Quickstart::
 
@@ -32,6 +36,21 @@ from repro.service.fingerprint import (
     instance_digest,
     solve_fingerprint,
 )
+from repro.service.loadgen import (
+    HTTPDriver,
+    InProcessDriver,
+    LoadtestReport,
+    build_schedule,
+    run_loadtest,
+    schedule_digest,
+)
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
 from repro.service.queue import Job, SolveRequest, SolveService, job_id_for
 
 __all__ = [
@@ -44,4 +63,15 @@ __all__ = [
     "SolveRequest",
     "SolveService",
     "job_id_for",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "HTTPDriver",
+    "InProcessDriver",
+    "LoadtestReport",
+    "build_schedule",
+    "run_loadtest",
+    "schedule_digest",
 ]

@@ -35,9 +35,17 @@ CACHE_SCHEMA = "repro-result-cache/1"
 
 
 class ResultCache:
-    """Thread-safe in-memory LRU of solve results, keyed by fingerprint."""
+    """Thread-safe in-memory LRU of solve results, keyed by fingerprint.
 
-    def __init__(self, capacity: int = 256, path: str | None = None) -> None:
+    ``metrics`` (a :class:`~repro.service.metrics.ServiceMetrics`, or
+    anything exposing ``cache_hits``/``cache_misses``/``cache_evictions``
+    counters) mirrors the cache's own ledger into the service's metric
+    registry, so ``GET /metrics`` reports the same numbers ``stats()``
+    does; both are updated under the cache lock.
+    """
+
+    def __init__(self, capacity: int = 256, path: str | None = None,
+                 metrics=None) -> None:
         if capacity < 1:
             raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -45,6 +53,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._metrics = metrics
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self._lock = threading.Lock()
         if path is not None and os.path.exists(path):
@@ -57,9 +66,13 @@ class ResultCache:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
+                if self._metrics is not None:
+                    self._metrics.cache_misses.inc()
                 return None
             self._entries.move_to_end(fingerprint)
             self.hits += 1
+            if self._metrics is not None:
+                self._metrics.cache_hits.inc()
             return copy.deepcopy(entry)
 
     def put(self, fingerprint: str, value: dict) -> None:
@@ -70,6 +83,8 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.cache_evictions.inc()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -19,8 +19,17 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
 ``GET /stats``
     Queue/cache/request counters.
 
+``GET /metrics``
+    The full metric registry (counters, gauges, latency/batch-size
+    histograms with p50/p95/p99).  JSON by default;
+    ``?format=prometheus`` (or an ``Accept: text/plain`` header)
+    returns the Prometheus text exposition instead.  Every counter
+    here is the same instrument ``/stats`` and the loadgen summary
+    report — the three views are cross-checkable number-for-number.
+
 Error mapping: validation problems -> 400, unknown jobs/paths -> 404,
-queue backpressure -> 429.
+queue backpressure -> 429.  Every error body is a JSON object with an
+``error`` key.
 """
 
 from __future__ import annotations
@@ -101,6 +110,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if parsed.path == "/stats":
             self._send(200, self.service.stats())
             return
+        if parsed.path == "/metrics":
+            query = parse_qs(parsed.query)
+            fmt = (query.get("format") or [""])[0].lower()
+            accept = self.headers.get("Accept", "")
+            if fmt in ("prometheus", "prom", "text") or (
+                not fmt and "text/plain" in accept
+            ):
+                self._send_text(200, self.service.metrics.render_prometheus())
+            else:
+                self._send(200, self.service.metrics.snapshot())
+            return
         if parsed.path.startswith("/jobs/"):
             job_id = parsed.path[len("/jobs/"):]
             job = self.service.job(job_id)
@@ -133,9 +153,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ConfigError(f"request body is not valid JSON: {exc}") from exc
 
     def _send(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode()
+        self._send_bytes(status, json.dumps(payload).encode(),
+                         "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, text.encode(),
+                         "text/plain; version=0.0.4; charset=utf-8")
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+        self.service.metrics.http_response(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

@@ -42,6 +42,7 @@ from repro.service.fingerprint import (
     canonical_seed,
     solve_fingerprint,
 )
+from repro.service.metrics import ServiceMetrics
 from repro.utils.hashing import tour_hash
 
 #: Job-id prefix + fingerprint digits: deterministic, short, greppable.
@@ -145,21 +146,20 @@ class SolveService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
-        self.cache = ResultCache(self.config.cache_size, self.config.cache_path)
+        # The metrics ledger is the single source of truth for every
+        # counter: stats(), GET /metrics, and the loadgen summary all
+        # read the same instruments (no parallel bookkeeping to drift).
+        self.metrics = ServiceMetrics()
+        self.metrics.queue_depth_limit.set(self.config.queue_depth)
+        self.cache = ResultCache(
+            self.config.cache_size, self.config.cache_path,
+            metrics=self.metrics,
+        )
         self.pool = WavefrontPool(workers=self.config.workers)
         self.started_at = time.time()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._pending = 0
-        self._counters = {
-            "requests": 0,
-            "deduplicated": 0,
-            "served_from_cache": 0,
-            "completed": 0,
-            "failed": 0,
-            "batches": 0,
-            "batched_requests": 0,
-        }
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue | None = None
         self._thread: threading.Thread | None = None
@@ -230,6 +230,7 @@ class SolveService:
         Cache hits return an already-completed job; identical in-flight
         fingerprints return the job already queued/running for them.
         """
+        admitted_at = time.perf_counter()
         fingerprint = request.fingerprint()  # validates; may raise ConfigError
         job_id = job_id_for(fingerprint)
         with self._lock:
@@ -238,14 +239,14 @@ class SolveService:
             # the stop sentinel and sit 'queued' forever.
             if self._thread is None or self._stopping:
                 raise ServiceError("service is not running; call start() first")
-            self._counters["requests"] += 1
+            self.metrics.requests.inc()
             existing = self._jobs.get(job_id)
             if existing is not None and existing.status in ("queued", "running"):
-                self._counters["deduplicated"] += 1
+                self.metrics.deduplicated.inc()
                 return existing
             cached = self.cache.get(fingerprint)
             if cached is not None:
-                self._counters["served_from_cache"] += 1
+                self.metrics.served_from_cache.inc()
                 job = Job(
                     id=job_id,
                     fingerprint=fingerprint,
@@ -256,6 +257,9 @@ class SolveService:
                 self._jobs.pop(job_id, None)  # re-insert as most recent
                 self._jobs[job_id] = job
                 self._prune_history()
+                self.metrics.cache_hit_latency.observe(
+                    time.perf_counter() - admitted_at
+                )
                 return job
             if self._pending >= self.config.queue_depth:
                 raise ServiceError(
@@ -264,6 +268,7 @@ class SolveService:
             job = Job(id=job_id, fingerprint=fingerprint, request=request)
             self._jobs[job_id] = job
             self._pending += 1
+            self.metrics.queue_pending.set(self._pending)
             self._prune_history()
             assert self._loop is not None and self._queue is not None
             self._loop.call_soon_threadsafe(self._queue.put_nowait, job)
@@ -309,8 +314,17 @@ class SolveService:
         return job
 
     def stats(self) -> dict:
+        metrics = self.metrics
         with self._lock:
-            counters = dict(self._counters)
+            counters = {
+                "requests": metrics.requests.value,
+                "deduplicated": metrics.deduplicated.value,
+                "served_from_cache": metrics.served_from_cache.value,
+                "completed": metrics.completed.value,
+                "failed": metrics.failed.value,
+                "batches": metrics.batches.value,
+                "batched_requests": metrics.batched_requests.value,
+            }
             jobs_by_status: dict[str, int] = {}
             for job in self._jobs.values():
                 jobs_by_status[job.status] = jobs_by_status.get(job.status, 0) + 1
@@ -344,9 +358,11 @@ class SolveService:
             groups: dict[tuple, list[Job]] = {}
             for job in batch:
                 groups.setdefault(job.request.group_key(), []).append(job)
+            self.metrics.batches.inc(len(groups))
+            self.metrics.batched_requests.inc(len(batch))
+            for jobs in groups.values():
+                self.metrics.batch_size.observe(len(jobs))
             with self._lock:
-                self._counters["batches"] += len(groups)
-                self._counters["batched_requests"] += len(batch)
                 for job in batch:
                     job.status = "running"
             # Incompatible groups from one window run concurrently —
@@ -425,13 +441,18 @@ class SolveService:
             }
             self.cache.put(job.fingerprint, value)
             job.finish(value)
+            self.metrics.solve_latency.observe(
+                job.finished_at - job.submitted_at
+            )
+        self.metrics.completed.inc(len(jobs))
         with self._lock:
             self._pending -= len(jobs)
-            self._counters["completed"] += len(jobs)
+            self.metrics.queue_pending.set(self._pending)
 
     def _finish_group(self, jobs: list[Job], error: str) -> None:
         for job in jobs:
             job.finish(None, error=error)
+        self.metrics.failed.inc(len(jobs))
         with self._lock:
             self._pending -= len(jobs)
-            self._counters["failed"] += len(jobs)
+            self.metrics.queue_pending.set(self._pending)

@@ -27,6 +27,10 @@ TINY = dict(
     pipeline_sweeps=10,
     service_sweeps=10,
     pipeline_workers=(1, 2),
+    loadtest_sizes=[24],
+    loadtest_sweeps=5,
+    loadtest_requests=8,
+    loadtest_concurrency=2,
     replicas=2,
     repeats=1,
 )
@@ -47,7 +51,11 @@ class TestRunBench:
     def test_entry_fields(self, payload):
         for entry in payload["entries"]:
             assert entry["seconds"] > 0
-            assert entry["sweeps_per_sec"] > 0
+            if entry["kind"] == "loadtest":
+                # Traffic cells report req/s (in quality), not sweeps/s.
+                assert entry["sweeps_per_sec"] is None
+            else:
+                assert entry["sweeps_per_sec"] > 0
             assert isinstance(entry["quality"], float)
             assert entry["n"] > 0
             assert entry["sweeps"] > 0
@@ -103,7 +111,8 @@ class TestRunBench:
     def test_empty_grids_skip(self):
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
-            pipeline_sizes=[], service_sizes=[], tsp_sweeps=5, repeats=1,
+            pipeline_sizes=[], service_sizes=[], loadtest_sizes=[],
+            tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
@@ -125,6 +134,20 @@ class TestRunBench:
             cell["cold_seconds"] / cell["cached_seconds"]
         )
         assert cell["requests_per_sec"] > 0
+
+    def test_loadtest_cells_report_traffic_statistics(self, payload):
+        cells = [e for e in payload["entries"] if e["kind"] == "loadtest"]
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["requests"] == 8
+        assert cell["completed"] == 8
+        assert cell["errors"] == 0
+        assert cell["requests_per_sec"] > 0
+        assert cell["p99_seconds"] >= cell["p50_seconds"] > 0
+        assert 0.0 <= cell["cache_hit_rate"] < 1.0
+        assert cell["mean_batch_size"] >= 1.0
+        assert cell["quality"] == pytest.approx(cell["requests_per_sec"])
+        assert len(cell["schedule_digest"]) == 64
 
 
 class TestWriteBench:
@@ -167,7 +190,7 @@ class TestBenchCLI:
         code = main([
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
             "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
-            "--service-sizes",
+            "--service-sizes", "--loadtest-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])

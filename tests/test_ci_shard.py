@@ -1,0 +1,52 @@
+"""Tests for the CI test-file shard helper (tools/ci_shard.py)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "ci_shard", Path(__file__).resolve().parent.parent / "tools" / "ci_shard.py"
+)
+ci_shard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(ci_shard)
+
+TESTS_DIR = Path(__file__).resolve().parent
+
+
+class TestShardFiles:
+    def test_shards_partition_the_file_set(self):
+        everything = sorted(
+            path.as_posix() for path in TESTS_DIR.glob("test_*.py")
+        )
+        for shards in (2, 3, 5):
+            pieces = [
+                ci_shard.shard_files(TESTS_DIR, shards, index)
+                for index in range(1, shards + 1)
+            ]
+            combined = sorted(path for piece in pieces for path in piece)
+            assert combined == everything  # no file lost, none duplicated
+
+    def test_sharding_is_deterministic(self):
+        assert ci_shard.shard_files(TESTS_DIR, 2, 1) == ci_shard.shard_files(
+            TESTS_DIR, 2, 1
+        )
+
+    def test_single_shard_is_everything(self):
+        assert ci_shard.shard_files(TESTS_DIR, 1, 1) == sorted(
+            path.as_posix() for path in TESTS_DIR.glob("test_*.py")
+        )
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            ci_shard.shard_files(TESTS_DIR, 0, 1)
+        with pytest.raises(SystemExit):
+            ci_shard.shard_files(TESTS_DIR, 2, 3)
+        with pytest.raises(SystemExit):
+            ci_shard.shard_files(TESTS_DIR / "nowhere", 2, 1)
+
+    def test_main_prints_shard(self, capsys):
+        assert ci_shard.main(["--shards", "2", "--index", "1",
+                              "--test-dir", str(TESTS_DIR)]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ci_shard.shard_files(TESTS_DIR, 2, 1)

@@ -190,3 +190,43 @@ class TestEngineCommands:
         out = capsys.readouterr().out
         for name in ("taxi", "sa_tsp", "greedy", "concorde_surrogate"):
             assert name in out
+
+
+class TestLoadtestCommand:
+    def test_loadtest_writes_payload_and_prints_table(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "loadtest.json"
+        code = main([
+            "loadtest", "--instances", "uniform:24:3", "--requests", "8",
+            "--concurrency", "2", "--solver", "sa_tsp", "--sweeps", "5",
+            "--seed", "7", "--out", str(target),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for fragment in ("p50", "p99", "throughput", "cache", "mean batch",
+                         "schedule hash", "wrote"):
+            assert fragment in out
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["kind"] == "loadtest"
+        summary = payload["summary"]
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds",
+                    "requests_per_sec", "cache_hit_rate", "mean_batch_size"):
+            assert summary[key] is not None
+        assert summary["errors"] == 0
+        assert payload["entries"][0]["kind"] == "loadtest"
+
+    def test_loadtest_default_out_uses_prefix(self, tmp_path, capsys):
+        code = main([
+            "loadtest", "--instances", "uniform:20:1", "--requests", "4",
+            "--concurrency", "2", "--solver", "sa_tsp", "--sweeps", "4",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        files = list(tmp_path.glob("LOADTEST_*.json"))
+        assert len(files) == 1
+
+    def test_loadtest_set_params_and_bad_set_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--set", "garbage", "--out", str(tmp_path)])

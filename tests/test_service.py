@@ -379,3 +379,101 @@ class TestHTTPFrontend:
             with pytest.raises(urllib.error.HTTPError) as err:
                 _get(http_service, path)
             assert err.value.code == 404
+            body = json.load(err.value)
+            assert "error" in body and body["error"]
+
+    def test_metrics_endpoint_serves_json_and_prometheus(self, http_service):
+        posted = _post(http_service, "/solve", self.BODY)
+        _get(http_service, f"/jobs/{posted['job_id']}?wait=120")
+        snapshot = _get(http_service, "/metrics")
+        stats = _get(http_service, "/stats")
+        assert snapshot["repro_requests_total"] == stats["requests"]["requests"]
+        assert snapshot["repro_cache_misses_total"] == stats["cache"]["misses"]
+        assert snapshot["repro_solve_latency_seconds"]["count"] >= 1
+        # HTTP responses are themselves counted (at least these calls).
+        assert snapshot["repro_http_responses_total"]["200"] >= 2
+        with urllib.request.urlopen(
+            http_service + "/metrics?format=prometheus"
+        ) as response:
+            assert "text/plain" in response.headers["Content-Type"]
+            text = response.read().decode()
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'le="+Inf"' in text
+
+
+class TestHTTPErrorPaths:
+    """Each error path must answer the right status *and* a JSON body."""
+
+    def _server(self, config):
+        from repro.service.http import make_server
+
+        server, svc = make_server(config, port=0)
+        svc.start()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        return server, svc, base
+
+    def test_backpressure_is_429_with_json_body(self):
+        # queue_depth=1 and a wide batch window: the first request sits
+        # collecting in the dispatcher while the second is refused.
+        config = ServiceConfig(queue_depth=1, batch_window=0.5)
+        server, svc, base = self._server(config)
+        try:
+            first = _post(base, "/solve", {
+                "instance": "uniform:24:1", "solver": "sa_tsp", "seed": 0,
+                "params": {"sweeps": 10},
+            })
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(base, "/solve", {
+                    "instance": "uniform:24:2", "solver": "sa_tsp", "seed": 0,
+                    "params": {"sweeps": 10},
+                })
+            assert err.value.code == 429
+            body = json.load(err.value)
+            assert "queue full" in body["error"]
+            # Refusals land in the metrics too.
+            snapshot = _get(base, "/metrics")
+            assert snapshot["repro_http_responses_total"]["429"] == 1
+            job = _get(base, f"/jobs/{first['job_id']}?wait=120")
+            assert job["status"] == "done"
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_malformed_and_seedless_bodies_are_400(self, http_service):
+        for raw in (b"{not json", b""):
+            request = urllib.request.Request(
+                http_service + "/solve", data=raw,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 400
+            assert "error" in json.load(err.value)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(http_service, "/solve", {"instance": "52", "seed": None})
+        assert err.value.code == 400
+        assert "seed" in json.load(err.value)["error"]
+
+    def test_bad_wait_value_is_400(self):
+        # A wide batch window keeps the job queued, so the GET is
+        # guaranteed to hit the wait-parsing path.
+        server, svc, base = self._server(ServiceConfig(batch_window=0.5))
+        try:
+            posted = _post(base, "/solve", {
+                "instance": "uniform:24:3", "solver": "sa_tsp", "seed": 0,
+                "params": {"sweeps": 10},
+            })
+            job_id = posted["job_id"]
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base, f"/jobs/{job_id}?wait=soon")
+            assert err.value.code == 400
+            assert "wait" in json.load(err.value)["error"]
+            job = _get(base, f"/jobs/{job_id}?wait=120")
+            assert job["status"] == "done"
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()

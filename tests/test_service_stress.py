@@ -1,0 +1,179 @@
+"""Concurrency stress tests: cache hammering and duplicate-fingerprint storms.
+
+Single-threaded tests can't catch lost updates or double-dispatch; these
+run real thread contention and then reconcile every ledger:
+
+* N threads of mixed get/put on one :class:`ResultCache` — counters
+  must sum exactly (no lost increment), the size bound must hold, and
+  the service metrics mirror must agree with the cache's own ints;
+* N threads submitting the *same* fingerprint to a live
+  :class:`SolveService` — the engine must run that fingerprint exactly
+  once (in-flight dedup), with every other submission accounted for as
+  a dedup or a cache hit.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.service import ResultCache, ServiceMetrics, SolveRequest, SolveService
+
+pytestmark = pytest.mark.slow
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+class TestCacheStress:
+    def test_counters_survive_thread_contention(self):
+        metrics = ServiceMetrics()
+        cache = ResultCache(capacity=16, metrics=metrics)
+        keys = [f"fp{i}" for i in range(48)]
+        per_thread_gets = [0] * THREADS
+        per_thread_puts = [0] * THREADS
+        errors = []
+
+        def hammer(thread_index: int) -> None:
+            try:
+                for op in range(OPS_PER_THREAD):
+                    key = keys[(thread_index * 13 + op * 7) % len(keys)]
+                    if op % 3 == 0:
+                        cache.put(key, {"v": thread_index, "op": op})
+                        per_thread_puts[thread_index] += 1
+                    else:
+                        value = cache.get(key)
+                        per_thread_gets[thread_index] += 1
+                        if value is not None:
+                            # Returned dicts are isolated copies; writing
+                            # into one must never corrupt the store.
+                            value["v"] = "scribble"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = cache.stats()
+        total_gets = sum(per_thread_gets)
+        assert stats["hits"] + stats["misses"] == total_gets
+        assert stats["size"] <= 16
+        assert len(cache) == stats["size"]
+        # Inserts either still live or were evicted — nothing vanished.
+        assert stats["evictions"] <= sum(per_thread_puts)
+        # The metrics mirror is updated under the same lock: exact match.
+        snapshot = metrics.snapshot()
+        assert snapshot["repro_cache_hits_total"] == stats["hits"]
+        assert snapshot["repro_cache_misses_total"] == stats["misses"]
+        assert snapshot["repro_cache_evictions_total"] == stats["evictions"]
+        for key in keys:
+            value = cache.get(key)
+            if value is not None:
+                assert value["v"] != "scribble"
+
+
+class TestDuplicateFingerprintStress:
+    def test_inflight_dedup_never_solves_twice(self, monkeypatch):
+        import repro.service.queue as queue_module
+
+        executed_tasks = []
+        execution_lock = threading.Lock()
+        real_run_tasks = queue_module.run_tasks
+
+        def counting_run_tasks(tasks, **kwargs):
+            with execution_lock:
+                executed_tasks.extend(
+                    (task.spec, task.solver, task.params, task.seed)
+                    for task in tasks
+                )
+            return real_run_tasks(tasks, **kwargs)
+
+        monkeypatch.setattr(queue_module, "run_tasks", counting_run_tasks)
+
+        submissions_per_thread = 5
+        with SolveService(ServiceConfig(batch_window=0.05)) as service:
+            request = SolveRequest.create(
+                "uniform:24:9", solver="sa_tsp", params={"sweeps": 10}, seed=0
+            )
+            barrier = threading.Barrier(THREADS)
+            job_ids = []
+            ids_lock = threading.Lock()
+            errors = []
+
+            def storm() -> None:
+                try:
+                    barrier.wait(timeout=30)
+                    for _ in range(submissions_per_thread):
+                        job = service.submit(request)
+                        with ids_lock:
+                            job_ids.append(job.id)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=storm) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            service.wait(job_ids[0], timeout=120)
+            stats = service.stats()
+
+        # The same fingerprint went through the engine exactly once.
+        assert len(executed_tasks) == 1
+        assert len(set(job_ids)) == 1
+
+        counters = stats["requests"]
+        total = THREADS * submissions_per_thread
+        assert counters["requests"] == total
+        # Every submission is exactly one of: the solve, a dedup onto
+        # the in-flight job, or a cache hit after it finished.
+        assert (
+            counters["deduplicated"] + counters["served_from_cache"]
+            == total - 1
+        )
+        assert counters["completed"] == 1
+        assert counters["failed"] == 0
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] == counters["served_from_cache"]
+
+    def test_distinct_fingerprints_under_contention_all_complete(self):
+        with SolveService(
+            ServiceConfig(batch_window=0.02, queue_depth=256)
+        ) as service:
+            request_count = 24
+            results = [None] * request_count
+            errors = []
+
+            def submit_and_wait(index: int) -> None:
+                try:
+                    request = SolveRequest.create(
+                        f"uniform:20:{index}", solver="sa_tsp",
+                        params={"sweeps": 5}, seed=index,
+                    )
+                    job = service.solve(request, timeout=120)
+                    results[index] = job.status
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submit_and_wait, args=(i,))
+                for i in range(request_count)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert results == ["done"] * request_count
+            counters = service.stats()["requests"]
+            assert counters["completed"] == request_count
+            assert counters["batched_requests"] == request_count
+            # Micro-batching must group some of the burst.
+            assert counters["batches"] <= request_count

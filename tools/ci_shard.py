@@ -1,0 +1,47 @@
+"""Deterministic test-file sharding for CI (no pytest plugin needed).
+
+Splits ``tests/test_*.py`` into N shards by round-robin over the
+sorted file list and prints the selected shard's files, one argument
+line for the shell to splat into pytest::
+
+    python -m pytest -q $(python tools/ci_shard.py --shards 2 --index 1)
+
+Round-robin over the alphabetical order keeps the shards stable across
+runs (cache-friendly) and interleaves the historically slow files
+(test_integration, test_service, ...) instead of clumping them into
+one shard.  Every file lands in exactly one shard; a changed file set
+redistributes automatically with no manifest to maintain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def shard_files(test_dir: Path, shards: int, index: int) -> list[str]:
+    """The ``index``-th (1-based) of ``shards`` round-robin shards."""
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    if not 1 <= index <= shards:
+        raise SystemExit(f"--index must be in 1..{shards}, got {index}")
+    files = sorted(path.as_posix() for path in test_dir.glob("test_*.py"))
+    if not files:
+        raise SystemExit(f"no test files found under {test_dir}")
+    return [path for i, path in enumerate(files) if i % shards == index - 1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--index", type=int, required=True,
+                        help="1-based shard index")
+    parser.add_argument("--test-dir", default="tests")
+    args = parser.parse_args(argv)
+    print(" ".join(shard_files(Path(args.test_dir), args.shards, args.index)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
