@@ -43,6 +43,18 @@ from repro.core import TAXIConfig, TAXISolver
 from repro.tsp.benchmarks import BENCHMARK_SIZES, benchmark_spec
 
 
+#: bench --grid name -> the argparse attribute holding that grid's sizes.
+_BENCH_GRID_SIZE_ARGS = {
+    "ising": "ising_sizes",
+    "sa_tsp": "tsp_sizes",
+    "engine": "engine_sizes",
+    "pipeline": "pipeline_sizes",
+    "service": "service_sizes",
+    "loadtest": "loadtest_sizes",
+    "replica_batch": "replica_batch_sizes",
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -59,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annealing sweeps (default: full 1341-sweep ramp)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--clustering", choices=("ward", "kmeans"), default="ward")
-    solve.add_argument("--backend", choices=("auto", "reference", "fast"),
+    solve.add_argument("--backend",
+                       choices=("auto", "reference", "fast", "array"),
                        default="auto", help="annealing kernel backend")
     solve.add_argument("--no-fixing", action="store_true",
                        help="disable inter-cluster endpoint fixing")
@@ -179,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="small grid (still covers the headline cells)")
+    bench.add_argument("--grid", choices=tuple(_BENCH_GRID_SIZE_ARGS),
+                       default=None,
+                       help="run only one grid kind (explicit --*-sizes "
+                            "lists still apply)")
     bench.add_argument("--out", default=".",
                        help="output directory or explicit .json path "
                             "(default: BENCH_<rev>.json in the cwd)")
@@ -205,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solve-service instance sizes (empty list skips)")
     bench.add_argument("--loadtest-sizes", nargs="*", type=int, default=None,
                        help="loadgen-cell instance sizes (empty list skips)")
+    bench.add_argument("--replica-batch-sizes", nargs="*", type=int,
+                       default=None,
+                       help="replica lock-step cell instance sizes "
+                            "(empty list skips)")
+    bench.add_argument("--replica-batch-replicas", type=int, default=8,
+                       help="replicas per lock-step cell")
+    bench.add_argument("--replica-batch-sweeps", type=int, default=60)
     bench.add_argument("--loadtest-requests", type=int, default=32,
                        help="requests per loadgen cell")
     bench.add_argument("--loadtest-concurrency", type=int, default=4,
@@ -242,9 +266,16 @@ def _engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument("--sweeps", type=int, default=None,
                         help="annealing sweeps (stochastic solvers)")
-    parser.add_argument("--backend", choices=("auto", "reference", "fast"),
+    parser.add_argument("--backend",
+                        choices=("auto", "reference", "fast", "array"),
                         default=None,
                         help="annealing kernel backend (default: auto -> fast)")
+    parser.add_argument("--replica-batch", choices=("auto", "on", "off"),
+                        default="auto",
+                        help="replica lock-step batching: fold same-shape "
+                             "replicas into one kernel batch (auto engages "
+                             "on --backend array; tours are bit-identical "
+                             "either way)")
     parser.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                         help="extra solver parameter (repeatable)")
     parser.add_argument("--quiet", action="store_true",
@@ -364,7 +395,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         solver=args.solver,
         params=_solver_params(args),
         engine=EngineConfig(
-            replicas=args.replicas, workers=args.workers, seed=args.seed
+            replicas=args.replicas, workers=args.workers, seed=args.seed,
+            replica_batch=args.replica_batch,
         ),
     )
     progress = None if args.quiet else _print_progress
@@ -404,7 +436,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             solver=args.solver,
             params=params,
             engine=EngineConfig(
-                replicas=args.replicas, workers=args.workers, seed=args.seed
+                replicas=args.replicas, workers=args.workers, seed=args.seed,
+                replica_batch=args.replica_batch,
             ),
         )
         progress = None if args.quiet else _print_progress
@@ -453,6 +486,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         seed=args.seed,
         solver=args.solver,
         params=_solver_params(args),
+        replica_batch=args.replica_batch,
     )
     progress = None if args.quiet else _print_progress
     results = run_batch(job, progress=progress)
@@ -473,6 +507,12 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import run_bench, write_bench
 
+    if args.grid is not None:
+        # Zero every other grid's sizes unless the user listed them
+        # explicitly (an explicit --*-sizes always wins).
+        for name, attr in _BENCH_GRID_SIZE_ARGS.items():
+            if name != args.grid and getattr(args, attr) is None:
+                setattr(args, attr, [])
     payload = run_bench(
         quick=args.quick,
         ising_sizes=args.ising_sizes,
@@ -482,6 +522,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         pipeline_sizes=args.pipeline_sizes,
         service_sizes=args.service_sizes,
         loadtest_sizes=args.loadtest_sizes,
+        replica_batch_sizes=args.replica_batch_sizes,
+        replica_batch_replicas=args.replica_batch_replicas,
+        replica_batch_sweeps=args.replica_batch_sweeps,
         ising_sweeps=args.ising_sweeps,
         tsp_sweeps=args.tsp_sweeps,
         engine_sweeps=args.engine_sweeps,
@@ -562,6 +605,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(ascii_table(
             ["n", "cold solve", "cache hit", "hit speedup", "hit req/s"],
             rows, title="solve service cold-vs-cached",
+        ))
+    if payload.get("replica_batch_speedups"):
+        rows = [
+            [
+                str(cell["n"]),
+                str(cell["replicas"]),
+                format_seconds(cell["sequential_seconds"]),
+                format_seconds(cell["lockstep_seconds"]),
+                f"{cell['speedup']:.2f}x",
+                "yes" if cell["bit_identical"] else "NO",
+            ]
+            for cell in payload["replica_batch_speedups"]
+        ]
+        print()
+        print(ascii_table(
+            ["n", "replicas", "sequential", "lockstep", "speedup",
+             "bit-identical"],
+            rows, title="replica lock-step vs sequential dispatch",
         ))
     loadtest_cells = [e for e in payload["entries"] if e["kind"] == "loadtest"]
     if loadtest_cells:

@@ -46,7 +46,12 @@ from repro.clustering.hierarchy import Hierarchy
 from repro.core.result import LevelStats, PhaseTimes
 from repro.engine.wavefront import WavefrontPool, chunk_indices
 from repro.errors import SolverError
-from repro.macro.batch import BatchedMacroSolver, SubProblem, SubSolution
+from repro.macro.batch import (
+    BatchedMacroSolver,
+    SubProblem,
+    SubSolution,
+    solve_chunks_lockstep,
+)
 from repro.macro.config import MacroConfig
 from repro.macro.schedule import AnnealSchedule
 
@@ -212,6 +217,188 @@ def solve_hierarchical(
     return order, times, level_stats
 
 
+def solve_hierarchical_replicas(
+    hierarchy: Hierarchy,
+    solvers: list[BatchedMacroSolver],
+    schedule: AnnealSchedule,
+    endpoint_fixing: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache: SubmatrixCache | None = None,
+) -> list[tuple[np.ndarray, PhaseTimes, list[LevelStats]]]:
+    """Solve one hierarchy for R replica solvers in lock-step.
+
+    ``solvers[r]`` plays the role the template solver plays in
+    :func:`solve_hierarchical` for replica ``r``: one master seed is
+    drawn from its RNG up front (the same draw ``WaveScheduler``
+    makes), every chunk of replica ``r`` derives its seed from
+    ``(master_seed[r], level, ordinal)``, and the solver's counters
+    accumulate its chunk totals.  Instead of solving R x chunks
+    serially, all replicas' same-shape chunks at a level are merged
+    into single lock-step kernel batches
+    (:func:`repro.macro.batch.solve_chunks_lockstep`), so each sweep
+    advances R replicas x C clusters as one array — the chip-level
+    parallelism of the paper, realized on one core.
+
+    Every replica's tour is **bit-identical** to a solo
+    ``solve_hierarchical(hierarchy, solvers[r], ...)`` run at
+    ``workers=1``: chunk seeds, RNG draw order, and per-row arithmetic
+    are all preserved (see :mod:`repro.kernels.array_backend`).
+
+    Wall time of the merged solves is attributed evenly (1/R) to each
+    replica's phase times.
+    """
+    instance = hierarchy.instance
+    n_replicas = len(solvers)
+    all_times = [PhaseTimes() for _ in range(n_replicas)]
+    all_stats: list[list[LevelStats]] = [[] for _ in range(n_replicas)]
+    if cache is None:
+        # Shared across replicas: every block is requested once per
+        # replica, so retaining cross blocks pays off here (unlike the
+        # single-solve default).
+        cache = SubmatrixCache(instance)
+    # One draw per replica, before any dispatch (= WaveScheduler.__init__).
+    master_seeds = [
+        int(solver._rng.integers(0, 2**63 - 1)) for solver in solvers
+    ]
+    template = solvers[0]
+
+    def chunk_solver_for(replica: int, level: int, ordinal: int) -> BatchedMacroSolver:
+        rng = np.random.default_rng(
+            np.random.SeedSequence([master_seeds[replica], level, ordinal])
+        )
+        return BatchedMacroSolver(
+            template.config, seed=rng, backend=template.backend
+        )
+
+    # ---- top level -----------------------------------------------------
+    top = hierarchy.top
+    k = top.n_nodes
+    if k == 1:
+        sequences: list[list[int]] = [[0] for _ in range(n_replicas)]
+    elif k <= 3:
+        sequences = [list(range(k)) for _ in range(n_replicas)]
+    else:
+        start = time.perf_counter()
+        problem = SubProblem(
+            centroid_distance_matrix(top.centroids),
+            closed=True,
+            fixed_first=False,
+            fixed_last=False,
+            tag="top",
+        )
+        chunk_solvers = [
+            chunk_solver_for(r, hierarchy.depth - 1, 0)
+            for r in range(n_replicas)
+        ]
+        solved = solve_chunks_lockstep(
+            chunk_solvers, [[problem]] * n_replicas, schedule
+        )
+        share = (time.perf_counter() - start) / n_replicas
+        sequences = []
+        for r in range(n_replicas):
+            solvers[r].total_sweeps += chunk_solvers[r].total_sweeps
+            solvers[r].total_iterations += chunk_solvers[r].total_iterations
+            solution = solved[r][0]
+            all_times[r].ising += share
+            all_stats[r].append(
+                LevelStats(
+                    level=hierarchy.depth - 1,
+                    n_subproblems=1,
+                    subproblem_sizes=[k],
+                    sweeps=solution.sweeps,
+                    total_iterations=solution.iterations,
+                )
+            )
+            sequences.append([int(c) for c in solution.order])
+
+    # ---- down levels ---------------------------------------------------
+    for level_idx in range(hierarchy.depth - 1, 0, -1):
+        level = hierarchy.levels[level_idx]
+        per_problems: list[list[SubProblem]] = []
+        per_placements = []
+        for r in range(n_replicas):
+            fixings = _fix_endpoints_for(
+                hierarchy, level, sequences[r], endpoint_fixing,
+                all_times[r], cache,
+            )
+            build_start = time.perf_counter()
+            problems, placements = _build_child_problems(
+                hierarchy, level, sequences[r], fixings, cache
+            )
+            all_times[r].merge += time.perf_counter() - build_start
+            per_problems.append(problems)
+            per_placements.append(placements)
+
+        # Merge every replica's same-shape chunks into lock-step batches.
+        solve_start = time.perf_counter()
+        by_shape: dict[object, list[tuple[int, list[int]]]] = {}
+        for r in range(n_replicas):
+            chunks = chunk_indices(
+                [p.shape_key for p in per_problems[r]], chunk_size
+            )
+            for ordinal, indices in enumerate(chunks):
+                key = per_problems[r][indices[0]].shape_key
+                by_shape.setdefault(key, []).append((r, ordinal, indices))
+        per_solutions: list[list[SubSolution | None]] = [
+            [None] * len(per_problems[r]) for r in range(n_replicas)
+        ]
+        for entries in by_shape.values():
+            chunk_solvers = [
+                chunk_solver_for(r, level.level, ordinal)
+                for r, ordinal, _ in entries
+            ]
+            chunk_problem_lists = [
+                [per_problems[r][i] for i in indices]
+                for r, _, indices in entries
+            ]
+            solved = solve_chunks_lockstep(
+                chunk_solvers, chunk_problem_lists, schedule
+            )
+            for (r, _, indices), solver, solutions in zip(
+                entries, chunk_solvers, solved
+            ):
+                solvers[r].total_sweeps += solver.total_sweeps
+                solvers[r].total_iterations += solver.total_iterations
+                for local, solution in zip(indices, solutions):
+                    per_solutions[r][local] = solution
+        share = (time.perf_counter() - solve_start) / n_replicas
+
+        for r in range(n_replicas):
+            all_times[r].ising += share
+            problems = per_problems[r]
+            solutions = per_solutions[r]
+            solved_orders = {
+                problem.tag: solution.order
+                for problem, solution in zip(problems, solutions)
+            }
+            merge_start = time.perf_counter()
+            sequences[r] = _merge_child_orders(
+                level, sequences[r], per_placements[r], solved_orders
+            )
+            all_times[r].merge += time.perf_counter() - merge_start
+            if problems:
+                all_stats[r].append(
+                    LevelStats(
+                        level=level.level,
+                        n_subproblems=len(problems),
+                        subproblem_sizes=[p.n for p in problems],
+                        sweeps=max((s.sweeps for s in solutions), default=0),
+                        total_iterations=sum(s.iterations for s in solutions),
+                    )
+                )
+
+    results = []
+    for r in range(n_replicas):
+        order = np.asarray(sequences[r], dtype=int)
+        if np.unique(order).size != instance.n:
+            raise SolverError(
+                "pipeline produced an invalid tour "
+                f"({np.unique(order).size} unique of {instance.n})"
+            )
+        results.append((order, all_times[r], all_stats[r]))
+    return results
+
+
 # ----------------------------------------------------------------------
 # stages
 # ----------------------------------------------------------------------
@@ -281,22 +468,25 @@ def _fix_endpoints_for(
     return fixings
 
 
-def _order_children(
+def _build_child_problems(
     hierarchy: Hierarchy,
     level,
     sequence: list[int],
     fixings: list[EndpointFixing] | None,
-    scheduler: WaveScheduler,
-    times: PhaseTimes,
-    level_stats: list[LevelStats],
     cache: SubmatrixCache,
-) -> list[int]:
-    instance = hierarchy.instance
+) -> tuple[list[SubProblem], list[tuple[int, np.ndarray] | tuple[int, None]]]:
+    """One level's child-ordering sub-problems plus placement records.
+
+    A placement ``(position, children)`` records a single-child node
+    emitted directly; ``(position, None)`` marks a node whose solved
+    order arrives tagged with ``position``.  Pure function of
+    ``(hierarchy, sequence, fixings)`` — the lock-step replica path
+    relies on that purity to build each replica's problems
+    independently of the others.
+    """
     below = hierarchy.levels[level.level - 1]
     problems: list[SubProblem] = []
     placements: list[tuple[int, np.ndarray] | tuple[int, None]] = []
-
-    build_start = time.perf_counter()
     for position, node in enumerate(sequence):
         children = level.children[node]
         if children.size == 1:
@@ -325,6 +515,42 @@ def _order_children(
             )
         )
         placements.append((position, None))
+    return problems, placements
+
+
+def _merge_child_orders(
+    level,
+    sequence: list[int],
+    placements: list[tuple[int, np.ndarray] | tuple[int, None]],
+    solved_orders: dict[int, np.ndarray],
+) -> list[int]:
+    """Expand a node sequence into its ordered children."""
+    new_sequence: list[int] = []
+    for position, direct in placements:
+        node = sequence[position]
+        children = level.children[node]
+        if direct is not None:
+            new_sequence.extend(int(c) for c in direct)
+            continue
+        local_order = solved_orders[position]
+        new_sequence.extend(int(children[i]) for i in local_order)
+    return new_sequence
+
+
+def _order_children(
+    hierarchy: Hierarchy,
+    level,
+    sequence: list[int],
+    fixings: list[EndpointFixing] | None,
+    scheduler: WaveScheduler,
+    times: PhaseTimes,
+    level_stats: list[LevelStats],
+    cache: SubmatrixCache,
+) -> list[int]:
+    build_start = time.perf_counter()
+    problems, placements = _build_child_problems(
+        hierarchy, level, sequence, fixings, cache
+    )
     times.merge += time.perf_counter() - build_start
 
     solve_start = time.perf_counter()
@@ -336,15 +562,7 @@ def _order_children(
         solved_orders[problem.tag] = solution.order
 
     merge_start = time.perf_counter()
-    new_sequence: list[int] = []
-    for position, direct in placements:
-        node = sequence[position]
-        children = level.children[node]
-        if direct is not None:
-            new_sequence.extend(int(c) for c in direct)
-            continue
-        local_order = solved_orders[position]
-        new_sequence.extend(int(children[i]) for i in local_order)
+    new_sequence = _merge_child_orders(level, sequence, placements, solved_orders)
     times.merge += time.perf_counter() - merge_start
 
     if problems:

@@ -7,12 +7,14 @@ import time
 import numpy as np
 
 from repro.clustering.agglomerative import cluster_with_max_size
+from repro.clustering.cache import SubmatrixCache
 from repro.clustering.hierarchy import build_hierarchy
 from repro.clustering.kmeans import kmeans_with_max_size
 from repro.core.config import TAXIConfig
-from repro.core.pipeline import solve_hierarchical
+from repro.core.pipeline import solve_hierarchical, solve_hierarchical_replicas
 from repro.core.result import TAXIResult
 from repro.errors import SolverError
+from repro.kernels import BACKEND_REFERENCE, resolve_backend
 from repro.macro.batch import BatchedMacroSolver
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import Tour
@@ -95,3 +97,89 @@ class TAXISolver:
             max_cluster_size=config.max_cluster_size,
             bits=config.bits,
         )
+
+
+def _degenerate_result(instance: TSPInstance, config: TAXIConfig) -> TAXIResult:
+    from repro.core.result import PhaseTimes
+
+    return TAXIResult(
+        tour=Tour(instance, np.arange(instance.n)),
+        phase_seconds=PhaseTimes(),
+        hierarchy_depth=1,
+        max_cluster_size=config.max_cluster_size,
+        bits=config.bits,
+    )
+
+
+def solve_taxi_replicas(
+    instance: TSPInstance,
+    config: TAXIConfig,
+    seeds: list[int],
+) -> list[TAXIResult] | None:
+    """Solve one instance for many replica seeds in lock-step.
+
+    Each seed gets the result ``TAXISolver(replace(config,
+    seed=seed)).solve(instance)`` would produce, bit-for-bit, but the
+    replicas share one ward hierarchy, one distance-submatrix cache,
+    and — the actual speedup — merged lock-step annealing batches (R
+    replicas x C same-shape clusters per kernel call; see
+    :func:`repro.core.pipeline.solve_hierarchical_replicas`).
+
+    Returns ``None`` when lock-step does not apply and the caller
+    should fall back to per-replica solves:
+
+    * ``clustering="kmeans"`` — the cluster seed differs per replica,
+      so the hierarchies diverge and cannot share macro batches;
+    * ``backend="reference"`` — the historical per-position RNG stream
+      cannot be block-drawn, so merging would change results.
+    """
+    if config.clustering != "ward":
+        return None
+    if resolve_backend(config.backend) == BACKEND_REFERENCE:
+        return None
+    if instance.n <= 3:
+        return [_degenerate_result(instance, config) for _ in seeds]
+    if instance.coords is None:
+        raise SolverError(
+            "TAXI requires coordinate instances (clustering operates "
+            "on city coordinates)"
+        )
+    rngs = [ensure_rng(seed) for seed in seeds]
+    for rng in rngs:
+        # Solo draw #1 is the cluster seed; ward ignores it but the
+        # draw must happen to keep the stream aligned.
+        int(rng.integers(0, 2**31 - 1))
+
+    start = time.perf_counter()
+    hierarchy = build_hierarchy(
+        instance, config.max_cluster_size, cluster_with_max_size
+    )
+    clustering_seconds = time.perf_counter() - start
+
+    solvers = [
+        BatchedMacroSolver(config.macro_config(), seed=rng, backend=config.backend)
+        for rng in rngs
+    ]
+    cache = SubmatrixCache(instance)
+    results = solve_hierarchical_replicas(
+        hierarchy,
+        solvers,
+        config.schedule(),
+        endpoint_fixing=config.endpoint_fixing,
+        chunk_size=config.chunk_size,
+        cache=cache,
+    )
+    out: list[TAXIResult] = []
+    for order, times, level_stats in results:
+        times.clustering = clustering_seconds / len(seeds)
+        out.append(
+            TAXIResult(
+                tour=Tour(instance, order, closed=True),
+                phase_seconds=times,
+                level_stats=level_stats,
+                hierarchy_depth=hierarchy.depth,
+                max_cluster_size=config.max_cluster_size,
+                bits=config.bits,
+            )
+        )
+    return out

@@ -31,6 +31,10 @@ Four grid kinds:
   (:mod:`repro.service.loadgen`): closed-loop workers over a cold/warm
   request mix, reporting p50/p95/p99 latency, requests/s, cache hit
   rate, and mean dispatch batch size per cell.
+* ``replica_batch`` — R sequential replica solves vs one lock-step
+  batch on the ``array`` backend
+  (:mod:`repro.engine.replica_batch`); per-replica tour hashes prove
+  the merged anneal is bit-identical to sequential dispatch.
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -49,7 +53,7 @@ from datetime import datetime, timezone
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.kernels import BACKENDS
+from repro.kernels import BACKEND_FAST, BACKEND_REFERENCE, BACKENDS
 
 #: Grid defaults: (ising sizes, tsp sizes, engine solvers, engine sizes,
 #: hierarchical-pipeline sizes).
@@ -61,6 +65,7 @@ FULL_GRID = {
     "pipeline_sizes": (1000, 2000),
     "service_sizes": (101, 262),
     "loadtest_sizes": (101,),
+    "replica_batch_sizes": (500,),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
@@ -74,6 +79,7 @@ QUICK_GRID = {
     "pipeline_sizes": (1000,),
     "service_sizes": (101,),
     "loadtest_sizes": (52,),
+    "replica_batch_sizes": (120,),
 }
 
 
@@ -344,6 +350,90 @@ def _bench_loadtest(sizes, sweeps, requests, concurrency, seed) -> list[dict]:
     return entries
 
 
+def _bench_replica_batch(sizes, sweeps, replicas, seed, repeats) -> list[dict]:
+    """Replica lock-step cells: R sequential solves vs one merged batch.
+
+    Both modes run the same job — TAXI on a clustered instance, the
+    ``array`` backend, ``workers=1`` — differing only in the engine's
+    ``replica_batch`` knob, so the cell pair isolates the lock-step
+    merge itself.  Per-replica tour hashes are recorded so the speedup
+    table can assert bit-identity, not just equal lengths.
+    """
+    from repro.core.config import EngineConfig
+    from repro.engine.jobs import BatchJob
+    from repro.engine.runner import run_batch
+    from repro.utils.hashing import tour_hash
+
+    entries = []
+    for n in sizes:
+        token = f"clustered:{int(n)}:{seed}"
+        for mode in ("off", "on"):
+            job = BatchJob.create(
+                [token],
+                solver="taxi",
+                params={"sweeps": int(sweeps), "backend": "array"},
+                engine=EngineConfig(
+                    replicas=replicas, workers=1, seed=seed,
+                    replica_batch=mode,
+                ),
+            )
+            def run(job=job):
+                return run_batch(job)[0]
+            seconds, result = _time_call(run, repeats)
+            entries.append({
+                "kind": "replica_batch",
+                "name": "taxi-lockstep" if mode == "on" else "taxi-sequential",
+                "n": int(n),
+                "sweeps": int(sweeps),
+                "backend": "array",
+                "replicas": int(replicas),
+                "mode": mode,
+                "seconds": seconds,
+                "sweeps_per_sec": (
+                    sweeps * replicas / seconds if seconds > 0 else None
+                ),
+                "quality": float(result.best_length),
+                "replica_hashes": [
+                    tour_hash(replica.order) for replica in result.replicas
+                ],
+            })
+    return entries
+
+
+def compute_replica_batch_speedups(entries: list[dict]) -> list[dict]:
+    """Sequential-vs-lockstep wall-time ratio per replica-batch cell."""
+    by_cell: dict[tuple[int, int, int], dict[str, dict]] = {}
+    for entry in entries:
+        if entry["kind"] != "replica_batch":
+            continue
+        key = (entry["n"], entry["sweeps"], entry["replicas"])
+        by_cell.setdefault(key, {})[entry["mode"]] = entry
+    speedups = []
+    for (n, sweeps, replicas), cell in sorted(by_cell.items()):
+        if "off" not in cell or "on" not in cell:
+            continue
+        sequential = cell["off"]
+        lockstep = cell["on"]
+        speedups.append({
+            "kind": "replica_batch",
+            "n": n,
+            "sweeps": sweeps,
+            "replicas": replicas,
+            "sequential_seconds": sequential["seconds"],
+            "lockstep_seconds": lockstep["seconds"],
+            "speedup": (
+                sequential["seconds"] / lockstep["seconds"]
+                if lockstep["seconds"] > 0 else None
+            ),
+            # Per-replica tour-order hashes: equality means every
+            # replica's tour is bit-identical across dispatch modes.
+            "bit_identical": (
+                sequential["replica_hashes"] == lockstep["replica_hashes"]
+            ),
+        })
+    return speedups
+
+
 def compute_service_speedups(entries: list[dict]) -> list[dict]:
     """Cold-vs-cached latency ratio per service grid cell."""
     speedups = []
@@ -446,6 +536,7 @@ def run_bench(
     pipeline_sizes=None,
     service_sizes=None,
     loadtest_sizes=None,
+    replica_batch_sizes=None,
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
@@ -454,6 +545,8 @@ def run_bench(
     loadtest_sweeps: int = 30,
     loadtest_requests: int = 32,
     loadtest_concurrency: int = 4,
+    replica_batch_sweeps: int = 60,
+    replica_batch_replicas: int = 8,
     pipeline_workers=(1, 4),
     replicas: int = 2,
     seed: int = 0,
@@ -479,7 +572,16 @@ def run_bench(
     loadtest_sizes = (
         grid["loadtest_sizes"] if loadtest_sizes is None else loadtest_sizes
     )
-    backends = tuple(BACKENDS) if backends is None else tuple(backends)
+    replica_batch_sizes = (
+        grid["replica_batch_sizes"]
+        if replica_batch_sizes is None else replica_batch_sizes
+    )
+    # Default to the historical backend pair: "array" is bit-identical
+    # to "fast" for solo solves, so adding it would triple the grid for
+    # duplicate numbers.  Pass backends=("fast", "array") to compare.
+    if backends is None:
+        backends = (BACKEND_REFERENCE, BACKEND_FAST)
+    backends = tuple(backends)
     unknown = set(backends) - set(BACKENDS)
     if unknown:
         raise ConfigError(
@@ -508,6 +610,11 @@ def run_bench(
             loadtest_sizes, loadtest_sweeps, loadtest_requests,
             loadtest_concurrency, seed,
         )
+    if replica_batch_sizes:
+        entries += _bench_replica_batch(
+            replica_batch_sizes, replica_batch_sweeps,
+            replica_batch_replicas, seed, repeats,
+        )
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -525,6 +632,7 @@ def run_bench(
         "speedups": compute_speedups(entries),
         "pipeline_speedups": compute_pipeline_speedups(entries),
         "service_speedups": compute_service_speedups(entries),
+        "replica_batch_speedups": compute_replica_batch_speedups(entries),
     }
 
 

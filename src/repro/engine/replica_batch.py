@@ -1,0 +1,271 @@
+"""Replica lock-step batching: R replicas as one tensor, not R processes.
+
+BENCH_63be77b made the case: on a 1-core container the engine's
+process pool is pure overhead (0.73 s serial vs 1.27 s at workers=4
+for the n=1000 pipeline).  The paper's chip gets replica throughput a
+different way — many macros annealing *in lock-step* — and this module
+is the software analogue: when a batch job's replicas differ only by
+seed, the replica dimension is folded into the vectorized kernels'
+batch axis instead of being dispatched as separate tasks.
+
+Engagement is governed by :class:`~repro.core.config.EngineConfig`\\ 's
+``replica_batch`` knob:
+
+* ``"auto"`` (default) — engage only when the job opted into the
+  ``array`` backend (and it probed usable), the solver supports
+  lock-step, and every parameter is understood; anything else runs the
+  classic per-replica path unchanged.
+* ``"on"`` — engage whenever possible; unsupported solvers or an
+  explicit ``reference`` backend raise
+  :class:`~repro.errors.ConfigError` instead of silently degrading.
+* ``"off"`` — never engage.
+
+The per-replica seed contract is preserved exactly: replica ``r``
+consumes the same RNG stream it would consume solo, so lock-step tours
+are **bit-identical** to ``workers=1`` per-replica runs (asserted in
+the test suite and by the ``replica_batch`` bench grid's tour hashes).
+Instances that turn out runtime-ineligible (huge ``sa_tsp`` matrices,
+kmeans-clustered TAXI) quietly fall back to the sequential task loop
+for that instance — same results, no batching.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.result import BatchResult, ReplicaResult
+from repro.engine.jobs import (
+    _MATRIX_CACHE_LIMIT,
+    BatchJob,
+    BatchProgress,
+    InstanceSpec,
+    cached_distance_matrix,
+)
+from repro.errors import ConfigError
+from repro.kernels import BACKEND_ARRAY, BACKEND_REFERENCE, resolve_backend
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import ensure_rng
+
+#: Solvers with a lock-step replica implementation.
+LOCKSTEP_SOLVERS = ("sa_tsp", "taxi")
+
+#: Per-solver parameter names the lock-step path knows how to honour;
+#: a job carrying anything else falls back to per-replica dispatch.
+_LOCKSTEP_PARAMS = {
+    "taxi": {
+        "sweeps", "max_cluster_size", "bits", "clustering",
+        "endpoint_fixing", "backend", "workers", "chunk_size",
+    },
+    "sa_tsp": {"sweeps", "backend", "t_start_frac", "t_end_frac"},
+}
+
+#: replica_batch knob values (validated by EngineConfig).
+REPLICA_BATCH_MODES = ("auto", "on", "off")
+
+
+def lockstep_supported(solver: str, params: dict) -> bool:
+    """Whether the lock-step path understands this solver+params combo."""
+    allowed = _LOCKSTEP_PARAMS.get(solver)
+    return allowed is not None and set(params) <= allowed
+
+
+def lockstep_engaged(job: BatchJob, mode: str) -> bool:
+    """Decide (or, for ``"on"``, demand) lock-step for a batch job."""
+    if mode == "off":
+        return False
+    params = dict(job.params)
+    supported = lockstep_supported(job.solver, params)
+    resolved = resolve_backend(params.get("backend"))
+    if mode == "on":
+        if not supported:
+            raise ConfigError(
+                f"replica_batch='on' requires a lock-step capable solver "
+                f"({', '.join(LOCKSTEP_SOLVERS)}) with supported "
+                f"parameters; got solver {job.solver!r} with params "
+                f"{sorted(params)}"
+            )
+        if resolved == BACKEND_REFERENCE:
+            raise ConfigError(
+                "replica_batch='on' cannot run with backend='reference': "
+                "the reference RNG stream is drawn per position and "
+                "cannot be batched without changing results"
+            )
+        return True
+    # auto: engage only on an explicit, successfully probed array backend.
+    return supported and resolved == BACKEND_ARRAY
+
+
+def run_lockstep_batch(
+    job: BatchJob,
+    seeds: list[int],
+    progress: Callable[[BatchProgress], None] | None = None,
+) -> list[BatchResult]:
+    """Run a batch job with replicas folded into kernel batches.
+
+    Mirrors :func:`repro.engine.runner.run_batch` result shapes: one
+    :class:`BatchResult` per instance, shared wall clock, streaming
+    :class:`BatchProgress` events (emitted per replica as each
+    instance's lock-step solve lands).
+    """
+    total = len(job.instances) * len(seeds)
+    completed = 0
+    start = time.perf_counter()
+    per_instance: list[list[ReplicaResult]] = []
+    for spec in job.instances:
+        replicas = _solve_instance(job, spec, seeds)
+        per_instance.append(replicas)
+        for replica in replicas:
+            completed += 1
+            if progress is not None:
+                progress(
+                    BatchProgress(
+                        instance=spec.label,
+                        replica=replica.index,
+                        replicas_total=len(seeds),
+                        completed=completed,
+                        total=total,
+                        length=replica.length,
+                    )
+                )
+    wall = time.perf_counter() - start
+    return [
+        BatchResult(
+            instance_name=spec.label,
+            n=spec.resolve().n if spec.size == 0 else spec.size,
+            solver=job.solver,
+            replicas=replicas,
+            wall_seconds=wall,
+        )
+        for spec, replicas in zip(job.instances, per_instance)
+    ]
+
+
+def _solve_instance(
+    job: BatchJob, spec: InstanceSpec, seeds: list[int]
+) -> list[ReplicaResult]:
+    from repro.engine.runner import ReplicaTask, _validate_once, run_replica_task
+
+    setup_start = time.perf_counter()
+    instance = spec.resolve()
+    _validate_once(instance)
+    params = dict(job.params)
+    setup_seconds = time.perf_counter() - setup_start
+
+    solve_start = time.perf_counter()
+    if job.solver == "taxi":
+        orders = _taxi_orders(instance, params, seeds)
+    else:
+        orders = _sa_tsp_orders(instance, params, seeds)
+    if orders is None:
+        # Runtime-ineligible for lock-step: run the classic sequential
+        # task loop for this instance (identical results, no batching).
+        return [
+            run_replica_task(
+                ReplicaTask(
+                    spec=spec,
+                    solver=job.solver,
+                    params=job.params,
+                    seed=seed,
+                    index=index,
+                    instance_index=0,
+                )
+            )[1]
+            for index, seed in enumerate(seeds)
+        ]
+    seconds = (time.perf_counter() - solve_start) / len(seeds)
+
+    replicas = []
+    for index, (seed, order) in enumerate(zip(seeds, orders)):
+        length = float(instance.tour_length(order))
+        if not np.isfinite(length):
+            raise ConfigError(
+                f"solver {job.solver!r} produced a non-finite tour length "
+                f"on {instance.name!r}"
+            )
+        replicas.append(
+            ReplicaResult(
+                index=index,
+                seed=seed,
+                order=np.asarray(order, dtype=int),
+                length=length,
+                seconds=seconds,
+                setup_seconds=setup_seconds / len(seeds),
+            )
+        )
+    return replicas
+
+
+def _taxi_orders(
+    instance: TSPInstance, params: dict, seeds: list[int]
+) -> list[np.ndarray] | None:
+    from repro.core.config import TAXIConfig
+    from repro.core.solver import solve_taxi_replicas
+
+    config = TAXIConfig(
+        max_cluster_size=params.get("max_cluster_size", 12),
+        bits=params.get("bits", 4),
+        sweeps=params.get("sweeps"),
+        clustering=params.get("clustering", "ward"),
+        endpoint_fixing=params.get("endpoint_fixing", True),
+        backend=params.get("backend", "auto"),
+        workers=params.get("workers", 1),
+        chunk_size=params.get("chunk_size", 8),
+    )
+    results = solve_taxi_replicas(instance, config, seeds)
+    if results is None:
+        return None
+    return [np.asarray(result.tour.order, dtype=int) for result in results]
+
+
+def _sa_tsp_orders(
+    instance: TSPInstance, params: dict, seeds: list[int]
+) -> list[np.ndarray] | None:
+    from repro.ising.sa_tsp import SimulatedAnnealingTSP
+    from repro.kernels.array_backend import anneal_tours_replicas
+    from repro.kernels.twoopt import FAST_MATRIX_LIMIT
+
+    n = instance.n
+    backend = resolve_backend(params.get("backend"))
+    matrix = (
+        cached_distance_matrix(instance) if n <= _MATRIX_CACHE_LIMIT else None
+    )
+    if (
+        backend == BACKEND_REFERENCE
+        or matrix is None
+        or n > FAST_MATRIX_LIMIT
+        or not np.isfinite(matrix).all()
+    ):
+        # The solo solver would route these to the reference loop (or
+        # raise on the bad matrix) — fall back so behaviour matches.
+        return None
+    sweeps = params.get("sweeps")
+    solver = SimulatedAnnealingTSP(
+        sweeps=400 if sweeps is None else sweeps,
+        t_start_frac=params.get("t_start_frac", 1.0),
+        t_end_frac=params.get("t_end_frac", 0.001),
+    )
+    rngs = [ensure_rng(seed) for seed in seeds]
+    orders = []
+    lengths = []
+    t_starts = []
+    ratios = []
+    for rng in rngs:
+        order = rng.permutation(n)
+        length = float(instance.tour_length(order))
+        if not np.isfinite(length):
+            return None  # solo path raises the canonical error
+        avg_edge = length / n
+        t_start = solver.t_start_frac * avg_edge
+        t_end = solver.t_end_frac * avg_edge
+        ratio = (t_end / t_start) ** (1.0 / max(solver.sweeps - 1, 1))
+        orders.append(order)
+        lengths.append(length)
+        t_starts.append(t_start)
+        ratios.append(ratio)
+    solved = anneal_tours_replicas(
+        rngs, orders, lengths, solver.sweeps, t_starts, ratios, matrix
+    )
+    return [best_order for best_order, _ in solved]

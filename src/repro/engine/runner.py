@@ -189,6 +189,16 @@ def run_batch(
     # extra replicas would be bit-identical reruns: clamp to one.
     replicas = engine.replicas if get_solver(job.solver).stochastic else 1
     seeds = replica_seeds(engine.seed, replicas)
+
+    if replicas > 1 and executor is None:
+        from repro.engine.replica_batch import lockstep_engaged, run_lockstep_batch
+
+        if lockstep_engaged(job, engine.replica_batch):
+            # Fold the replica dimension into the kernels' batch axis
+            # instead of dispatching per-replica tasks; tours stay
+            # bit-identical (same per-replica seeds and streams).
+            return run_lockstep_batch(job, seeds, progress)
+
     tasks = [
         ReplicaTask(
             spec=spec,

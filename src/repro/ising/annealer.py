@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.ising.model import IsingModel
-from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels import BACKEND_REFERENCE, resolve_backend
 from repro.kernels import spin as spin_kernels
 from repro.utils.rng import ensure_rng
 
@@ -122,9 +122,9 @@ class MetropolisAnnealer:
         )
         temperatures = self.schedule.temperatures(self.t_start, self.t_end, self.sweeps)
         kernel = (
-            spin_kernels.anneal_fast
-            if self.backend == BACKEND_FAST
-            else spin_kernels.anneal_reference
+            spin_kernels.anneal_reference
+            if self.backend == BACKEND_REFERENCE
+            else spin_kernels.anneal_fast
         )
         best_spins, best_energy, trace, accepted = kernel(
             model, spins, temperatures, rng, self.track_energy
@@ -142,9 +142,9 @@ class MetropolisAnnealer:
             model.random_state(rng) if initial is None else model.check_state(initial).copy()
         )
         kernel = (
-            spin_kernels.descend_fast
-            if self.backend == BACKEND_FAST
-            else spin_kernels.descend_reference
+            spin_kernels.descend_reference
+            if self.backend == BACKEND_REFERENCE
+            else spin_kernels.descend_fast
         )
         spins, energy, sweeps_done, accepted = kernel(model, spins, self.sweeps, rng)
         trace = np.asarray([energy])

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels import BACKEND_REFERENCE, resolve_backend
 from repro.kernels.twoopt import (
     FAST_MATRIX_LIMIT,
     anneal_tours_fast,
@@ -94,7 +94,7 @@ class SimulatedAnnealingTSP:
         ratio = (t_end / t_start) ** (1.0 / max(self.sweeps - 1, 1))
 
         if (
-            self.backend == BACKEND_FAST
+            self.backend != BACKEND_REFERENCE
             and matrix is not None
             and n <= FAST_MATRIX_LIMIT
         ):

@@ -9,7 +9,13 @@ software solvers.  Each hot path ships two implementations:
 * ``fast`` — vectorized/batched evaluation (checkerboard spin classes,
   batched 2-opt delta blocks, bulk-RNG macro sweeps) that is either
   bit-exact with the reference (2-opt SA) or validated against it at
-  distribution level (spin annealing, macro batches).
+  distribution level (spin annealing, macro batches);
+* ``array`` — the replica-batched array-API backend
+  (:mod:`repro.kernels.array_backend`): the fast kernels plus batched
+  variants that anneal many replicas/chunks over a leading batch axis.
+  Selecting it probes for a usable array namespace (torch, CuPy,
+  numpy) and **degrades to ``fast``** when none passes the capability
+  check, so ``--backend array`` is safe everywhere.
 
 ``auto`` (the default everywhere a ``backend=`` knob exists) resolves
 to ``fast``.  Kernels that cannot profit on a given input (dense
@@ -22,6 +28,8 @@ Usage::
 
     backend = resolve_backend("auto")   # -> "fast"
     backend = resolve_backend(None)     # -> "fast"
+    backend = resolve_backend("array")  # -> "array" (or "fast" when
+                                        #    no array namespace probes)
     backend = resolve_backend("nope")   # ConfigError
 """
 
@@ -35,8 +43,12 @@ BACKEND_REFERENCE = "reference"
 #: The vectorized implementation (checkerboard / batched kernels).
 BACKEND_FAST = "fast"
 
+#: The replica-batched array-API backend (numpy today; torch/CuPy when
+#: they probe successfully).  Falls back to ``fast`` when unusable.
+BACKEND_ARRAY = "array"
+
 #: Selectable backend names (``auto`` additionally resolves to one).
-BACKENDS = (BACKEND_REFERENCE, BACKEND_FAST)
+BACKENDS = (BACKEND_REFERENCE, BACKEND_FAST, BACKEND_ARRAY)
 
 #: What ``auto`` (and ``None``) resolve to.
 DEFAULT_BACKEND = BACKEND_FAST
@@ -45,8 +57,11 @@ DEFAULT_BACKEND = BACKEND_FAST
 def resolve_backend(backend: str | None) -> str:
     """Resolve a backend knob value to a concrete backend name.
 
-    ``None`` and ``"auto"`` pick :data:`DEFAULT_BACKEND`; anything not
-    in :data:`BACKENDS` raises :class:`~repro.errors.ConfigError`.
+    ``None`` and ``"auto"`` pick :data:`DEFAULT_BACKEND`; ``"array"``
+    resolves to itself only when an array namespace passes the
+    capability probe and otherwise degrades to :data:`BACKEND_FAST`
+    (graceful fallback, never an error); anything not in
+    :data:`BACKENDS` raises :class:`~repro.errors.ConfigError`.
     """
     if backend is None or backend == "auto":
         return DEFAULT_BACKEND
@@ -55,11 +70,17 @@ def resolve_backend(backend: str | None) -> str:
             f"unknown backend {backend!r}; known backends: "
             f"auto, {', '.join(BACKENDS)}"
         )
+    if backend == BACKEND_ARRAY:
+        from repro.kernels import array_backend  # lazy: avoids cycles
+
+        if not array_backend.is_available():
+            return BACKEND_FAST
     return backend
 
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_ARRAY",
     "BACKEND_FAST",
     "BACKEND_REFERENCE",
     "DEFAULT_BACKEND",

@@ -1,0 +1,472 @@
+"""Array-API backend: replica-batched kernels over a leading batch axis.
+
+The ``array`` backend is the structural seam for tensorized execution:
+R independent replicas (and, for the macro pipeline, R replicas x C
+same-shape cluster chunks) anneal as one stacked array per sweep
+instead of R separate solver processes.  Computation currently runs on
+numpy; at import time the backend *probes* for a better tensor library
+(torch, then CuPy) so a GPU array namespace can be slotted in without
+touching callers — the probe result is what :func:`namespace` reports
+and what future device placement will dispatch on.
+
+Two contracts make the batching safe:
+
+* **Merge compute, never RNG streams.**  Every replica (or chunk)
+  keeps its own :class:`numpy.random.Generator` and draws exactly the
+  blocks it would draw solo, in the same order; the blocks are then
+  concatenated along the batch axis.  A batched run is therefore
+  bit-identical to running each replica alone.
+* **Row independence.**  The batched kernels only ever combine rows
+  with elementwise/per-row operations (gathers, adds, per-row argmax),
+  never cross-row reductions, so stacking cannot change any replica's
+  arithmetic.
+
+Fallback: when probing finds no usable namespace (exercised in tests
+by monkeypatching the import hook), :func:`repro.kernels.resolve_backend`
+degrades ``array`` to ``fast`` — same tours, no batching.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+
+from repro.ising.model import IsingModel
+from repro.kernels.macro import _sweep_positions, neighbour_positions
+from repro.kernels.spin import (
+    _LOG_HALF,
+    _ClassFields,
+    _undo_flips,
+    _usable_classes,
+    anneal_reference,
+)
+
+#: Probe order: prefer device-capable tensor libraries, fall back to
+#: numpy (always importable in this environment, but probed all the
+#: same so the absence path is testable).
+_CANDIDATES = ("torch", "cupy", "numpy")
+
+#: Memoized probe result: ``(name, module)`` or ``None`` when no
+#: candidate namespace passed its capability check.
+_PROBE: tuple[str, object] | None = None
+_PROBED = False
+
+
+def _capability_check(name: str, module) -> bool:
+    """Smoke-test the namespace: allocate, add, reduce a small tensor."""
+    try:
+        if name == "numpy":
+            x = module.arange(4, dtype=float)
+            return float((x + x).sum()) == 12.0
+        x = module.zeros(4)
+        return float((x + 1).sum()) == 4.0
+    except Exception:
+        return False
+
+
+def probe_namespace() -> tuple[str, object] | None:
+    """First importable candidate namespace passing its capability check.
+
+    Memoized: the probe runs once per process (tests reset it with
+    :func:`clear_probe_cache` after monkeypatching the import hook).
+    """
+    global _PROBE, _PROBED
+    if _PROBED:
+        return _PROBE
+    result = None
+    for name in _CANDIDATES:
+        try:
+            module = importlib.import_module(name)
+        except ImportError:
+            continue
+        if _capability_check(name, module):
+            result = (name, module)
+            break
+    _PROBE = result
+    _PROBED = True
+    return result
+
+
+def clear_probe_cache() -> None:
+    """Forget the memoized probe (test hook for simulating absence)."""
+    global _PROBE, _PROBED
+    _PROBE = None
+    _PROBED = False
+
+
+def namespace_name() -> str | None:
+    """Name of the probed array namespace (``None`` = backend unusable)."""
+    probed = probe_namespace()
+    return probed[0] if probed else None
+
+
+def is_available() -> bool:
+    """Whether the ``array`` backend can run at all."""
+    return probe_namespace() is not None
+
+
+# ----------------------------------------------------------------------
+# batched checkerboard Metropolis (leading replica axis)
+# ----------------------------------------------------------------------
+
+def anneal_spins_replicas(
+    model: IsingModel,
+    spins: np.ndarray,
+    temperatures: np.ndarray,
+    rngs: list[np.random.Generator],
+    track_energy: bool = True,
+) -> list[tuple[np.ndarray, float, np.ndarray, int]]:
+    """Anneal R replicas of one model as a stacked ``(R, n)`` batch.
+
+    ``spins`` is ``(R, n)`` (mutated); ``rngs[r]`` drives replica ``r``
+    and consumes exactly the stream :func:`~repro.kernels.spin.anneal_fast`
+    would consume solo, so each returned ``(best_spins, best_energy,
+    trace, accepted)`` tuple is bit-identical to a solo fast run.
+    """
+    n_replicas = spins.shape[0]
+    classes = _usable_classes(model)
+    if classes is None:
+        # Dense coupling graph: the fast kernel itself would fall back
+        # to the reference loop, so run it per replica.
+        return [
+            anneal_reference(model, spins[r], temperatures, rngs[r], track_energy)
+            for r in range(n_replicas)
+        ]
+    sweeps = temperatures.size
+    n = model.n
+    fields = [_ClassFields(model, classes) for _ in range(n_replicas)]
+    for r in range(n_replicas):
+        fields[r].reset(model, spins[r])
+    energy = [float(model.energy(spins[r])) for r in range(n_replicas)]
+    best_energy = list(energy)
+    traces = [
+        np.empty(sweeps) if track_energy else np.empty(0)
+        for _ in range(n_replicas)
+    ]
+    accepted = [0] * n_replicas
+    offsets = np.concatenate(([0], np.cumsum([c.size for c in classes])))
+    flip_logs: list[list[np.ndarray]] = [[] for _ in range(n_replicas)]
+
+    for sweep, temperature in enumerate(temperatures):
+        # One draw per replica stream, stacked: bit-identical values.
+        log_u = np.stack([np.log(rng.random(n)) for rng in rngs])
+        for ci, cls in enumerate(classes):
+            local = np.stack(
+                [fields[r].local_for(ci, cls, spins[r]) for r in range(n_replicas)]
+            )
+            delta = (2.0 * spins[:, cls]) * local
+            cutoff = -delta / temperature
+            zero = delta == 0.0
+            if zero.any():
+                # x + (-0.0) is bitwise x, so rows without zero deltas
+                # are untouched — matches the solo kernel's conditional.
+                cutoff = cutoff + _LOG_HALF * zero
+            accept = (delta < 0.0) | (
+                log_u[:, offsets[ci]:offsets[ci + 1]] < cutoff
+            )
+            for r in range(n_replicas):
+                acc = accept[r]
+                if not acc.any():
+                    continue
+                flipped = cls[acc]
+                spins[r, flipped] = -spins[r, flipped]
+                fields[r].flipped(flipped, spins[r])
+                energy[r] += float(delta[r][acc].sum())
+                accepted[r] += flipped.size
+                if energy[r] < best_energy[r]:
+                    best_energy[r] = energy[r]
+                    flip_logs[r].clear()
+                else:
+                    flip_logs[r].append(flipped)
+        if track_energy:
+            for r in range(n_replicas):
+                traces[r][sweep] = energy[r]
+    return [
+        (
+            _undo_flips(spins[r], flip_logs[r]),
+            best_energy[r],
+            traces[r],
+            accepted[r],
+        )
+        for r in range(n_replicas)
+    ]
+
+
+# ----------------------------------------------------------------------
+# batched 2-opt delta evaluation (leading replica axis)
+# ----------------------------------------------------------------------
+
+class _TourReplica:
+    """Mutable per-replica state of the hybrid 2-opt chain."""
+
+    __slots__ = (
+        "rng", "order", "order_list", "scalar_mode", "length",
+        "best_list", "best_length", "temperature", "ratio", "accepted_prev",
+    )
+
+    def __init__(self, rng, order, length, t_start, ratio, n):
+        self.rng = rng
+        self.order_list = order.tolist()
+        self.order = order
+        self.scalar_mode = True
+        self.length = float(length)
+        self.best_list = self.order_list.copy()
+        self.best_length = self.length
+        self.temperature = t_start
+        self.ratio = ratio
+        self.accepted_prev = n  # optimistic: the anneal starts hot
+
+
+def anneal_tours_replicas(
+    rngs: list[np.random.Generator],
+    orders: list[np.ndarray],
+    lengths: list[float],
+    sweeps: int,
+    t_starts: list[float],
+    ratios: list[float],
+    matrix: np.ndarray,
+) -> list[tuple[np.ndarray, float]]:
+    """Anneal R independent 2-opt chains over one shared distance matrix.
+
+    Each replica replays exactly the Markov chain of
+    :func:`~repro.kernels.twoopt.anneal_tours_fast` (same draws, same
+    acceptance arithmetic), so results are bit-identical to solo runs.
+    The batching win is the common late-anneal case: replicas in batch
+    mode whose whole proposal block is rejected are screened together
+    in one concatenated vector evaluation; only replicas with at least
+    one acceptance replay their sweep individually.
+    """
+    n = orders[0].shape[0]
+    n1 = n - 1
+    from repro.kernels.twoopt import batch_threshold
+
+    threshold = batch_threshold(n)
+    rows = matrix.tolist()  # shared across replicas (scalar-mode lookups)
+    reps = [
+        _TourReplica(rng, order, length, t_start, ratio, n)
+        for rng, order, length, t_start, ratio in zip(
+            rngs, orders, lengths, t_starts, ratios
+        )
+    ]
+
+    for _ in range(sweeps):
+        batch_entries = []  # (replica, pos, k_lu) awaiting screening
+        for rep in reps:
+            pairs = rep.rng.integers(0, n, size=2 * n)
+            ii = pairs[:n]
+            jj = pairs[n:]
+            log_u = np.log(rep.rng.random(n))
+            if rep.accepted_prev >= threshold:
+                _scalar_sweep(rep, ii, jj, log_u, rows, n, n1)
+            else:
+                if rep.scalar_mode:
+                    rep.order = np.asarray(rep.order_list, dtype=np.intp)
+                    rep.scalar_mode = False
+                lo = np.minimum(ii, jj)
+                hi = np.maximum(ii, jj)
+                keep = (lo != hi) & ~((lo == 0) & (hi == n1))
+                k_lo = lo[keep]
+                k_hi = hi[keep]
+                k_lu = log_u[keep]
+                pos = np.vstack((k_lo - 1, k_lo, k_hi, k_hi + 1 - n))
+                batch_entries.append((rep, pos, k_lu))
+        if batch_entries:
+            _screen_and_replay(batch_entries, matrix)
+        for rep in reps:
+            rep.temperature *= rep.ratio
+    return [
+        (np.asarray(rep.best_list, dtype=int), rep.best_length) for rep in reps
+    ]
+
+
+def _scalar_sweep(rep, ii, jj, log_u, rows, n, n1):
+    """One scalar-mode sweep (verbatim fast-kernel inner loop)."""
+    if not rep.scalar_mode:
+        rep.order_list = rep.order.tolist()
+        rep.scalar_mode = True
+    order_list = rep.order_list
+    temperature = rep.temperature
+    length = rep.length
+    best_length = rep.best_length
+    accepted = 0
+    lo = np.minimum(ii, jj).tolist()
+    hi = np.maximum(ii, jj).tolist()
+    lu = log_u.tolist()
+    for k in range(n):
+        i = lo[k]
+        j = hi[k]
+        if i == j or (i == 0 and j == n1):
+            continue
+        a = order_list[i - 1]
+        b = order_list[i]
+        c = order_list[j]
+        d = order_list[j + 1 - n]
+        row_a = rows[a]
+        delta = row_a[c] + rows[b][d] - row_a[b] - rows[c][d]
+        if delta <= 0.0 or lu[k] < -delta / temperature:
+            order_list[i:j + 1] = (
+                order_list[j:i - 1:-1] if i else order_list[j::-1]
+            )
+            length += delta
+            accepted += 1
+            if length < best_length:
+                best_length = length
+                rep.best_list = order_list.copy()
+    rep.length = length
+    rep.best_length = best_length
+    rep.accepted_prev = accepted
+
+
+def _screen_and_replay(batch_entries, matrix):
+    """Screen all batch-mode replicas in one evaluation, replay acceptors.
+
+    The concatenated first-block evaluation computes, per replica, the
+    exact accept vector the solo kernel's first ``while`` iteration
+    computes; a replica with no acceptance is finished for the sweep
+    (the solo loop would break immediately), bit-for-bit.  Replicas
+    with acceptances rerun the solo while-loop from scratch — the
+    redundant first evaluation costs nothing in correctness because the
+    tour state is untouched by screening.
+    """
+    sizes = [entry[2].size for entry in batch_entries]
+    gathered = [entry[0].order[entry[1]] for entry in batch_entries]
+    a = np.concatenate([g[0] for g in gathered])
+    b = np.concatenate([g[1] for g in gathered])
+    c = np.concatenate([g[2] for g in gathered])
+    d = np.concatenate([g[3] for g in gathered])
+    k_lu = np.concatenate([entry[2] for entry in batch_entries])
+    temps = np.repeat([entry[0].temperature for entry in batch_entries], sizes)
+    delta = matrix[a, c] + matrix[b, d] - matrix[a, b] - matrix[c, d]
+    accept = (delta <= 0.0) | (k_lu < -delta / temps)
+    offset = 0
+    for (rep, pos, lu), size in zip(batch_entries, sizes):
+        any_accept = bool(accept[offset:offset + size].any())
+        offset += size
+        if not any_accept:
+            rep.accepted_prev = 0
+            continue
+        _batch_sweep_replay(rep, pos, lu, matrix)
+
+
+def _batch_sweep_replay(rep, pos, k_lu, matrix):
+    """Solo batch-mode sweep (verbatim fast-kernel accepted-prefix loop)."""
+    order = rep.order
+    temperature = rep.temperature
+    length = rep.length
+    best_length = rep.best_length
+    accepted = 0
+    while k_lu.size:
+        a, b, c, d = order[pos]
+        delta = matrix[a, c] + matrix[b, d] - matrix[a, b] - matrix[c, d]
+        accept = (delta <= 0.0) | (k_lu < -delta / temperature)
+        first = int(np.argmax(accept))
+        if not accept[first]:
+            break
+        i = int(pos[1, first])
+        j = int(pos[2, first])
+        order[i:j + 1] = order[i:j + 1][::-1]
+        length += float(delta[first])
+        accepted += 1
+        if length < best_length:
+            best_length = length
+            rep.best_list = order.tolist()
+        pos = pos[:, first + 1:]
+        k_lu = k_lu[first + 1:]
+    rep.length = length
+    rep.best_length = best_length
+    rep.accepted_prev = accepted
+
+
+# ----------------------------------------------------------------------
+# lock-step macro annealing (replica x chunk merged batch axis)
+# ----------------------------------------------------------------------
+
+def anneal_macro_groups_lockstep(
+    weights_list: list[np.ndarray],
+    order_list: list[np.ndarray],
+    pos_of_list: list[np.ndarray],
+    allowed_list: list[np.ndarray],
+    proxy_list: list[np.ndarray],
+    rngs: list[np.random.Generator],
+    positions: np.ndarray,
+    probabilities: np.ndarray,
+    *,
+    closed: bool,
+    read_noise: float,
+    resolution: float,
+    guarded: bool,
+) -> tuple[list[np.ndarray], int]:
+    """Anneal many same-shape macro chunks as one merged batch.
+
+    Chunk ``i`` (arrays ``*_list[i]``, generator ``rngs[i]``) draws its
+    per-sweep random blocks from its own stream in exactly the order
+    :func:`~repro.kernels.macro.anneal_group_fast` would, then the
+    blocks are concatenated along the batch axis and a single
+    :func:`_sweep_positions` call advances every chunk at once.  All
+    sweep operations are per-row, so each chunk's rows evolve
+    bit-identically to a solo fast anneal of that chunk.
+
+    Returns ``(final orders per chunk, sweeps)``.
+    """
+    sizes = [w.shape[0] for w in weights_list]
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    weights = np.concatenate(weights_list, axis=0)
+    order = np.concatenate(order_list, axis=0)
+    pos_of = np.concatenate(pos_of_list, axis=0)
+    allowed = np.concatenate(allowed_list, axis=0)
+    proxy = np.concatenate(proxy_list, axis=0)
+    n = order.shape[1]
+    n_pos = positions.size
+    neighbours = [neighbour_positions(int(pos), n, closed) for pos in positions]
+    sweeps = 0
+    for p_sw in probabilities:
+        noise_parts = []
+        gate_parts = []
+        jitter_parts = []
+        override_parts = []
+        for rng, m in zip(rngs, sizes):
+            # Per-chunk draw order mirrors anneal_group_fast exactly.
+            if read_noise > 0:
+                noise_parts.append(
+                    rng.normal(0.0, read_noise, size=(n_pos, m, n))
+                )
+            gate_parts.append(rng.random((n_pos, m, n)))
+            if resolution > 0:
+                jitter_parts.append(rng.random((n_pos, m, n)))
+            if guarded:
+                override_parts.append(rng.random((n_pos, m)))
+        noise_block = (
+            np.concatenate(noise_parts, axis=1) if read_noise > 0 else None
+        )
+        gate_block = np.concatenate(gate_parts, axis=1)
+        jitter_block = (
+            np.concatenate(jitter_parts, axis=1) if resolution > 0 else None
+        )
+        override_block = (
+            np.concatenate(override_parts, axis=1) if guarded else None
+        )
+        _sweep_positions(
+            weights, order, pos_of, allowed, proxy, positions,
+            neighbours, float(p_sw),
+            closed=closed, read_noise=read_noise, resolution=resolution,
+            guarded=guarded, rng=rngs[0],  # unused: every block pre-drawn
+            noise_block=noise_block, gate_block=gate_block,
+            jitter_block=jitter_block, override_block=override_block,
+        )
+        sweeps += 1
+    final_orders = [
+        order[bounds[i]:bounds[i + 1]] for i in range(len(sizes))
+    ]
+    return final_orders, sweeps
+
+
+__all__ = [
+    "anneal_macro_groups_lockstep",
+    "anneal_spins_replicas",
+    "anneal_tours_replicas",
+    "clear_probe_cache",
+    "is_available",
+    "namespace_name",
+    "probe_namespace",
+]

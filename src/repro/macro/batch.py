@@ -24,7 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import MacroError
-from repro.kernels import BACKEND_FAST, resolve_backend
+from repro.kernels import BACKEND_REFERENCE, resolve_backend
 from repro.kernels.macro import (
     anneal_group_fast,
     anneal_group_reference,
@@ -237,8 +237,12 @@ class BatchedMacroSolver:
             if fixed_last:
                 allowed_cities[rows, order[:, -1]] = False
 
+        # "array" shares the fast kernel solo (its batched variant only
+        # pays off across replicas; see solve_chunks_lockstep).
         kernel = (
-            anneal_group_fast if self.backend == BACKEND_FAST else anneal_group_reference
+            anneal_group_reference
+            if self.backend == BACKEND_REFERENCE
+            else anneal_group_fast
         )
         proxy = batch_proxy(weights, order, closed)
         sweeps = kernel(
@@ -254,6 +258,129 @@ class BatchedMacroSolver:
         self.total_sweeps += sweeps
         self.total_iterations += iterations * m
         return [order[i].copy() for i in range(m)], sweeps, iterations
+
+
+def solve_chunks_lockstep(
+    solvers: list[BatchedMacroSolver],
+    chunk_problems: list[list[SubProblem]],
+    schedule: AnnealSchedule | None = None,
+) -> list[list[SubSolution]]:
+    """Solve many same-shape chunks as one lock-step merged batch.
+
+    ``chunk_problems[i]`` is one dispatch chunk (all sharing one
+    ``shape_key``, as :func:`repro.engine.wavefront.chunk_indices`
+    guarantees) and ``solvers[i]`` is its chunk-seeded solver.  Each
+    chunk consumes its solver's RNG in exactly the order a solo
+    ``solvers[i].solve_all(chunk_problems[i])`` would (weight draws at
+    prepare time, then per-sweep blocks), so the returned solutions are
+    bit-identical to solo solves — the merged batch only fuses the
+    numpy sweep work of R x C macros into one kernel call.
+
+    All solvers must share one config (they are chunk clones of one
+    template); the first solver's config drives the kernel parameters.
+    """
+    from repro.kernels.array_backend import anneal_macro_groups_lockstep
+
+    schedule = schedule if schedule is not None else paper_schedule()
+    config = solvers[0].config
+    groups: list[list[SubProblem]] = []
+    for solver, problems in zip(solvers, chunk_problems):
+        for problem in problems:
+            if problem.n > solver.config.max_cities:
+                raise MacroError(
+                    f"sub-problem of {problem.n} cities exceeds macro "
+                    f"capacity {solver.config.max_cities}"
+                )
+        restarts = solver.config.restarts
+        groups.append([p for p in problems for _ in range(restarts)])
+    n, closed, fixed_first, fixed_last = chunk_problems[0][0].shape_key
+    positions = _optimizable_positions(n, closed, fixed_first, fixed_last)
+    n_fixed = int(fixed_first) + int(fixed_last) if not closed else 0
+    if positions.size == 0 or n - n_fixed < 2:
+        # Nothing the annealer may change: mirror _solve_group's early
+        # return (no RNG draws, no counter updates).
+        return [
+            [
+                SubSolution(
+                    order=p.initial_order.copy(),
+                    tag=p.tag,
+                    sweeps=0,
+                    iterations=0,
+                    length=_order_length(
+                        p.distances, p.initial_order, p.closed
+                    ),
+                )
+                for p in problems
+            ]
+            for problems in chunk_problems
+        ]
+
+    prepared = []
+    for solver, group in zip(solvers, groups):
+        m = len(group)
+        levels = np.stack(
+            [
+                inverse_distance_levels(p.distances, solver.config.bits)
+                for p in group
+            ]
+        )
+        weights = effective_weight_matrices(
+            levels, solver.config.bits, solver.config.crossbar, solver._rng
+        )
+        order = np.stack([p.initial_order for p in group]).astype(int)
+        pos_of = np.argsort(order, axis=1)
+        allowed = np.ones((m, n), dtype=bool)
+        if not closed:
+            rows = np.arange(m)
+            if fixed_first:
+                allowed[rows, order[:, 0]] = False
+            if fixed_last:
+                allowed[rows, order[:, -1]] = False
+        proxy = batch_proxy(weights, order, closed)
+        prepared.append((weights, order, pos_of, allowed, proxy))
+
+    final_orders, sweeps = anneal_macro_groups_lockstep(
+        [p[0] for p in prepared],
+        [p[1] for p in prepared],
+        [p[2] for p in prepared],
+        [p[3] for p in prepared],
+        [p[4] for p in prepared],
+        [solver._rng for solver in solvers],
+        positions,
+        schedule.probabilities(),
+        closed=closed,
+        read_noise=config.crossbar.variation.read_noise_sigma,
+        resolution=config.wta_resolution,
+        guarded=config.guarded_updates,
+    )
+    iterations = sweeps * positions.size
+
+    results: list[list[SubSolution]] = []
+    for solver, problems, group, orders in zip(
+        solvers, chunk_problems, groups, final_orders
+    ):
+        solver.total_sweeps += sweeps
+        solver.total_iterations += iterations * len(group)
+        restarts = solver.config.restarts
+        solutions = []
+        for idx, problem in enumerate(problems):
+            replica_orders = [
+                orders[idx * restarts + r].copy() for r in range(restarts)
+            ]
+            order = solver._select_replica(problem, replica_orders)
+            solutions.append(
+                SubSolution(
+                    order=order,
+                    tag=problem.tag,
+                    sweeps=sweeps,
+                    iterations=iterations * restarts,
+                    length=_order_length(
+                        problem.distances, order, problem.closed
+                    ),
+                )
+            )
+        results.append(solutions)
+    return results
 
 
 def _optimizable_positions(

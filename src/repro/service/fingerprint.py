@@ -91,6 +91,23 @@ def canonical_params(params: dict | None) -> tuple[tuple[str, object], ...]:
     return tuple(canonical)
 
 
+def _digest_value(value: object) -> object:
+    """Fold numerically-equal spellings to one serialized form.
+
+    Canonical param tuples compare with Python ``==``, under which
+    ``False == 0`` and ``2.0 == 2`` — but ``json.dumps`` spells each
+    differently, which would give equal param sets distinct digests.
+    Booleans and integer-valued floats (including ``-0.0``) therefore
+    serialize as plain ints; values that are ``==``-distinct are never
+    folded together, so injectivity over canonical sets is preserved.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
 def instance_digest(instance: TSPInstance) -> str:
     """Content hash of the instance geometry (name-independent).
 
@@ -130,7 +147,7 @@ def solve_fingerprint(
             "schema": FINGERPRINT_SCHEMA,
             "instance": instance_digest(instance),
             "solver": solver,
-            "params": canonical,
+            "params": [(key, _digest_value(value)) for key, value in canonical],
             "seed": canonical_seed(seed),
         },
         sort_keys=True,

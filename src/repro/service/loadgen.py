@@ -325,7 +325,7 @@ class LoadtestReport:
         )
         lookups = cache.get("hits", 0) + cache.get("misses", 0)
         cache["hit_rate"] = cache.get("hits", 0) / lookups if lookups else 0.0
-        batches = requests.get("batches", 0)
+        windows = requests.get("windows", 0)
         batched = requests.get("batched_requests", 0)
         return {
             "driver": self.driver_name,
@@ -365,7 +365,11 @@ class LoadtestReport:
             "cache_hits": cache.get("hits", 0),
             "cache_misses": cache.get("misses", 0),
             "cache_hit_rate": cache.get("hit_rate", 0.0),
-            "mean_batch_size": (batched / batches) if batches else 0.0,
+            # Requests per *window*, not per post-grouping dispatch: the
+            # dispatcher splits a window by (solver, params, seed), and
+            # cold traffic carries unique seeds, so per-group averages
+            # would sit at 1.0 regardless of coalescing.
+            "mean_batch_size": (batched / windows) if windows else 0.0,
             "server_requests": requests,
         }
 

@@ -359,6 +359,9 @@ class ServiceMetrics:
         self.batched_requests = registry.counter(
             "repro_batched_requests_total",
             "Requests carried by dispatch groups")
+        self.windows = registry.counter(
+            "repro_dispatch_windows_total",
+            "Batching windows drained by the dispatcher")
         self.cache_hits = registry.counter(
             "repro_cache_hits_total", "Result-cache lookup hits")
         self.cache_misses = registry.counter(
@@ -370,7 +373,8 @@ class ServiceMetrics:
         self.queue_depth_limit = registry.gauge(
             "repro_queue_depth_limit", "Backpressure threshold")
         self.batch_size = registry.histogram(
-            "repro_batch_size", "Requests per engine dispatch group",
+            "repro_batch_size",
+            "Requests coalesced per batching window (pre-grouping occupancy)",
             bounds=batch_size_bounds())
         self.solve_latency = registry.histogram(
             "repro_solve_latency_seconds",

@@ -324,6 +324,7 @@ class SolveService:
                 "failed": metrics.failed.value,
                 "batches": metrics.batches.value,
                 "batched_requests": metrics.batched_requests.value,
+                "windows": metrics.windows.value,
             }
             jobs_by_status: dict[str, int] = {}
             for job in self._jobs.values():
@@ -360,8 +361,12 @@ class SolveService:
                 groups.setdefault(job.request.group_key(), []).append(job)
             self.metrics.batches.inc(len(groups))
             self.metrics.batched_requests.inc(len(batch))
-            for jobs in groups.values():
-                self.metrics.batch_size.observe(len(jobs))
+            # Observe the window occupancy *before* group_key splits it:
+            # distinct seeds (every loadgen cold request) land in their
+            # own single-job groups, so per-group sizes would report a
+            # constant 1.0 no matter how well the window coalesces.
+            self.metrics.windows.inc()
+            self.metrics.batch_size.observe(len(batch))
             with self._lock:
                 for job in batch:
                     job.status = "running"

@@ -31,6 +31,9 @@ TINY = dict(
     loadtest_sweeps=5,
     loadtest_requests=8,
     loadtest_concurrency=2,
+    replica_batch_sizes=[24],
+    replica_batch_sweeps=8,
+    replica_batch_replicas=2,
     replicas=2,
     repeats=1,
 )
@@ -112,7 +115,7 @@ class TestRunBench:
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
             pipeline_sizes=[], service_sizes=[], loadtest_sizes=[],
-            tsp_sweeps=5, repeats=1,
+            replica_batch_sizes=[], tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
@@ -190,7 +193,7 @@ class TestBenchCLI:
         code = main([
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
             "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
-            "--service-sizes", "--loadtest-sizes",
+            "--service-sizes", "--loadtest-sizes", "--replica-batch-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])

@@ -230,3 +230,33 @@ class TestLoadtestCommand:
     def test_loadtest_set_params_and_bad_set_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["loadtest", "--set", "garbage", "--out", str(tmp_path)])
+
+
+class TestCliDocs:
+    def test_generated_cli_reference_matches_parser(self):
+        # Drift guard: docs/cli.md is generated from the argparse
+        # definitions; any parser change must regenerate it with
+        # `python tools/gen_cli_docs.py` (CI runs the same check).
+        import importlib.util
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        spec = importlib.util.spec_from_file_location(
+            "gen_cli_docs", os.path.join(root, "tools", "gen_cli_docs.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        columns_before = os.environ.get("COLUMNS")
+        try:
+            spec.loader.exec_module(module)
+            rendered = module.render()
+        finally:
+            if columns_before is None:
+                os.environ.pop("COLUMNS", None)
+            else:
+                os.environ["COLUMNS"] = columns_before
+        with open(os.path.join(root, "docs", "cli.md")) as handle:
+            on_disk = handle.read()
+        assert on_disk == rendered, (
+            "docs/cli.md is stale; regenerate with "
+            "`python tools/gen_cli_docs.py`"
+        )

@@ -171,7 +171,7 @@ class TestRunLoadtest:
         assert (metrics["repro_requests_completed_total"]
                 == summary["server_requests"]["completed"])
         assert (metrics["repro_batch_size"]["count"]
-                == summary["server_requests"]["batches"])
+                == summary["server_requests"]["windows"])
 
     def test_two_runs_same_seed_identical_ledgers(self, report):
         again = run_loadtest(LoadgenConfig(**TINY)).summary()

@@ -211,6 +211,7 @@ class TestServiceMetricsWiring:
             "repro_requests_failed_total",
             "repro_batches_total",
             "repro_batched_requests_total",
+            "repro_dispatch_windows_total",
             "repro_cache_hits_total",
             "repro_cache_misses_total",
             "repro_cache_evictions_total",

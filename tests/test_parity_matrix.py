@@ -78,6 +78,32 @@ def test_bit_exact_backend_parity(solver):
         assert fast.length == ref.length
 
 
+#: Solvers whose ``array`` backend must match ``fast`` bit-for-bit
+#: (the lock-step batching contract; see docs/backends.md).
+ARRAY_BIT_EXACT = ("sa_tsp", "taxi")
+
+
+@pytest.mark.parametrize("solver", ARRAY_BIT_EXACT)
+def test_array_backend_bit_exact_vs_fast(solver):
+    instances = (
+        clustered_instance(48, seed=11),
+        clustered_instance(64, seed=90),
+        uniform_instance(72, seed=7),
+    )
+    for instance in instances:
+        for seed in SEEDS:
+            fast = solve_with(solver, instance, seed=seed, backend="fast",
+                              sweeps=40)
+            array = solve_with(solver, instance, seed=seed, backend="array",
+                               sweeps=40)
+            np.testing.assert_array_equal(
+                array.order, fast.order,
+                err_msg=f"{solver} {instance.name} seed={seed}: "
+                        "array != fast",
+            )
+            assert array.length == fast.length
+
+
 @pytest.mark.parametrize("solver", sorted(DISTRIBUTION))
 def test_distribution_backend_parity(solver):
     instance = _instance_for(solver)

@@ -1,0 +1,177 @@
+"""Replica lock-step batching: bit-identity, engagement, fallback.
+
+The contract under test (see ``docs/backends.md``): folding R replicas
+into one kernel batch must be *bit-identical* to running them
+sequentially — every replica keeps its own RNG stream and draws
+exactly the blocks it would draw solo — and the engagement knob must
+refuse combinations that cannot honour that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.engine.bench import (
+    _bench_replica_batch,
+    bench_ising_model,
+    compute_replica_batch_speedups,
+)
+from repro.engine.jobs import BatchJob
+from repro.engine.replica_batch import (
+    lockstep_engaged,
+    lockstep_supported,
+    run_lockstep_batch,
+)
+from repro.engine.runner import run_batch
+from repro.errors import ConfigError
+from repro.kernels import BACKEND_FAST, array_backend, resolve_backend
+from repro.kernels.array_backend import anneal_spins_replicas
+from repro.kernels.spin import anneal_fast
+from repro.utils.rng import replica_seeds
+
+
+def _job(solver="sa_tsp", token="uniform:40:3", replicas=4, mode="auto",
+         **params):
+    return BatchJob.create(
+        [token],
+        solver=solver,
+        params=params,
+        engine=EngineConfig(replicas=replicas, workers=1, seed=0,
+                            replica_batch=mode),
+    )
+
+
+def _replica_tuples(result):
+    return [
+        (r.index, r.seed, r.length, tuple(r.order.tolist()))
+        for r in result.replicas
+    ]
+
+
+class TestProbe:
+    def test_numpy_namespace_always_probes_usable(self):
+        assert array_backend.is_available()
+        assert array_backend.namespace_name() in ("torch", "cupy", "numpy")
+        assert resolve_backend("array") == "array"
+
+    def test_absent_namespaces_degrade_array_to_fast(self, monkeypatch):
+        def refuse(name):
+            raise ImportError(name)
+
+        monkeypatch.setattr(array_backend.importlib, "import_module", refuse)
+        array_backend.clear_probe_cache()
+        try:
+            assert not array_backend.is_available()
+            assert array_backend.namespace_name() is None
+            # The fallback rule: array degrades to fast, silently.
+            assert resolve_backend("array") == BACKEND_FAST
+            # ...and auto lock-step therefore never engages.
+            assert not lockstep_engaged(_job(backend="array"), "auto")
+        finally:
+            monkeypatch.undo()
+            array_backend.clear_probe_cache()
+        assert array_backend.is_available()
+
+
+class TestEngagement:
+    def test_engine_config_validates_the_knob(self):
+        for mode in ("auto", "on", "off"):
+            assert EngineConfig(replica_batch=mode).replica_batch == mode
+        with pytest.raises(ConfigError, match="replica_batch"):
+            EngineConfig(replica_batch="bogus")
+
+    def test_supported_solvers_and_params(self):
+        assert lockstep_supported("sa_tsp", {"sweeps": 10})
+        assert lockstep_supported("taxi", {"clustering": "kmeans"})
+        assert not lockstep_supported("greedy", {})
+        assert not lockstep_supported("sa_tsp", {"mystery_knob": 1})
+
+    def test_auto_requires_the_array_backend(self):
+        assert lockstep_engaged(_job(backend="array"), "auto")
+        assert not lockstep_engaged(_job(backend="fast"), "auto")
+        assert not lockstep_engaged(_job(), "auto")  # auto -> fast
+        assert not lockstep_engaged(_job(backend="array"), "off")
+
+    def test_on_forces_and_raises_on_incompatible_jobs(self):
+        assert lockstep_engaged(_job(backend="fast"), "on")
+        with pytest.raises(ConfigError, match="lock-step capable"):
+            lockstep_engaged(_job(solver="greedy"), "on")
+        with pytest.raises(ConfigError, match="reference"):
+            lockstep_engaged(_job(backend="reference"), "on")
+
+
+class TestKernelBitIdentity:
+    def test_batched_metropolis_equals_solo_per_replica(self):
+        model = bench_ising_model(64, seed=4)
+        temperatures = np.geomspace(3.0, 0.05, 30)
+        seeds = replica_seeds(0, 3)
+
+        solo = []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            spins = model.random_state(rng)
+            solo.append(anneal_fast(model, spins, temperatures, rng))
+
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        spins = np.stack([model.random_state(rng) for rng in rngs])
+        batched = anneal_spins_replicas(model, spins, temperatures, rngs)
+
+        for (s_spins, s_energy, s_trace, s_accepted), \
+                (b_spins, b_energy, b_trace, b_accepted) in zip(solo, batched):
+            np.testing.assert_array_equal(b_spins, s_spins)
+            assert b_energy == s_energy
+            np.testing.assert_array_equal(b_trace, s_trace)
+            assert b_accepted == s_accepted
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("solver,token,params", [
+        ("sa_tsp", "uniform:40:3", {"sweeps": 60}),
+        ("taxi", "clustered:60:5", {"sweeps": 20}),
+    ])
+    def test_lockstep_equals_sequential(self, solver, token, params):
+        sequential = run_batch(_job(solver=solver, token=token, mode="off",
+                                    backend="array", **params))[0]
+        lockstep = run_batch(_job(solver=solver, token=token, mode="on",
+                                  backend="array", **params))[0]
+        assert _replica_tuples(lockstep) == _replica_tuples(sequential)
+
+    def test_auto_engagement_is_invisible_in_results(self):
+        auto = run_batch(_job(token="uniform:32:9", mode="auto",
+                              backend="array", sweeps=40))[0]
+        off = run_batch(_job(token="uniform:32:9", mode="off",
+                             backend="array", sweeps=40))[0]
+        assert _replica_tuples(auto) == _replica_tuples(off)
+
+    def test_runtime_ineligible_taxi_falls_back_identically(self):
+        # kmeans hierarchies diverge per replica seed, so lock-step
+        # must quietly run the sequential task loop — same tours.
+        params = {"sweeps": 15, "backend": "array", "clustering": "kmeans"}
+        on = run_batch(_job(solver="taxi", token="clustered:48:2",
+                            replicas=2, mode="on", **params))[0]
+        off = run_batch(_job(solver="taxi", token="clustered:48:2",
+                             replicas=2, mode="off", **params))[0]
+        assert _replica_tuples(on) == _replica_tuples(off)
+
+    def test_progress_events_stream_per_replica(self):
+        events = []
+        job = _job(token="uniform:24:1", mode="on", backend="array",
+                   replicas=3, sweeps=20)
+        run_lockstep_batch(job, list(replica_seeds(0, 3)), events.append)
+        assert [e.replica for e in events] == [0, 1, 2]
+        assert all(e.total == 3 for e in events)
+
+
+class TestBenchGrid:
+    def test_replica_batch_grid_reports_bit_identical_speedup(self):
+        entries = _bench_replica_batch(
+            (30,), sweeps=8, replicas=2, seed=0, repeats=1
+        )
+        assert [e["mode"] for e in entries] == ["off", "on"]
+        assert all(e["seconds"] > 0 for e in entries)
+        speedups = compute_replica_batch_speedups(entries)
+        assert len(speedups) == 1
+        cell = speedups[0]
+        assert cell["n"] == 30 and cell["replicas"] == 2
+        assert cell["bit_identical"] is True
+        assert cell["speedup"] is not None and cell["speedup"] > 0

@@ -190,6 +190,30 @@ class TestSolveService:
         assert counters["batches"] < 4
         assert counters["batched_requests"] == 4
 
+    def test_batch_size_records_window_occupancy_not_group_size(self):
+        # Regression: distinct seeds (the loadgen cold-request pattern)
+        # split one window into single-job groups, so a per-group
+        # histogram would report a constant 1.0.  The instrument must
+        # record pre-grouping window occupancy instead.
+        config = ServiceConfig(batch_window=0.25, max_batch=8)
+        with SolveService(config) as svc:
+            jobs = [
+                svc.submit(_request(token="uniform:24:1", solver="sa_tsp",
+                                    sweeps=10, seed=i))
+                for i in range(4)
+            ]
+            for job in jobs:
+                svc.wait(job.id, timeout=120)
+        counters = svc.stats()["requests"]
+        snapshot = svc.metrics.snapshot()
+        assert counters["batches"] == 4  # unique seeds: one group each
+        assert counters["windows"] < 4  # ...but the window coalesced
+        assert counters["batched_requests"] == 4
+        histogram = snapshot["repro_batch_size"]
+        assert histogram["count"] == counters["windows"]
+        assert histogram["sum"] == counters["batched_requests"]
+        assert counters["batched_requests"] / counters["windows"] > 1.0
+
     def test_inflight_deduplication(self):
         # Slow the dispatcher with a window so the second submit lands
         # while the first is still queued.

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve to real files.
+
+Scans README.md and docs/*.md for ``[text](target)`` links, resolves
+each relative target against the linking file, and exits 1 listing any
+that point nowhere.  External links (http/https/mailto), pure anchors
+(``#section``), and GitHub-web-relative paths that escape the repo
+(``../../actions/...`` badge links) are skipped — this is a
+filesystem check, not a crawler::
+
+    python tools/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — target up to the first closing paren or whitespace.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    with open(path) as handle:
+        text = handle.read()
+    base = os.path.dirname(os.path.abspath(path))
+    for target in LINK.findall(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target_path))
+        if not resolved.startswith(REPO_ROOT + os.sep):
+            continue  # GitHub-web-relative (e.g. ../../actions badges)
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, REPO_ROOT)
+            errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    files += sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    errors: list[str] = []
+    for path in files:
+        if os.path.exists(path):
+            errors.extend(check_file(path))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} files: all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
