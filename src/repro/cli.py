@@ -140,6 +140,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache capacity (LRU entries)")
     serve.add_argument("--cache-path", default=None,
                        help="JSON file for cache persistence across restarts")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline applied to requests that do not "
+                            "send deadline_seconds themselves")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="pool-respawn and transient-retry budget "
+                            "per dispatch")
+    serve.add_argument("--chaos-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="enable server-side chaos injection with this "
+                            "fault-schedule seed (worker kills, slow "
+                            "solves, transient errors)")
+    serve.add_argument("--chaos-kill-rate", type=float, default=0.08,
+                       help="chaos: per-dispatch worker SIGKILL probability")
+    serve.add_argument("--chaos-slow-rate", type=float, default=0.10,
+                       help="chaos: per-task slow-solve probability")
+    serve.add_argument("--chaos-slow-seconds", type=float, default=0.25,
+                       help="chaos: max injected slow-solve delay")
+    serve.add_argument("--chaos-transient-rate", type=float, default=0.05,
+                       help="chaos: per-task transient-exception probability")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
 
@@ -183,6 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="in-process service pool width")
     loadtest.add_argument("--timeout", type=float, default=300.0,
                           help="per-request completion timeout (seconds)")
+    loadtest.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-request deadline_seconds sent with "
+                               "every request")
+    loadtest.add_argument("--max-retries", type=int, default=3,
+                          help="client retries per request on 503 shed "
+                               "responses (honors Retry-After)")
+    loadtest.add_argument("--chaos", action="store_true",
+                          help="inject seeded faults (worker kills, slow "
+                               "solves, transient errors) into the "
+                               "in-process service while driving it")
+    loadtest.add_argument("--chaos-seed", type=int, default=None,
+                          help="fault-schedule seed (default: --seed)")
+    loadtest.add_argument("--chaos-kill-rate", type=float, default=0.08,
+                          help="chaos: per-dispatch worker SIGKILL "
+                               "probability")
+    loadtest.add_argument("--chaos-slow-rate", type=float, default=0.10,
+                          help="chaos: per-task slow-solve probability")
+    loadtest.add_argument("--chaos-slow-seconds", type=float, default=0.25,
+                          help="chaos: max injected slow-solve delay")
+    loadtest.add_argument("--chaos-transient-rate", type=float, default=0.05,
+                          help="chaos: per-task transient-exception "
+                               "probability")
     loadtest.add_argument("--out", default=".",
                           help="output directory or explicit .json path "
                                "(default: LOADTEST_<rev>.json in the cwd)")
@@ -665,6 +708,12 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         if not separator or not key:
             raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
         params[key] = _parse_value(value)
+    if args.chaos and args.http:
+        raise SystemExit(
+            "--chaos drives an in-process service; to chaos-test over "
+            "HTTP start the server with `repro serve --chaos-seed ...` "
+            "and drop --chaos here"
+        )
     config = LoadgenConfig(
         instances=tuple(args.instances),
         requests=args.requests,
@@ -676,6 +725,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         params=tuple(sorted(params.items())),
         seed=args.seed,
         timeout=args.timeout,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        chaos_kill_rate=args.chaos_kill_rate,
+        chaos_slow_rate=args.chaos_slow_rate,
+        chaos_slow_seconds=args.chaos_slow_seconds,
+        chaos_transient_rate=args.chaos_transient_rate,
     )
     driver = HTTPDriver(args.http) if args.http else None
     report = run_loadtest(config, driver=driver, workers=args.workers)
@@ -710,6 +767,19 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
           f"(hit rate {summary['cache_hit_rate']:.2f})")
     print(f"mean batch    : {summary['mean_batch_size']:.2f} requests/dispatch")
     print(f"schedule hash : {summary['schedule_digest'][:16]}")
+    classes = summary["error_classes"]
+    if summary["errors"] or summary["client_retries"]:
+        print("error classes : " + ", ".join(
+            f"{name}={classes[name]}" for name in sorted(classes)
+        ) + f" (client retries {summary['client_retries']})")
+    chaos = summary.get("chaos")
+    if chaos:
+        injected = chaos.get("injected") or {}
+        print(f"chaos         : {chaos['injection']} schedule "
+              f"{(chaos.get('schedule_digest') or '-')[:16]} "
+              f"(kills {injected.get('kills_injected', 0)}, "
+              f"slow {injected.get('slow_injected', 0)}, "
+              f"transient {injected.get('transient_injected', 0)})")
     for sample in summary["error_samples"]:
         print(f"error sample  : {sample}")
     path = write_bench(loadtest_payload(report), args.out, prefix="LOADTEST")
@@ -728,8 +798,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_path=args.cache_path,
         workers=args.workers,
+        default_deadline=args.default_deadline,
+        max_retries=args.max_retries,
     )
-    serve_forever(config, host=args.host, port=args.port, verbose=args.verbose)
+    fault_injector = None
+    if args.chaos_seed is not None:
+        from repro.service.faults import FaultConfig, FaultInjector
+
+        fault_injector = FaultInjector(FaultConfig(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_kill_rate,
+            slow_rate=args.chaos_slow_rate,
+            slow_seconds=args.chaos_slow_seconds,
+            transient_rate=args.chaos_transient_rate,
+        ))
+    serve_forever(config, host=args.host, port=args.port,
+                  verbose=args.verbose, fault_injector=fault_injector)
     return 0
 
 

@@ -182,6 +182,20 @@ class ServiceConfig:
         Process-pool width for dispatched solve batches.  ``1`` solves
         inline in the dispatcher thread; results are bit-identical at
         any width (requests carry explicit seeds).
+    default_deadline:
+        Deadline in seconds applied to requests that don't carry their
+        own ``deadline_seconds``.  ``None`` (default) means no
+        deadline.  Expired jobs finish with status ``"expired"``.
+    max_retries:
+        Per-dispatch recovery budget: bounds both pool respawns after
+        worker crashes and transient task retries (see
+        :class:`~repro.engine.recovery.RetryPolicy`).
+    retry_backoff:
+        Base backoff in seconds before the first retry (exponential
+        with deterministic jitter thereafter).
+    shed_retry_after:
+        ``Retry-After`` seconds advertised when the service sheds load
+        (HTTP 503) because the pool is degraded/respawning.
     """
 
     queue_depth: int = 64
@@ -191,6 +205,10 @@ class ServiceConfig:
     cache_path: str | None = None
     job_history: int = 1024
     workers: int = 1
+    default_deadline: float | None = None
+    max_retries: int = 3
+    retry_backoff: float = 0.05
+    shed_retry_after: float = 0.5
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -209,6 +227,22 @@ class ServiceConfig:
             raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.shed_retry_after <= 0:
+            raise ConfigError(
+                f"shed_retry_after must be > 0, got {self.shed_retry_after}"
+            )
 
 
 @dataclass(frozen=True)
@@ -247,6 +281,30 @@ class LoadgenConfig:
         seeds, warm references, arrival times).
     timeout:
         Per-request completion timeout in seconds.
+    deadline:
+        Optional per-request ``deadline_seconds`` attached to every
+        scheduled request (server-side enforcement; ``None`` sends
+        none).
+    max_retries:
+        Client-side retry budget for shed responses (503/``ShedError``)
+        — the loadgen backs off by the advertised ``Retry-After`` and
+        re-issues, so a brief degraded window costs latency, not
+        failed requests.
+    chaos:
+        Enable the seeded fault injector for in-process runs (worker
+        kills, slow-solve latency, transient task faults).  Against an
+        HTTP driver the flag only annotates the report — inject on the
+        server via ``repro serve --chaos-seed``.
+    chaos_seed:
+        Seed of the fault schedule; ``None`` reuses the run seed.  Two
+        runs with equal chaos config produce identical fault schedules
+        (assert via the injector's ``schedule_digest``).
+    chaos_kill_rate, chaos_slow_rate, chaos_transient_rate:
+        Per-slot probabilities of each fault class in the precomputed
+        schedule.
+    chaos_slow_seconds:
+        Upper bound of injected solve latency (per-slot values are
+        seeded draws in ``[0, chaos_slow_seconds]``).
     """
 
     instances: tuple[str, ...] = ("101",)
@@ -259,6 +317,14 @@ class LoadgenConfig:
     params: tuple[tuple[str, object], ...] = (("sweeps", 30),)
     seed: int = 0
     timeout: float = 300.0
+    deadline: float | None = None
+    max_retries: int = 3
+    chaos: bool = False
+    chaos_seed: int | None = None
+    chaos_kill_rate: float = 0.08
+    chaos_slow_rate: float = 0.10
+    chaos_transient_rate: float = 0.05
+    chaos_slow_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if not self.instances:
@@ -281,6 +347,25 @@ class LoadgenConfig:
             raise ConfigError(f"rate must be > 0, got {self.rate}")
         if self.timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigError(f"deadline must be > 0, got {self.deadline}")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        for name in ("chaos_kill_rate", "chaos_slow_rate",
+                     "chaos_transient_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.chaos_slow_seconds < 0:
+            raise ConfigError(
+                f"chaos_slow_seconds must be >= 0, got {self.chaos_slow_seconds}"
+            )
+        if self.chaos_seed is not None and self.chaos_seed < 0:
+            raise ConfigError(
+                f"chaos_seed must be >= 0, got {self.chaos_seed}"
+            )
 
     def params_dict(self) -> dict:
         return dict(self.params)

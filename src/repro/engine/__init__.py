@@ -43,12 +43,14 @@ from repro.engine.registry import (
     solve_with,
     solver_names,
 )
+from repro.engine.recovery import RetryPolicy, TaskOutcome, run_with_recovery
 from repro.engine.runner import (
     ReplicaTask,
     run_batch,
     run_replica_task,
     run_replicas,
     run_tasks,
+    set_task_hook,
     validate_finite_instance,
 )
 from repro.engine.wavefront import WavefrontPool, chunk_indices
@@ -73,9 +75,13 @@ __all__ = [
     "solve_with",
     "solver_names",
     "ReplicaTask",
+    "RetryPolicy",
+    "TaskOutcome",
     "run_replica_task",
     "run_replicas",
     "run_batch",
     "run_tasks",
+    "run_with_recovery",
+    "set_task_hook",
     "validate_finite_instance",
 ]

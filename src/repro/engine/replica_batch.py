@@ -146,7 +146,25 @@ def run_lockstep_batch(
 def _solve_instance(
     job: BatchJob, spec: InstanceSpec, seeds: list[int]
 ) -> list[ReplicaResult]:
+    from repro.engine import runner
     from repro.engine.runner import ReplicaTask, _validate_once, run_replica_task
+
+    # Task-hook parity with the per-replica path: the engine chaos hook
+    # (latency, TransientError) fires once per replica here too, so a
+    # lock-step batch is not a blind spot for fault injection.  The
+    # hook never touches solver state, so tours stay bit-identical.
+    if runner._TASK_HOOK is not None:
+        for index, seed in enumerate(seeds):
+            runner._TASK_HOOK(
+                ReplicaTask(
+                    spec=spec,
+                    solver=job.solver,
+                    params=job.params,
+                    seed=seed,
+                    index=index,
+                    instance_index=0,
+                )
+            )
 
     setup_start = time.perf_counter()
     instance = spec.resolve()
@@ -162,19 +180,25 @@ def _solve_instance(
     if orders is None:
         # Runtime-ineligible for lock-step: run the classic sequential
         # task loop for this instance (identical results, no batching).
-        return [
-            run_replica_task(
-                ReplicaTask(
-                    spec=spec,
-                    solver=job.solver,
-                    params=job.params,
-                    seed=seed,
-                    index=index,
-                    instance_index=0,
-                )
-            )[1]
-            for index, seed in enumerate(seeds)
-        ]
+        # The task hook already fired above, so silence it here to keep
+        # injection at exactly once per replica.
+        previous_hook = runner.set_task_hook(None)
+        try:
+            return [
+                run_replica_task(
+                    ReplicaTask(
+                        spec=spec,
+                        solver=job.solver,
+                        params=job.params,
+                        seed=seed,
+                        index=index,
+                        instance_index=0,
+                    )
+                )[1]
+                for index, seed in enumerate(seeds)
+            ]
+        finally:
+            runner.set_task_hook(previous_hook)
     seconds = (time.perf_counter() - solve_start) / len(seeds)
 
     replicas = []

@@ -26,7 +26,13 @@ Usage::
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable
 
@@ -36,7 +42,7 @@ from repro.core.config import EngineConfig
 from repro.core.result import BatchResult, ReplicaResult
 from repro.engine.jobs import BatchJob, BatchProgress, InstanceSpec
 from repro.engine.registry import build_solver, get_solver
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PoolBrokenError
 from repro.tsp.instance import TSPInstance
 from repro.utils.rng import replica_seeds
 
@@ -74,6 +80,28 @@ def validate_finite_instance(instance: TSPInstance) -> None:
 #: the strong reference keeps the id from being recycled).
 _VALIDATED: dict[int, TSPInstance] = {}
 
+#: Optional per-task hook consulted by :func:`run_replica_task` before
+#: solving — the engine-level chaos injection point (latency,
+#: TransientError).  Module-level so it applies wherever the task
+#: function runs: inline, and in forked pool workers that inherit it.
+#: (Workers under the ``spawn`` start method re-import this module and
+#: start with no hook — parent-side injection via the recovery
+#: driver's ``before_task`` covers those.)
+_TASK_HOOK: Callable[["ReplicaTask"], None] | None = None
+
+
+def set_task_hook(
+    hook: Callable[["ReplicaTask"], None] | None,
+) -> Callable[["ReplicaTask"], None] | None:
+    """Install (or clear, with ``None``) the pre-solve task hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _TASK_HOOK
+    previous = _TASK_HOOK
+    _TASK_HOOK = hook
+    return previous
+
 
 def _validate_once(instance: TSPInstance) -> None:
     if _VALIDATED.get(id(instance)) is instance:
@@ -89,6 +117,8 @@ def run_replica_task(task: ReplicaTask) -> tuple[int, ReplicaResult]:
     proper are timed separately so backend speedups stay visible even
     when instance construction dominates.
     """
+    if _TASK_HOOK is not None:
+        _TASK_HOOK(task)
     setup_start = time.perf_counter()
     instance = task.spec.resolve()
     _validate_once(instance)
@@ -119,7 +149,14 @@ def _execute_tasks(
     executor: Executor | None,
     on_result: Callable[[int, ReplicaResult], None],
 ) -> None:
-    """Run every task, invoking ``on_result`` as each replica finishes."""
+    """Run every task, invoking ``on_result`` as each replica finishes.
+
+    The internal pool path survives worker crashes: a broken pool is
+    rebuilt and only the still-undelivered tasks are replayed (each
+    task is a pure function of its description, so retried results are
+    bit-identical), bounded by the default
+    :class:`~repro.engine.recovery.RetryPolicy` budget.
+    """
     if executor is not None:
         for future in [executor.submit(run_replica_task, task) for task in tasks]:
             on_result(*future.result())
@@ -128,17 +165,45 @@ def _execute_tasks(
         for task in tasks:
             on_result(*run_replica_task(task))
         return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        backlog = workers * _BACKLOG_PER_WORKER
-        pending = {pool.submit(run_replica_task, task) for task in tasks[:backlog]}
-        queued = backlog
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                on_result(*future.result())
-                if queued < len(tasks):
-                    pending.add(pool.submit(run_replica_task, tasks[queued]))
-                    queued += 1
+    from repro.engine.recovery import RetryPolicy
+
+    policy = RetryPolicy()
+    pool_failures = 0
+    undelivered = list(range(len(tasks)))
+    while undelivered:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                backlog = workers * _BACKLOG_PER_WORKER
+                order = list(undelivered)  # this attempt's worklist
+                inflight = {
+                    pool.submit(run_replica_task, tasks[position]): position
+                    for position in order[:backlog]
+                }
+                cursor = len(inflight)
+                while inflight:
+                    done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        position = inflight.pop(future)
+                        # Exactly-once delivery: only a future that
+                        # *returned* marks its task delivered, so a
+                        # crash replay can never double-report.
+                        on_result(*future.result())
+                        undelivered.remove(position)
+                        if cursor < len(order):
+                            replay = order[cursor]
+                            cursor += 1
+                            inflight[
+                                pool.submit(run_replica_task, tasks[replay])
+                            ] = replay
+        except BrokenExecutor:
+            pool_failures += 1
+            if pool_failures > policy.max_retries:
+                raise PoolBrokenError(
+                    f"batch worker pool still broken after "
+                    f"{policy.max_retries} rebuild(s); "
+                    f"{len(undelivered)} task(s) unrecovered"
+                ) from None
+            time.sleep(policy.delay(pool_failures - 1))
 
 
 def run_tasks(

@@ -20,18 +20,37 @@ replica runner philosophy (PR 1):
 ``map`` calls (one per hierarchy level) instead of paying pool startup
 per level.  An explicit ``executor`` (e.g. a thread pool, or an inline
 test executor) overrides the pool entirely.
+
+**Crash recovery** (PR 7): a killed worker marks the whole
+``ProcessPoolExecutor`` broken.  Because chunks are pure functions of
+their descriptions, the pool can respawn the executor and replay only
+the lost chunks — retried results are bit-identical to an uninjected
+run.  Replay is driven by :mod:`repro.engine.recovery` with a bounded
+:class:`~repro.engine.recovery.RetryPolicy`; while a respawn is in
+flight the pool reports itself *degraded* so serving layers can shed
+load instead of erroring.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.engine.recovery import RetryPolicy, TaskOutcome, run_with_recovery
 from repro.errors import ConfigError
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def _warmup(seconds: float) -> int:
+    """No-op pool task (module-level so it pickles); returns its pid."""
+    import os
+
+    time.sleep(seconds)
+    return os.getpid()
 
 
 def chunk_indices(
@@ -58,7 +77,7 @@ def chunk_indices(
 
 
 class WavefrontPool:
-    """Order-preserving task fan-out with a reusable process pool.
+    """Order-preserving task fan-out with a reusable, respawnable pool.
 
     Parameters
     ----------
@@ -69,30 +88,99 @@ class WavefrontPool:
     executor:
         Optional explicit :class:`~concurrent.futures.Executor` that
         overrides the internal process pool (tests inject thread or
-        inline executors here).
+        inline executors here).  External executors cannot be
+        respawned: if one breaks, :class:`PoolBrokenError` surfaces
+        immediately.
+    policy:
+        Recovery budget/backoff for broken-pool replay and transient
+        retries (default :class:`~repro.engine.recovery.RetryPolicy`).
+    eager:
+        When true (the serving layer), single-task dispatches still use
+        the process pool once ``workers > 1`` — the pool is long-lived
+        there, so the inline shortcut would only hide the pool (and its
+        failures) from light traffic.  The default (pipeline use) keeps
+        the old behavior: a lone pending task runs inline.
+    on_respawn:
+        Callback fired after each executor respawn (metrics hook).
+    on_degraded:
+        Callback ``(active, seconds)`` fired entering (``True, 0.0``)
+        and leaving (``False, <time spent>``) degraded mode.
     """
 
-    def __init__(self, workers: int = 1, executor: Executor | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: Executor | None = None,
+        policy: RetryPolicy | None = None,
+        eager: bool = False,
+        on_respawn: Callable[[], None] | None = None,
+        on_degraded: Callable[[bool, float], None] | None = None,
+    ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.eager = eager
+        self.respawns = 0
+        self.on_respawn = on_respawn
+        self.on_degraded = on_degraded
         self._external = executor
         self._own: ProcessPoolExecutor | None = None
-        # Guards lazy pool creation: the solve service resolves the
-        # executor from concurrent dispatcher threads.
+        # Guards lazy pool creation *and* respawn: the solve service
+        # resolves the executor from concurrent dispatcher threads, and
+        # two groups may detect the same broken pool at once.
         self._own_lock = threading.Lock()
+        self._degraded_since: float | None = None
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
-        """Run ``fn`` over ``tasks``; results align with the task order."""
+        """Run ``fn`` over ``tasks``; results align with the task order.
+
+        Survives worker crashes: lost tasks are replayed on a
+        respawned pool (each task is a pure function of its
+        description, so the retried results are bit-identical).  The
+        first *application* error — in task order — propagates, as
+        before.
+        """
+        outcomes = self.map_outcomes(fn, tasks)
+        results: list[_R] = []
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+            results.append(outcome.value)  # type: ignore[arg-type]
+        return results
+
+    def map_outcomes(
+        self,
+        fn: Callable,
+        tasks: Iterable,
+        policy: RetryPolicy | None = None,
+        before_task: Callable | None = None,
+        on_retry: Callable | None = None,
+    ) -> list[TaskOutcome]:
+        """Crash-recovering fan-out with per-task isolation.
+
+        Unlike :meth:`map`, a task raising an ordinary exception does
+        not poison its siblings: every input task gets a
+        :class:`~repro.engine.recovery.TaskOutcome` (the serving layer
+        fails only the corresponding fingerprints).  Pool breakage is
+        respawned + replayed and :class:`~repro.errors.TransientError`
+        retried, both bounded by ``policy``.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
-        executor = self._resolve_executor(len(tasks))
-        if executor is None:
-            return [fn(task) for task in tasks]
-        futures = [executor.submit(fn, task) for task in tasks]
-        return [future.result() for future in futures]
+        outcomes = run_with_recovery(
+            self._resolve_executor,
+            self._respawn,
+            fn,
+            tasks,
+            policy if policy is not None else self.policy,
+            before_task=before_task,
+            on_retry=on_retry,
+        )
+        self._clear_degraded()
+        return outcomes
 
     def executor_for(self, pending: int) -> Executor | None:
         """The executor ``pending`` tasks would run on (``None`` = inline).
@@ -108,19 +196,95 @@ class WavefrontPool:
     def _resolve_executor(self, pending: int) -> Executor | None:
         if self._external is not None:
             return self._external
-        if self.workers <= 1 or pending <= 1:
+        if self.workers <= 1:
+            return None
+        if pending <= 1 and not self.eager:
             return None
         with self._own_lock:
             if self._own is None:
                 self._own = ProcessPoolExecutor(max_workers=self.workers)
             return self._own
 
+    def prestart(self) -> None:
+        """Eagerly spin up the internal pool (serving-layer warm start).
+
+        ``ProcessPoolExecutor`` forks workers lazily per submit (and
+        only when none is idle), so a brief concurrent warmup task per
+        worker is pushed through to actually materialize the full
+        width — after this, :meth:`worker_pids` reports real PIDs.
+        """
+        if self._external is not None or self.workers <= 1:
+            return
+        executor = self._resolve_executor(self.workers)
+        assert executor is not None
+        futures = [
+            executor.submit(_warmup, 0.05) for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result()
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the internal pool's live workers (chaos-kill target)."""
+        with self._own_lock:
+            pool = self._own
+            if pool is None:
+                return ()
+            processes = getattr(pool, "_processes", None) or {}
+            return tuple(
+                pid for pid, proc in sorted(processes.items())
+                if proc.is_alive()
+            )
+
+    # ------------------------------------------------------------------
+    # degraded-mode tracking + respawn
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True between a detected pool break and its recovered replay."""
+        return self._degraded_since is not None
+
+    def _mark_degraded(self) -> None:
+        if self._degraded_since is None:
+            self._degraded_since = time.time()
+            if self.on_degraded is not None:
+                self.on_degraded(True, 0.0)
+
+    def _clear_degraded(self) -> None:
+        with self._own_lock:
+            since = self._degraded_since
+            if since is None:
+                return
+            self._degraded_since = None
+        if self.on_degraded is not None:
+            self.on_degraded(False, max(0.0, time.time() - since))
+
+    def _respawn(self, broken: Executor) -> bool:
+        """Tear down a broken internal pool so the next resolve is fresh.
+
+        Returns ``False`` for external executors (we don't own their
+        lifecycle).  Guarded against concurrent detection: only the
+        first caller for a given broken executor tears down and counts
+        a respawn; later callers just proceed to the fresh pool.
+        """
+        if self._external is not None:
+            return False
+        with self._own_lock:
+            self._mark_degraded()
+            if self._own is broken and self._own is not None:
+                self._own.shutdown(wait=False)
+                self._own = None
+                self.respawns += 1
+                if self.on_respawn is not None:
+                    self.on_respawn()
+        return True
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut down the internal pool (external executors are left alone)."""
-        if self._own is not None:
-            self._own.shutdown(wait=True)
-            self._own = None
+        with self._own_lock:
+            pool, self._own = self._own, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "WavefrontPool":
         return self

@@ -59,3 +59,33 @@ class SolverError(ReproError):
 
 class ServiceError(ReproError):
     """The solve service refused a request (queue full, not running)."""
+
+
+class TransientError(ReproError):
+    """A retryable task failure (injected fault, flaky dependency).
+
+    The engine's recovery driver re-runs tasks failing with this class
+    up to the retry budget; any other exception is treated as a
+    deterministic task failure and surfaces immediately.
+    """
+
+
+class PoolBrokenError(ReproError):
+    """The worker pool stayed broken after exhausting respawn retries."""
+
+
+class ShedError(ServiceError):
+    """The service shed the request (degraded pool); retry after a delay.
+
+    Maps to HTTP 503 with a ``Retry-After`` header — distinct from the
+    429 backpressure path so clients can tell "you are sending too
+    much" from "I am briefly unhealthy".
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.5) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineError(ServiceError):
+    """A request's deadline expired before its solve completed."""

@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro.service.cache import ResultCache
+from repro.service.faults import FaultConfig, FaultInjector
 from repro.service.fingerprint import (
     canonical_params,
     canonical_seed,
@@ -55,6 +56,8 @@ from repro.service.queue import Job, SolveRequest, SolveService, job_id_for
 
 __all__ = [
     "ResultCache",
+    "FaultConfig",
+    "FaultInjector",
     "canonical_params",
     "canonical_seed",
     "instance_digest",

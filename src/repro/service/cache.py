@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import copy
 import json
+import logging
 import os
 import tempfile
 import threading
 from collections import OrderedDict
 
 from repro.errors import ConfigError
+
+logger = logging.getLogger(__name__)
 
 #: On-disk schema tag; files with another tag are ignored at load so a
 #: stale cache can never serve results from an incompatible recipe.
@@ -53,6 +56,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.load_errors = 0
         self._metrics = metrics
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self._lock = threading.Lock()
@@ -107,6 +111,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "load_errors": self.load_errors,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }
 
@@ -137,15 +142,24 @@ class ResultCache:
     def load(self, path: str) -> int:
         """Merge entries persisted by :meth:`save`; returns entries loaded.
 
-        Unreadable files and unknown schemas are ignored (a cache is an
-        optimization — a corrupt file must never block serving).
+        Unreadable/foreign files never block serving (a cache is an
+        optimization), but they are no longer silent: each one bumps
+        ``load_errors`` (mirrored to ``repro_cache_load_errors_total``),
+        logs a one-line warning, and is quarantined to
+        ``<path>.corrupt`` so the evidence survives the next
+        :meth:`save` instead of being overwritten.
         """
         try:
             with open(path) as stream:
                 payload = json.load(stream)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return 0
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, f"unreadable: {exc}")
             return 0
         if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            tag = payload.get("schema") if isinstance(payload, dict) else None
+            self._quarantine(path, f"unknown schema {tag!r}")
             return 0
         entries = payload.get("entries", [])
         loaded = 0
@@ -160,3 +174,19 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
         return loaded
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Count, warn about, and sideline one bad persistence file."""
+        with self._lock:
+            self.load_errors += 1
+            if self._metrics is not None:
+                self._metrics.cache_load_errors.inc()
+        target: str | None = path + ".corrupt"
+        try:
+            os.replace(path, target)
+        except OSError:
+            target = None
+        logger.warning(
+            "result cache file %s ignored (%s)%s", path, reason,
+            f"; quarantined to {target}" if target else "",
+        )

@@ -19,6 +19,14 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
 ``GET /stats``
     Queue/cache/request counters.
 
+``GET /healthz``
+    Liveness: 200 whenever the process answers at all.
+
+``GET /readyz``
+    Readiness: 200 when new solves are accepted *now*; 503 (with a
+    ``Retry-After`` header) while the dispatcher is down or the worker
+    pool is degraded/respawning.
+
 ``GET /metrics``
     The full metric registry (counters, gauges, latency/batch-size
     histograms with p50/p95/p99).  JSON by default;
@@ -28,8 +36,9 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
     report — the three views are cross-checkable number-for-number.
 
 Error mapping: validation problems -> 400, unknown jobs/paths -> 404,
-queue backpressure -> 429.  Every error body is a JSON object with an
-``error`` key.
+queue backpressure -> 429, degraded-mode shedding -> 503 with
+``Retry-After``.  Every error body is a JSON object with an ``error``
+key.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import ServiceConfig
-from repro.errors import ConfigError, ReproError, ServiceError
+from repro.errors import ConfigError, ReproError, ServiceError, ShedError
 from repro.service.queue import SolveRequest, SolveService
 
 #: Request bodies beyond this are refused (inline coords for ~500k
@@ -70,6 +79,7 @@ def build_request(body: dict) -> SolveRequest:
         solver=str(body.get("solver", "taxi")),
         params=params,
         seed=body.get("seed", 0),
+        deadline_seconds=body.get("deadline_seconds"),
     )
 
 
@@ -92,6 +102,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
             body = self._read_json()
             request = build_request(body)
             job = self.service.submit(request)
+        except ShedError as exc:
+            self._send(503, {"error": str(exc)},
+                       {"Retry-After": f"{exc.retry_after:g}"})
+            return
         except ServiceError as exc:
             self._send(429, {"error": str(exc)})
             return
@@ -109,6 +123,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if parsed.path == "/stats":
             self._send(200, self.service.stats())
+            return
+        if parsed.path == "/healthz":
+            self._send(200, self.service.health())
+            return
+        if parsed.path == "/readyz":
+            ready, info = self.service.ready()
+            if ready:
+                self._send(200, info)
+            else:
+                self._send(503, info, {
+                    "Retry-After": f"{self.service.config.shed_retry_after:g}"
+                })
             return
         if parsed.path == "/metrics":
             query = parse_qs(parsed.query)
@@ -152,19 +178,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise ConfigError(f"request body is not valid JSON: {exc}") from exc
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict,
+              headers: dict | None = None) -> None:
         self._send_bytes(status, json.dumps(payload).encode(),
-                         "application/json")
+                         "application/json", headers)
 
     def _send_text(self, status: int, text: str) -> None:
         self._send_bytes(status, text.encode(),
                          "text/plain; version=0.0.4; charset=utf-8")
 
-    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+    def _send_bytes(self, status: int, data: bytes, content_type: str,
+                    headers: dict | None = None) -> None:
         self.service.metrics.http_response(status)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -178,14 +208,18 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
+    fault_injector=None,
 ) -> tuple[ThreadingHTTPServer, SolveService]:
     """Build (but do not start) the HTTP server + its solve service.
 
     The caller owns the lifecycle: ``service.start()``, then
     ``server.serve_forever()``; shut down with ``server.shutdown()``
     followed by ``service.close()`` (which persists the cache).
+    ``fault_injector`` (a :class:`~repro.service.faults.FaultInjector`)
+    enables server-side chaos injection behind ``repro serve
+    --chaos-seed``.
     """
-    service = SolveService(config)
+    service = SolveService(config, fault_injector=fault_injector)
     server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
@@ -197,12 +231,14 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
+    fault_injector=None,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
-    server, service = make_server(config, host, port, verbose)
+    server, service = make_server(config, host, port, verbose, fault_injector)
     service.start()
     # SIGTERM (systemd/docker/CI `kill`) must unwind through the
-    # finally below, or --cache-path would never be written.
+    # finally below: the graceful drain solves the jobs already
+    # admitted and persists --cache-path before the process exits.
     import signal
 
     def _sigterm(_signum, _frame):
@@ -216,10 +252,16 @@ def serve_forever(
     print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
           f"(workers={service.config.workers}, "
           f"cache={service.config.cache_size})", flush=True)
+    if fault_injector is not None:
+        print(f"repro serve: CHAOS ENABLED (seed "
+              f"{fault_injector.config.seed}, schedule "
+              f"{fault_injector.schedule_digest()[:16]})", flush=True)
     try:
         server.serve_forever()
     except (KeyboardInterrupt, SystemExit):
         pass
     finally:
         server.server_close()
-        service.close()
+        print("repro serve: draining in-flight jobs...", flush=True)
+        service.stop(drain=True)
+        print("repro serve: drained; bye", flush=True)

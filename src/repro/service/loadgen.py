@@ -50,7 +50,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import LoadgenConfig, ServiceConfig
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, DeadlineError, ReproError, ShedError
+from repro.service.faults import FaultConfig, FaultInjector
 from repro.service.metrics import Histogram
 from repro.service.queue import SolveRequest, SolveService
 
@@ -58,6 +59,35 @@ from repro.service.queue import SolveRequest, SolveService
 #: slot index); any odd constant works, primes keep collisions at bay
 #: even across run seeds.
 _COLD_SEED_STRIDE = 1_000_003
+
+#: Stable error-class vocabulary of the per-record/summary accounting.
+ERROR_CLASSES = ("shed", "timeout", "deadline", "error")
+
+
+def classify_error(error: BaseException) -> str:
+    """Map one request failure onto the summary's error-class ledger."""
+    if isinstance(error, ShedError):
+        return "shed"
+    if isinstance(error, DeadlineError):
+        return "deadline"
+    text = str(error).lower()
+    if (
+        isinstance(error, TimeoutError)
+        or "timed out" in text
+        or "did not finish within" in text
+    ):
+        return "timeout"
+    return "error"
+
+
+def _check_done(view: dict) -> dict:
+    """Raise the class-appropriate error for a non-done job view."""
+    if view["status"] == "done":
+        return view
+    message = view.get("error") or f"job ended {view['status']!r}"
+    if view["status"] == "expired":
+        raise DeadlineError(message)
+    raise ReproError(message)
 
 
 @dataclass(frozen=True)
@@ -78,6 +108,7 @@ class PlannedRequest:
     kind: str
     ref: int = -1
     arrival: float = 0.0
+    deadline: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -89,6 +120,7 @@ class PlannedRequest:
             "kind": self.kind,
             "ref": self.ref,
             "arrival": self.arrival,
+            "deadline": self.deadline,
         }
 
 
@@ -137,7 +169,7 @@ def build_schedule(config: LoadgenConfig) -> tuple[PlannedRequest, ...]:
             planned.append(PlannedRequest(
                 index=index, token=base.token, solver=base.solver,
                 params=base.params, seed=base.seed, kind="warm", ref=ref,
-                arrival=arrival,
+                arrival=arrival, deadline=config.deadline,
             ))
         else:
             token = instances[int(rng.integers(len(instances)))]
@@ -145,7 +177,7 @@ def build_schedule(config: LoadgenConfig) -> tuple[PlannedRequest, ...]:
                 index=index, token=token, solver=config.solver,
                 params=config.params,
                 seed=config.seed * _COLD_SEED_STRIDE + index, kind="cold",
-                arrival=arrival,
+                arrival=arrival, deadline=config.deadline,
             ))
             cold_indices.append(index)
     return tuple(planned)
@@ -174,12 +206,10 @@ class InProcessDriver:
         request = SolveRequest.create(
             planned.token, solver=planned.solver,
             params=dict(planned.params), seed=planned.seed,
+            deadline_seconds=planned.deadline,
         )
         job = self.service.solve(request, timeout=timeout)
-        view = job.as_dict()
-        if view["status"] != "done":
-            raise ReproError(view.get("error") or f"job ended {view['status']!r}")
-        return view
+        return _check_done(job.as_dict())
 
     def stats(self) -> dict:
         return self.service.stats()
@@ -216,9 +246,16 @@ class HTTPDriver:
                 detail = json.load(exc).get("error", "")
             except Exception:
                 pass
-            raise ReproError(
-                f"HTTP {exc.code} on {path}: {detail or exc.reason}"
-            ) from exc
+            message = f"HTTP {exc.code} on {path}: {detail or exc.reason}"
+            if exc.code in (429, 503):
+                # Shed/backpressure: retryable, with the server's own
+                # Retry-After hint when it sent one.
+                try:
+                    retry_after = float(exc.headers.get("Retry-After", 0.5))
+                except (TypeError, ValueError):
+                    retry_after = 0.5
+                raise ShedError(message, retry_after=retry_after) from exc
+            raise ReproError(message) from exc
 
     def solve(self, planned: PlannedRequest, timeout: float) -> dict:
         body = {
@@ -227,15 +264,15 @@ class HTTPDriver:
             "seed": planned.seed,
             "params": dict(planned.params),
         }
+        if planned.deadline is not None:
+            body["deadline_seconds"] = planned.deadline
         view = self._call("/solve", body, timeout=timeout)
         if view["status"] in ("queued", "running"):
             view = self._call(
                 f"/jobs/{view['job_id']}?wait={timeout:g}",
                 timeout=timeout + 10.0,
             )
-        if view["status"] != "done":
-            raise ReproError(view.get("error") or f"job ended {view['status']!r}")
-        return view
+        return _check_done(view)
 
     def stats(self) -> dict:
         return self._call("/stats")
@@ -255,6 +292,10 @@ class RequestRecord:
     ``lag`` is issue time minus scheduled arrival (open loop; always
     ~0 in closed loop, which has no arrival schedule) — nonzero lag
     means the generator itself, not the service, delayed the request.
+    ``retries`` counts shed responses the client retried before this
+    outcome; ``seconds`` spans the whole attempt sequence, backoffs
+    included, so shed-then-served requests report their honest cost.
+    ``error_class`` buckets failures per :data:`ERROR_CLASSES`.
     """
 
     index: int
@@ -264,6 +305,8 @@ class RequestRecord:
     cached: bool = False
     lag: float = 0.0
     error: str | None = None
+    error_class: str | None = None
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -294,7 +337,8 @@ class LoadtestReport:
                  schedule: tuple[PlannedRequest, ...],
                  records: list[RequestRecord], wall_seconds: float,
                  stats: dict, metrics: dict, driver_name: str,
-                 stats_before: dict | None = None) -> None:
+                 stats_before: dict | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
         self.config = config
         self.schedule = schedule
         self.records = records
@@ -303,6 +347,31 @@ class LoadtestReport:
         self.stats_before = stats_before or {}
         self.metrics = metrics
         self.driver_name = driver_name
+        self.fault_injector = fault_injector
+
+    def _chaos_summary(self) -> dict | None:
+        """The summary's chaos block (None when chaos was off).
+
+        In-process runs report their own injector; HTTP runs against a
+        ``repro serve --chaos-seed`` server read the server's schedule
+        digest + injection counters from ``GET /stats``.
+        """
+        if self.fault_injector is not None:
+            return {
+                "injection": "in-process",
+                "seed": self.fault_injector.config.seed,
+                "schedule_digest": self.fault_injector.schedule_digest(),
+                "injected": self.fault_injector.stats(),
+            }
+        health = self.stats.get("health") or {}
+        if health.get("chaos_schedule"):
+            return {
+                "injection": "server-side",
+                "seed": None,
+                "schedule_digest": health.get("chaos_schedule"),
+                "injected": health.get("chaos_injected"),
+            }
+        return None
 
     def _latency(self, kind: str | None = None) -> dict:
         histogram = Histogram("latency")
@@ -338,6 +407,11 @@ class LoadtestReport:
             "requests": len(self.records),
             "completed": completed,
             "errors": len(errors),
+            "error_classes": {
+                name: sum(1 for e in errors if e.error_class == name)
+                for name in ERROR_CLASSES
+            },
+            "client_retries": sum(r.retries for r in self.records if r),
             "error_samples": [e.error for e in errors[:5]],
             "scheduled_cold": sum(1 for p in self.schedule if p.kind == "cold"),
             "scheduled_warm": sum(1 for p in self.schedule if p.kind == "warm"),
@@ -371,6 +445,7 @@ class LoadtestReport:
             # would sit at 1.0 regardless of coalescing.
             "mean_batch_size": (batched / windows) if windows else 0.0,
             "server_requests": requests,
+            "chaos": self._chaos_summary(),
         }
 
 
@@ -401,6 +476,16 @@ def run_loadtest(
     """
     schedule = build_schedule(config)
     own_service: SolveService | None = None
+    fault_injector: FaultInjector | None = None
+    if config.chaos and driver is None:
+        fault_injector = FaultInjector(FaultConfig(
+            seed=(config.chaos_seed if config.chaos_seed is not None
+                  else config.seed),
+            kill_rate=config.chaos_kill_rate,
+            slow_rate=config.chaos_slow_rate,
+            slow_seconds=config.chaos_slow_seconds,
+            transient_rate=config.chaos_transient_rate,
+        ))
     if driver is None:
         if service_config is None:
             service_config = ServiceConfig(
@@ -408,7 +493,9 @@ def run_loadtest(
                 queue_depth=max(64, 2 * config.concurrency),
                 cache_size=max(256, config.requests),
             )
-        own_service = SolveService(service_config).start()
+        own_service = SolveService(
+            service_config, fault_injector=fault_injector
+        ).start()
         driver = InProcessDriver(own_service)
 
     records: list[RequestRecord] = [None] * len(schedule)  # type: ignore[list-item]
@@ -427,21 +514,42 @@ def run_loadtest(
             done_events[planned.ref].wait(config.timeout)
         issued = time.perf_counter()
         lag = max(0.0, (issued - start) - planned.arrival)
+        attempts = 0
         try:
-            view = driver.solve(planned, config.timeout)
-            records[slot] = RequestRecord(
-                index=slot, kind=planned.kind, token=planned.token,
-                seconds=time.perf_counter() - issued,
-                cached=bool(view.get("cached")), lag=lag,
-            )
-        except Exception as exc:  # record and keep driving: a load
-            # test must survive individual request failures
-            # (backpressure 429s, socket timeouts) to measure them.
-            records[slot] = RequestRecord(
-                index=slot, kind=planned.kind, token=planned.token,
-                seconds=time.perf_counter() - issued, lag=lag,
-                error=f"{type(exc).__name__}: {exc}",
-            )
+            while True:
+                try:
+                    view = driver.solve(planned, config.timeout)
+                    records[slot] = RequestRecord(
+                        index=slot, kind=planned.kind, token=planned.token,
+                        seconds=time.perf_counter() - issued,
+                        cached=bool(view.get("cached")), lag=lag,
+                        retries=attempts,
+                    )
+                except ShedError as exc:
+                    # Degraded-mode shedding is advisory, not terminal:
+                    # back off by the server's hint and re-issue, up to
+                    # the client retry budget.
+                    if attempts < config.max_retries:
+                        attempts += 1
+                        time.sleep(max(0.0, exc.retry_after))
+                        continue
+                    records[slot] = RequestRecord(
+                        index=slot, kind=planned.kind, token=planned.token,
+                        seconds=time.perf_counter() - issued, lag=lag,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_class="shed", retries=attempts,
+                    )
+                except Exception as exc:  # record and keep driving: a
+                    # load test must survive individual request failures
+                    # (backpressure 429s, socket timeouts) to measure
+                    # them.
+                    records[slot] = RequestRecord(
+                        index=slot, kind=planned.kind, token=planned.token,
+                        seconds=time.perf_counter() - issued, lag=lag,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_class=classify_error(exc), retries=attempts,
+                    )
+                break
         finally:
             done_events[slot].set()
 
@@ -507,4 +615,5 @@ def run_loadtest(
         config=config, schedule=schedule, records=records,
         wall_seconds=wall, stats=stats, metrics=metrics,
         driver_name=driver.name, stats_before=stats_before,
+        fault_injector=fault_injector,
     )

@@ -368,6 +368,30 @@ class ServiceMetrics:
             "repro_cache_misses_total", "Result-cache lookup misses")
         self.cache_evictions = registry.counter(
             "repro_cache_evictions_total", "Result-cache LRU evictions")
+        self.cache_load_errors = registry.counter(
+            "repro_cache_load_errors_total",
+            "Corrupt/foreign cache persistence files quarantined at load")
+        self.retries = registry.counter(
+            "repro_retries_total",
+            "Engine task retries (crash replays + transient re-runs)")
+        self.deadline_expired = registry.counter(
+            "repro_deadline_expired_total",
+            "Requests failed because their deadline expired")
+        self.pool_respawns = registry.counter(
+            "repro_pool_respawns_total",
+            "Worker-pool executors respawned after breakage")
+        self.shed = registry.counter(
+            "repro_shed_total",
+            "Requests shed (503) while the pool was degraded")
+        self.partial_group_failures = registry.counter(
+            "repro_partial_group_failures_total",
+            "Dispatch groups where some-but-not-all tasks failed")
+        self.degraded = registry.gauge(
+            "repro_degraded",
+            "1 while the worker pool is broken/respawning, else 0")
+        self.degraded_seconds = registry.gauge(
+            "repro_degraded_seconds_total",
+            "Cumulative seconds spent in degraded mode")
         self.queue_pending = registry.gauge(
             "repro_queue_pending", "Requests admitted but not yet solved")
         self.queue_depth_limit = registry.gauge(

@@ -17,7 +17,18 @@ serving process:
   that the engine task uses *directly* (no replica-seed derivation),
   so a service solve is bit-identical to ``repro solve`` with the same
   instance/config/seed, and job IDs are derived from the fingerprint
-  (re-submitting an identical request always names the same job).
+  (re-submitting an identical request always names the same job);
+* **fault tolerance** (PR 7) — groups run through the pool's
+  crash-recovering :meth:`~repro.engine.wavefront.WavefrontPool
+  .map_outcomes`, so a killed worker triggers respawn + bit-identical
+  replay and one task's failure never poisons its group siblings;
+  while the pool is degraded, new work is shed with
+  :class:`~repro.errors.ShedError` (HTTP 503 + ``Retry-After``).
+  Requests may carry a ``deadline_seconds``: jobs past deadline are
+  cancelled before dispatch, and in-flight groups get a watchdog that
+  expires only the overdue fingerprints.  ``stop(drain=True)``
+  finishes admitted jobs before exit; ``drain=False`` fails the
+  still-queued remainder fast.
 
 The event loop runs on a dedicated daemon thread; ``submit``/``job``/
 ``stats`` are thread-safe and callable from any number of HTTP handler
@@ -33,9 +44,16 @@ from dataclasses import dataclass, field
 
 from repro.core.config import ServiceConfig
 from repro.engine.jobs import InstanceSpec, spec_from_token
-from repro.engine.runner import ReplicaTask, run_tasks
+from repro.engine.recovery import RetryPolicy
+from repro.engine.runner import ReplicaTask, run_replica_task
 from repro.engine.wavefront import WavefrontPool
-from repro.errors import ReproError, ServiceError
+from repro.errors import (
+    ConfigError,
+    PoolBrokenError,
+    ReproError,
+    ServiceError,
+    ShedError,
+)
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import (
     canonical_params,
@@ -65,6 +83,10 @@ class SolveRequest:
     solver: str = "taxi"
     params: tuple[tuple[str, object], ...] = ()
     seed: int = 0
+    #: Operational hint, deliberately excluded from the fingerprint and
+    #: the group key: two requests for the same content are the same
+    #: solve whatever their patience.
+    deadline_seconds: float | None = None
 
     @classmethod
     def create(
@@ -73,6 +95,7 @@ class SolveRequest:
         solver: str = "taxi",
         params: dict | None = None,
         seed: object = 0,
+        deadline_seconds: object = None,
     ) -> "SolveRequest":
         """Validate and canonicalize one request from loose inputs.
 
@@ -80,11 +103,26 @@ class SolveRequest:
         size/name, TSPLIB path, ``family:n[:seed]`` token) plus an
         inline :class:`~repro.tsp.instance.TSPInstance`.
         """
+        deadline: float | None = None
+        if deadline_seconds is not None:
+            if isinstance(deadline_seconds, bool) or not isinstance(
+                deadline_seconds, (int, float)
+            ):
+                raise ConfigError(
+                    f"deadline_seconds must be a positive number, got "
+                    f"{deadline_seconds!r}"
+                )
+            deadline = float(deadline_seconds)
+            if not deadline > 0:
+                raise ConfigError(
+                    f"deadline_seconds must be > 0, got {deadline}"
+                )
         return cls(
             spec=spec_from_token(instance),
             solver=solver,
             params=canonical_params(params),
             seed=canonical_seed(seed),
+            deadline_seconds=deadline,
         )
 
     def fingerprint(self) -> str:
@@ -98,6 +136,10 @@ class SolveRequest:
         return (self.solver, self.params, self.seed)
 
 
+#: Job statuses that count as finished (history-prunable).
+_FINISHED = ("done", "failed", "expired")
+
+
 @dataclass
 class Job:
     """One tracked solve job (shared by every duplicate submission)."""
@@ -105,20 +147,42 @@ class Job:
     id: str
     fingerprint: str
     request: SolveRequest
-    status: str = "queued"  # queued | running | done | failed
+    status: str = "queued"  # queued | running | done | failed | expired
     cached: bool = False
     result: dict | None = None
     error: str | None = None
     submitted_at: float = field(default_factory=time.time)
     finished_at: float | None = None
+    #: Wall-clock instant the job's deadline expires (None = no deadline).
+    deadline_at: float | None = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _finish_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
-    def finish(self, result: dict | None, error: str | None = None) -> None:
-        self.result = result
-        self.error = error
-        self.status = "failed" if error is not None else "done"
-        self.finished_at = time.time()
-        self.done_event.set()
+    def finish(
+        self,
+        result: dict | None,
+        error: str | None = None,
+        status: str | None = None,
+    ) -> bool:
+        """Record the terminal state; first finish wins (idempotent).
+
+        The deadline watchdog and the engine can race to conclude the
+        same job — e.g. the watchdog expires it while the solve is
+        still running and completes later.  Returns True only for the
+        call that actually finished the job, so accounting (pending
+        decrement, completed/failed counters) happens exactly once.
+        """
+        with self._finish_lock:
+            if self.done_event.is_set():
+                return False
+            self.result = result
+            self.error = error
+            self.status = status or ("failed" if error is not None else "done")
+            self.finished_at = time.time()
+            self.done_event.set()
+            return True
 
     def as_dict(self) -> dict:
         """JSON-safe view (what ``GET /jobs/<id>`` returns)."""
@@ -131,6 +195,13 @@ class Job:
             "instance": self.request.spec.label,
             "seed": self.request.seed,
             "params": dict(self.request.params),
+            # The *effective* deadline: the request's own, or the
+            # service default the queue applied at admission.
+            "deadline_seconds": (
+                self.deadline_at - self.submitted_at
+                if self.deadline_at is not None
+                else self.request.deadline_seconds
+            ),
             "result": self.result,
             "error": self.error,
         }
@@ -144,7 +215,11 @@ def job_id_for(fingerprint: str) -> str:
 class SolveService:
     """The serving facade: cache + queue + dispatcher + worker pool."""
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        fault_injector=None,
+    ) -> None:
         self.config = config or ServiceConfig()
         # The metrics ledger is the single source of truth for every
         # counter: stats(), GET /metrics, and the loadgen summary all
@@ -155,7 +230,25 @@ class SolveService:
             self.config.cache_size, self.config.cache_path,
             metrics=self.metrics,
         )
-        self.pool = WavefrontPool(workers=self.config.workers)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_base=self.config.retry_backoff,
+        )
+        # eager=True: with a long-lived pool, single-request traffic
+        # should ride it too — otherwise light traffic silently
+        # bypasses (and never exercises or recovers) the pool.
+        self.pool = WavefrontPool(
+            workers=self.config.workers,
+            policy=self._retry_policy,
+            eager=True,
+            on_respawn=self.metrics.pool_respawns.inc,
+            on_degraded=self._on_pool_degraded,
+        )
+        #: Optional chaos hook (duck-typed :class:`~repro.service
+        #: .faults.FaultInjector`): consulted before each group
+        #: dispatch (worker kills) and before each task (latency /
+        #: transient faults).
+        self.fault_injector = fault_injector
         self.started_at = time.time()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -164,6 +257,12 @@ class SolveService:
         self._queue: asyncio.Queue | None = None
         self._thread: threading.Thread | None = None
         self._stopping = False
+        self._drain = True
+
+    def _on_pool_degraded(self, active: bool, seconds: float) -> None:
+        self.metrics.degraded.set(1.0 if active else 0.0)
+        if not active and seconds > 0:
+            self.metrics.degraded_seconds.inc(seconds)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -190,19 +289,27 @@ class SolveService:
         )
         self._thread.start()
         ready.wait()
+        # Warm the worker pool up front: serving should not pay pool
+        # startup on the first dispatch, and the chaos harness needs
+        # live worker PIDs to aim at.
+        self.pool.prestart()
         return self
 
-    def close(self) -> None:
-        """Drain-free shutdown: stop the dispatcher, pool, persist the cache.
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: stop the dispatcher + pool, persist the cache.
 
-        Jobs admitted before the close are still processed (the stop
-        sentinel queues behind them); the lock hand-off with
-        :meth:`submit` guarantees no job is enqueued after the
-        sentinel, so nothing can be left 'queued' forever.
+        ``drain=True`` (graceful, the SIGTERM path): jobs admitted
+        before the stop are still solved — the stop sentinel queues
+        behind them, and the lock hand-off with :meth:`submit`
+        guarantees no job is enqueued after the sentinel, so nothing
+        can be left 'queued' forever.  ``drain=False`` fails the
+        still-queued jobs fast ("shutting down") instead of solving
+        them; jobs already dispatched to the engine finish either way.
         """
         with self._lock:
             thread, loop, queue = self._thread, self._loop, self._queue
             self._stopping = True
+            self._drain = drain
         if thread is not None:
             assert loop is not None and queue is not None
             loop.call_soon_threadsafe(queue.put_nowait, _STOP)
@@ -214,6 +321,10 @@ class SolveService:
         self.pool.close()
         if self.config.cache_path is not None:
             self.cache.save()
+
+    def close(self) -> None:
+        """Graceful shutdown (alias for ``stop(drain=True)``)."""
+        self.stop(drain=True)
 
     def __enter__(self) -> "SolveService":
         return self.start()
@@ -261,11 +372,27 @@ class SolveService:
                     time.perf_counter() - admitted_at
                 )
                 return job
+            # Degraded pool (worker crash, respawn in flight): shed new
+            # engine work with a retry hint instead of queueing behind
+            # an uncertain recovery.  Checked after the cache — hits
+            # don't need the pool and are still served.
+            if self.pool.degraded:
+                self.metrics.shed.inc()
+                raise ShedError(
+                    "service degraded (worker pool respawning); retry "
+                    f"in {self.config.shed_retry_after:g}s",
+                    retry_after=self.config.shed_retry_after,
+                )
             if self._pending >= self.config.queue_depth:
                 raise ServiceError(
                     f"queue full ({self.config.queue_depth} pending); retry later"
                 )
+            deadline = request.deadline_seconds
+            if deadline is None:
+                deadline = self.config.default_deadline
             job = Job(id=job_id, fingerprint=fingerprint, request=request)
+            if deadline is not None:
+                job.deadline_at = job.submitted_at + deadline
             self._jobs[job_id] = job
             self._pending += 1
             self.metrics.queue_pending.set(self._pending)
@@ -289,7 +416,7 @@ class SolveService:
         for job_id in [
             job_id
             for job_id, job in self._jobs.items()  # insertion order = oldest first
-            if job.status in ("done", "failed")
+            if job.status in _FINISHED
         ][:excess]:
             del self._jobs[job_id]
 
@@ -325,6 +452,13 @@ class SolveService:
                 "batches": metrics.batches.value,
                 "batched_requests": metrics.batched_requests.value,
                 "windows": metrics.windows.value,
+                "retries": metrics.retries.value,
+                "deadline_expired": metrics.deadline_expired.value,
+                "shed": metrics.shed.value,
+                "pool_respawns": metrics.pool_respawns.value,
+                "partial_group_failures": (
+                    metrics.partial_group_failures.value
+                ),
             }
             jobs_by_status: dict[str, int] = {}
             for job in self._jobs.values():
@@ -342,6 +476,48 @@ class SolveService:
             "requests": counters,
             "jobs": jobs_by_status,
             "cache": self.cache.stats(),
+            "health": {
+                "running": self._thread is not None and not self._stopping,
+                "degraded": self.pool.degraded,
+                "pool_respawns": self.pool.respawns,
+                # Chaos visibility over HTTP: a remote loadtest can
+                # cross-check the server's fault schedule + injection
+                # counts without being in the server process.
+                "chaos_schedule": (
+                    self.fault_injector.schedule_digest()
+                    if self.fault_injector is not None else None
+                ),
+                "chaos_injected": (
+                    self.fault_injector.stats()
+                    if self.fault_injector is not None else None
+                ),
+            },
+        }
+
+    def health(self) -> dict:
+        """Liveness view (``GET /healthz``): the process answers."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def ready(self) -> tuple[bool, dict]:
+        """Readiness view (``GET /readyz``): able to take new solves now.
+
+        Not ready while the dispatcher is down/stopping or the pool is
+        degraded (mid-respawn) — exactly the states where
+        :meth:`submit` would refuse or shed.
+        """
+        with self._lock:
+            running = self._thread is not None and not self._stopping
+        degraded = self.pool.degraded
+        ready = running and not degraded
+        return ready, {
+            "ready": ready,
+            "running": running,
+            "degraded": degraded,
+            "pool_respawns": self.pool.respawns,
+            "retry_after": None if ready else self.config.shed_retry_after,
         }
 
     # ------------------------------------------------------------------
@@ -356,10 +532,15 @@ class SolveService:
                 return
             batch = [first]
             stop = await self._collect_window(batch)
-            groups: dict[tuple, list[Job]] = {}
-            for job in batch:
-                groups.setdefault(job.request.group_key(), []).append(job)
-            self.metrics.batches.inc(len(groups))
+            if self._stopping and not self._drain:
+                # Non-drain stop: fail whatever is still only queued,
+                # fast, instead of solving it.
+                for job in batch:
+                    if self._conclude(job, error="service shutting down"):
+                        self.metrics.failed.inc()
+                if stop:
+                    return
+                continue
             self.metrics.batched_requests.inc(len(batch))
             # Observe the window occupancy *before* group_key splits it:
             # distinct seeds (every loadgen cold request) land in their
@@ -367,8 +548,30 @@ class SolveService:
             # constant 1.0 no matter how well the window coalesces.
             self.metrics.windows.inc()
             self.metrics.batch_size.observe(len(batch))
+            # Deadline gate: jobs already past deadline are cancelled
+            # here, before any engine work is spent on them.
+            now = time.time()
+            live: list[Job] = []
+            for job in batch:
+                if job.deadline_at is not None and now >= job.deadline_at:
+                    if self._conclude(
+                        job,
+                        error="deadline expired while queued",
+                        status="expired",
+                    ):
+                        self.metrics.deadline_expired.inc()
+                else:
+                    live.append(job)
+            if not live:
+                if stop:
+                    return
+                continue
+            groups: dict[tuple, list[Job]] = {}
+            for job in live:
+                groups.setdefault(job.request.group_key(), []).append(job)
+            self.metrics.batches.inc(len(groups))
             with self._lock:
-                for job in batch:
+                for job in live:
                     job.status = "running"
             # Incompatible groups from one window run concurrently —
             # they share the wavefront pool, so serializing them would
@@ -401,8 +604,42 @@ class SolveService:
             batch.append(item)
         return False
 
+    def _conclude(
+        self,
+        job: Job,
+        result: dict | None = None,
+        error: str | None = None,
+        status: str | None = None,
+    ) -> bool:
+        """Finish one queued job exactly once + keep pending accounting.
+
+        Safe to call from the dispatcher, the group runner, and the
+        deadline watchdog concurrently: only the first caller wins
+        (and decrements ``_pending``).  Never used for cache-hit jobs,
+        which are finished at admission and never counted pending.
+        """
+        if not job.finish(result, error=error, status=status):
+            return False
+        with self._lock:
+            self._pending -= 1
+            self.metrics.queue_pending.set(self._pending)
+        return True
+
+    def _count_retry(self, _task, _error) -> None:
+        self.metrics.retries.inc()
+
     def _run_group(self, jobs: list[Job]) -> None:
-        """Run one compatible group as a single engine task batch."""
+        """Run one compatible group as a single engine task batch.
+
+        Fault handling is per task: one job's deterministic failure
+        (bad instance, non-finite tour) fails only that job's
+        fingerprint — its group siblings still resolve.  Worker
+        crashes are respawned + replayed and transients retried inside
+        :meth:`WavefrontPool.map_outcomes`; only exhausted recovery
+        (:class:`PoolBrokenError`) fails the whole group.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_dispatch(self.pool)
         tasks = [
             ReplicaTask(
                 spec=job.request.spec,
@@ -414,50 +651,106 @@ class SolveService:
             )
             for position, job in enumerate(jobs)
         ]
-        # Resolve the shared pool first: when it declines (workers=1 or
-        # a single task), run inline rather than letting run_tasks spin
-        # up a throwaway ProcessPoolExecutor per dispatch — sporadic
-        # single-request traffic must not pay pool startup every time.
-        executor = self.pool.executor_for(len(tasks))
+        # In-flight deadline watchdog: expires only the overdue jobs
+        # while the rest of the group keeps solving.
+        watchdog_done = threading.Event()
+        watchdog: threading.Thread | None = None
+        if any(job.deadline_at is not None for job in jobs):
+            watchdog = threading.Thread(
+                target=self._deadline_watchdog,
+                args=(jobs, watchdog_done),
+                name="repro-deadline-watchdog",
+                daemon=True,
+            )
+            watchdog.start()
+        before_task = (
+            self.fault_injector.on_task
+            if self.fault_injector is not None else None
+        )
         try:
-            replicas = run_tasks(
+            outcomes = self.pool.map_outcomes(
+                run_replica_task,
                 tasks,
-                workers=1 if executor is None else self.config.workers,
-                executor=executor,
+                before_task=before_task,
+                on_retry=self._count_retry,
             )
-        except ReproError as exc:
-            self._finish_group(jobs, error=str(exc))
+        except PoolBrokenError as exc:
+            self._fail_group(jobs, error=str(exc))
             return
-        except Exception as exc:  # worker crash: fail the group, keep serving
-            self._finish_group(jobs, error=f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # defensive: keep serving whatever breaks
+            self._fail_group(jobs, error=f"{type(exc).__name__}: {exc}")
             return
-        for job, replica in zip(jobs, replicas):
-            value = {
-                "instance": job.request.spec.label,
-                "n": int(replica.order.size),
-                "solver": job.request.solver,
-                "seed": job.request.seed,
-                "params": dict(job.request.params),
-                "length": replica.length,
-                "tour": [int(city) for city in replica.order],
-                "tour_hash": tour_hash(replica.order),
-                "solve_seconds": replica.seconds,
-                "setup_seconds": replica.setup_seconds,
-            }
-            self.cache.put(job.fingerprint, value)
-            job.finish(value)
-            self.metrics.solve_latency.observe(
-                job.finished_at - job.submitted_at
-            )
-        self.metrics.completed.inc(len(jobs))
-        with self._lock:
-            self._pending -= len(jobs)
-            self.metrics.queue_pending.set(self._pending)
+        finally:
+            watchdog_done.set()
+            if watchdog is not None:
+                watchdog.join()
+        succeeded = failed = 0
+        for job, outcome in zip(jobs, outcomes):
+            if outcome.ok:
+                _, replica = outcome.value
+                value = {
+                    "instance": job.request.spec.label,
+                    "n": int(replica.order.size),
+                    "solver": job.request.solver,
+                    "seed": job.request.seed,
+                    "params": dict(job.request.params),
+                    "length": replica.length,
+                    "tour": [int(city) for city in replica.order],
+                    "tour_hash": tour_hash(replica.order),
+                    "solve_seconds": replica.seconds,
+                    "setup_seconds": replica.setup_seconds,
+                }
+                # Cache before concluding: even if the watchdog already
+                # expired this job, the finished work is still a valid
+                # content-addressed result for future requests.
+                self.cache.put(job.fingerprint, value)
+                succeeded += 1
+                if self._conclude(job, result=value):
+                    self.metrics.completed.inc()
+                    self.metrics.solve_latency.observe(
+                        job.finished_at - job.submitted_at
+                    )
+            else:
+                error = outcome.error
+                message = (
+                    str(error) if isinstance(error, ReproError)
+                    else f"{type(error).__name__}: {error}"
+                )
+                failed += 1
+                if self._conclude(job, error=message):
+                    self.metrics.failed.inc()
+        if succeeded and failed:
+            self.metrics.partial_group_failures.inc()
 
-    def _finish_group(self, jobs: list[Job], error: str) -> None:
+    def _fail_group(self, jobs: list[Job], error: str) -> None:
         for job in jobs:
-            job.finish(None, error=error)
-        self.metrics.failed.inc(len(jobs))
-        with self._lock:
-            self._pending -= len(jobs)
-            self.metrics.queue_pending.set(self._pending)
+            if self._conclude(job, error=error):
+                self.metrics.failed.inc()
+
+    def _deadline_watchdog(
+        self, jobs: list[Job], done: threading.Event
+    ) -> None:
+        """Expire overdue jobs of one running group, earliest first.
+
+        ``done`` is set when the group's engine run returns; the
+        watchdog then stands down (jobs that finished in time were
+        concluded by the runner — ``_conclude`` makes the race safe).
+        """
+        pending = sorted(
+            (job for job in jobs if job.deadline_at is not None),
+            key=lambda job: job.deadline_at,
+        )
+        for job in pending:
+            remaining = job.deadline_at - time.time()
+            if remaining > 0 and done.wait(remaining):
+                return
+            if done.is_set():
+                return
+            if job.done_event.is_set():
+                continue
+            if self._conclude(
+                job,
+                error="deadline expired while solving",
+                status="expired",
+            ):
+                self.metrics.deadline_expired.inc()

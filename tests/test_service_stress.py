@@ -13,10 +13,12 @@ run real thread contention and then reconcile every ledger:
 """
 
 import threading
+import time
 
 import pytest
 
 from repro.core.config import ServiceConfig
+from repro.errors import ShedError
 from repro.service import ResultCache, ServiceMetrics, SolveRequest, SolveService
 
 pytestmark = pytest.mark.slow
@@ -84,17 +86,18 @@ class TestDuplicateFingerprintStress:
 
         executed_tasks = []
         execution_lock = threading.Lock()
-        real_run_tasks = queue_module.run_tasks
+        real_run_replica_task = queue_module.run_replica_task
 
-        def counting_run_tasks(tasks, **kwargs):
+        def counting_run_replica_task(task):
             with execution_lock:
-                executed_tasks.extend(
+                executed_tasks.append(
                     (task.spec, task.solver, task.params, task.seed)
-                    for task in tasks
                 )
-            return real_run_tasks(tasks, **kwargs)
+            return real_run_replica_task(task)
 
-        monkeypatch.setattr(queue_module, "run_tasks", counting_run_tasks)
+        monkeypatch.setattr(
+            queue_module, "run_replica_task", counting_run_replica_task
+        )
 
         submissions_per_thread = 5
         with SolveService(ServiceConfig(batch_window=0.05)) as service:
@@ -142,6 +145,86 @@ class TestDuplicateFingerprintStress:
         assert counters["failed"] == 0
         assert stats["cache"]["misses"] == 1
         assert stats["cache"]["hits"] == counters["served_from_cache"]
+
+    def test_worker_kill_storm_recovers_every_request(self):
+        """SIGKILL pool workers repeatedly mid-run; every job still lands.
+
+        The recovery driver must respawn the broken pool and replay the
+        lost chunks, so a kill storm costs latency, never answers.  The
+        sibling in-process run (workers=1, no kills) pins the expected
+        hashes: replayed work must be bit-identical.
+        """
+        from repro.service.faults import FaultInjector
+
+        request_count = 12
+
+        def requests():
+            # Large enough that the batch is still solving while the
+            # killer fires (n=200 x 400 sweeps ~ tens of ms per task).
+            return [
+                SolveRequest.create(
+                    f"uniform:200:{i}", solver="sa_tsp",
+                    params={"sweeps": 400}, seed=i,
+                )
+                for i in range(request_count)
+            ]
+
+        baseline = {}
+        with SolveService(ServiceConfig(batch_window=0.01)) as service:
+            for request in requests():
+                job = service.solve(request, timeout=120)
+                assert job.status == "done"
+                baseline[request.fingerprint()] = job.result["tour_hash"]
+
+        # A survivable storm: a bounded burst of kills lands mid-run and
+        # the respawn budget covers every break.  An *unbounded* storm
+        # (faster than the budget) is meant to fail the group with
+        # PoolBrokenError — that contract lives in test_chaos.py.
+        with SolveService(
+            ServiceConfig(workers=2, batch_window=0.01, queue_depth=64,
+                          max_retries=10)
+        ) as service:
+            stop_killing = threading.Event()
+            kills = 0
+
+            def killer() -> None:
+                nonlocal kills
+                for _ in range(6):
+                    if stop_killing.wait(0.08):
+                        return
+                    if FaultInjector.kill_worker(service.pool):
+                        kills += 1
+
+            storm = threading.Thread(target=killer, daemon=True)
+            storm.start()
+            try:
+                jobs = []
+                for request in requests():
+                    while True:
+                        try:
+                            jobs.append(service.submit(request))
+                            break
+                        except ShedError as exc:  # degraded mid-storm:
+                            # honor the hint like a real client would
+                            time.sleep(exc.retry_after)
+                for job in jobs:
+                    service.wait(job.id, timeout=120)
+            finally:
+                stop_killing.set()
+                storm.join()
+
+            assert [job.status for job in jobs] == ["done"] * request_count
+            for request, job in zip(requests(), jobs):
+                assert job.result["tour_hash"] == baseline[request.fingerprint()]
+            assert kills > 0
+            assert service.pool.respawns > 0
+            stats = service.stats()
+            assert stats["requests"]["pool_respawns"] == service.pool.respawns
+            assert stats["requests"]["completed"] == request_count
+            assert stats["requests"]["failed"] == 0
+            # Recovered, not stuck degraded: the last successful batch
+            # clears the flag, so new submissions are not shed.
+            assert service.pool.degraded is False
 
     def test_distinct_fingerprints_under_contention_all_complete(self):
         with SolveService(
