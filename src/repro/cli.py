@@ -130,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--workers", type=int, default=1,
                        help="process-pool width for dispatched solve batches")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the service across N worker processes "
+                            "behind a routing front-end (fingerprints are "
+                            "hash-routed, each shard owns its own queue, "
+                            "cache, and pool; 1 = single process)")
+    serve.add_argument("--arena", choices=("auto", "on", "off"),
+                       default="auto",
+                       help="shared-memory instance arena (auto = enabled "
+                            "when workers > 1)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-connection socket timeout; frees handler "
+                            "threads pinned by stalled or half-open clients")
     serve.add_argument("--queue-depth", type=int, default=64,
                        help="max admitted-but-unsolved requests (backpressure)")
     serve.add_argument("--batch-window", type=float, default=0.02,
@@ -201,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "of an in-process service")
     loadtest.add_argument("--workers", type=int, default=1,
                           help="in-process service pool width")
+    loadtest.add_argument("--shards", type=int, default=1,
+                          help="spawn a sharded fleet of N service "
+                               "processes for the run and route to it "
+                               "client-side by fingerprint")
     loadtest.add_argument("--timeout", type=float, default=300.0,
                           help="per-request completion timeout (seconds)")
     loadtest.add_argument("--deadline", type=float, default=None,
@@ -714,6 +731,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             "HTTP start the server with `repro serve --chaos-seed ...` "
             "and drop --chaos here"
         )
+    if args.shards > 1 and args.http:
+        raise SystemExit(
+            "--shards spawns its own fleet; to drive an existing sharded "
+            "server point --http at its router and drop --shards here"
+        )
     config = LoadgenConfig(
         instances=tuple(args.instances),
         requests=args.requests,
@@ -724,6 +746,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         solver=args.solver,
         params=tuple(sorted(params.items())),
         seed=args.seed,
+        shards=args.shards,
         timeout=args.timeout,
         deadline=args.deadline,
         max_retries=args.max_retries,
@@ -753,7 +776,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         ["requests", "count", "p50", "p95", "p99", "mean", "max"],
         rows,
         title=f"loadtest: {summary['driver']} {summary['mode']}-loop "
-              f"concurrency={summary['concurrency']} seed={summary['seed']}",
+              f"concurrency={summary['concurrency']} seed={summary['seed']}"
+              + (f" shards={summary['shards']}"
+                 if summary.get("shards", 1) > 1 else ""),
     ))
     rps = summary["requests_per_sec"]
     print(f"wall          : {format_seconds(summary['wall_seconds'])}")
@@ -789,7 +814,6 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.config import ServiceConfig
-    from repro.service.http import serve_forever
 
     config = ServiceConfig(
         queue_depth=args.queue_depth,
@@ -800,18 +824,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         default_deadline=args.default_deadline,
         max_retries=args.max_retries,
+        arena=args.arena,
+        request_timeout=args.request_timeout,
     )
-    fault_injector = None
+    fault_config = None
     if args.chaos_seed is not None:
-        from repro.service.faults import FaultConfig, FaultInjector
+        from repro.service.faults import FaultConfig
 
-        fault_injector = FaultInjector(FaultConfig(
+        fault_config = FaultConfig(
             seed=args.chaos_seed,
             kill_rate=args.chaos_kill_rate,
             slow_rate=args.chaos_slow_rate,
             slow_seconds=args.chaos_slow_seconds,
             transient_rate=args.chaos_transient_rate,
-        ))
+        )
+    if args.shards > 1:
+        from repro.service.shards import serve_sharded_forever
+
+        serve_sharded_forever(args.shards, config, host=args.host,
+                              port=args.port, verbose=args.verbose,
+                              fault_config=fault_config)
+        return 0
+    from repro.service.faults import FaultInjector
+    from repro.service.http import serve_forever
+
+    fault_injector = (FaultInjector(fault_config)
+                      if fault_config is not None else None)
     serve_forever(config, host=args.host, port=args.port,
                   verbose=args.verbose, fault_injector=fault_injector)
     return 0

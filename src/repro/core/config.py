@@ -196,6 +196,18 @@ class ServiceConfig:
     shed_retry_after:
         ``Retry-After`` seconds advertised when the service sheds load
         (HTTP 503) because the pool is degraded/respawning.
+    arena:
+        Shared-memory instance arena mode (``"auto"`` | ``"on"`` |
+        ``"off"``).  When active, dispatched tasks carry a content-
+        addressed :class:`~repro.engine.arena.ArenaRef` instead of
+        pickled instance payloads, and pool workers attach coordinate/
+        matrix blocks read-only.  ``"auto"`` engages the arena only
+        when ``workers > 1`` (with one inline worker there is no
+        process boundary to avoid copying across).
+    request_timeout:
+        Socket timeout in seconds applied to each HTTP connection, so
+        a stalled or half-open client releases its handler thread
+        instead of pinning it forever.
     """
 
     queue_depth: int = 64
@@ -209,6 +221,8 @@ class ServiceConfig:
     max_retries: int = 3
     retry_backoff: float = 0.05
     shed_retry_after: float = 0.5
+    arena: str = "auto"
+    request_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -243,6 +257,22 @@ class ServiceConfig:
             raise ConfigError(
                 f"shed_retry_after must be > 0, got {self.shed_retry_after}"
             )
+        if self.arena not in ("auto", "on", "off"):
+            raise ConfigError(
+                f"arena must be 'auto', 'on', or 'off', got {self.arena!r}"
+            )
+        if self.request_timeout <= 0:
+            raise ConfigError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+
+    def arena_enabled(self) -> bool:
+        """Whether dispatches should publish to the instance arena."""
+        if self.arena == "on":
+            return True
+        if self.arena == "off":
+            return False
+        return self.workers > 1
 
 
 @dataclass(frozen=True)
@@ -305,6 +335,14 @@ class LoadgenConfig:
     chaos_slow_seconds:
         Upper bound of injected solve latency (per-slot values are
         seeded draws in ``[0, chaos_slow_seconds]``).
+    shards:
+        Shard count for the sharded serving mode: ``repro loadtest
+        --shards N`` spins up N single-service shard processes and
+        routes each request by its fingerprint (client-side, same
+        :func:`~repro.service.shards.shard_for` function the router
+        uses).  ``1`` (default) keeps the classic single-service path.
+        The schedule itself is shard-count independent, so reports are
+        comparable across shard counts.
     """
 
     instances: tuple[str, ...] = ("101",)
@@ -325,6 +363,7 @@ class LoadgenConfig:
     chaos_slow_rate: float = 0.10
     chaos_transient_rate: float = 0.05
     chaos_slow_seconds: float = 0.25
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.instances:
@@ -366,6 +405,8 @@ class LoadgenConfig:
             raise ConfigError(
                 f"chaos_seed must be >= 0, got {self.chaos_seed}"
             )
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
 
     def params_dict(self) -> dict:
         return dict(self.params)

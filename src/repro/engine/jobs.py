@@ -76,11 +76,12 @@ class InstanceSpec:
     resolved — and memoized — inside whichever process needs them.
     """
 
-    kind: str  # "benchmark" | "tsplib" | "generator" | "inline"
+    kind: str  # "benchmark" | "tsplib" | "generator" | "inline" | "arena"
     value: str = ""
     size: int = 0
     seed: int | None = None
     instance: TSPInstance | None = field(default=None, compare=False)
+    arena: "object | None" = field(default=None, compare=False)
 
     @classmethod
     def benchmark(cls, size_or_name: int | str) -> "InstanceSpec":
@@ -107,6 +108,17 @@ class InstanceSpec:
         return cls(kind="inline", value=instance.name, size=instance.n,
                    instance=instance)
 
+    @classmethod
+    def shared(cls, ref) -> "InstanceSpec":
+        """Spec backed by a published :class:`~repro.engine.arena.ArenaRef`.
+
+        ``value`` is the content key, so two shared specs over the same
+        geometry compare (and cache) equal even across republications.
+        Resolving attaches the shared blocks read-only and pre-seeds the
+        matrix cache when the owner published a full matrix.
+        """
+        return cls(kind="arena", value=ref.key, size=ref.n, arena=ref)
+
     # ------------------------------------------------------------------
     def cache_key(self) -> str | None:
         """Stable per-process memoization key (``None`` = do not cache)."""
@@ -125,6 +137,18 @@ class InstanceSpec:
             return cached
         instance = self._build()
         _INSTANCE_CACHE[key] = instance
+        return instance
+
+    def _attach(self) -> TSPInstance:
+        from repro.engine.arena import attach_shared_instance
+
+        if self.arena is None:
+            raise ConfigError(
+                f"arena spec {self.value[:16]!r} carries no ArenaRef"
+            )
+        instance, matrix = attach_shared_instance(self.arena)
+        if matrix is not None and instance.n <= _MATRIX_CACHE_LIMIT:
+            _MATRIX_CACHE[id(instance)] = (instance, matrix)
         return instance
 
     def effective_seed(self) -> int | None:
@@ -153,6 +177,8 @@ class InstanceSpec:
             return _GENERATORS[self.value](
                 self.size, seed=self.effective_seed(), name=self.label
             )
+        if self.kind == "arena":
+            return self._attach()
         raise ConfigError(f"unknown instance spec kind {self.kind!r}")
 
     @property
@@ -168,6 +194,9 @@ class InstanceSpec:
         if self.kind == "generator":
             base = f"{self.value}{self.size}"
             return base if self.seed is None else f"{base}@{self.seed}"
+        if self.kind == "arena":
+            return (self.arena.instance_name if self.arena is not None
+                    else self.value[:16])
         return self.value
 
 

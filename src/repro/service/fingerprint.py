@@ -27,9 +27,10 @@ import math
 
 import numpy as np
 
+from repro.engine.arena import content_key
 from repro.engine.registry import get_solver
 from repro.errors import ConfigError
-from repro.tsp.instance import EdgeWeightType, TSPInstance
+from repro.tsp.instance import TSPInstance
 
 #: Fingerprint schema version; bump when the digest recipe changes so
 #: persisted caches from older recipes can never serve wrong results.
@@ -113,18 +114,11 @@ def instance_digest(instance: TSPInstance) -> str:
 
     Two instances with identical coordinates and metric share a digest
     whatever they are called — the solver only ever sees the geometry.
+    Delegates to the arena's :func:`~repro.engine.arena.content_key` so
+    shared-memory blocks and solve fingerprints can never disagree
+    about instance identity.
     """
-    digest = hashlib.sha256()
-    digest.update(instance.metric.value.encode())
-    if instance.metric is EdgeWeightType.EXPLICIT:
-        matrix = np.ascontiguousarray(instance.matrix, dtype="<f8")
-        digest.update(str(matrix.shape).encode())
-        digest.update(matrix.tobytes())
-    else:
-        coords = np.ascontiguousarray(instance.coords, dtype="<f8")
-        digest.update(str(coords.shape).encode())
-        digest.update(coords.tobytes())
-    return digest.hexdigest()
+    return content_key(instance)
 
 
 def solve_fingerprint(

@@ -44,6 +44,7 @@ key.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -83,11 +84,45 @@ def build_request(body: dict) -> SolveRequest:
     )
 
 
+#: Upper clamp on ``?wait=`` long-polls (seconds).
+MAX_WAIT_SECONDS = 300.0
+
+
+def parse_wait(raw: str) -> float:
+    """Validate one ``?wait=`` value; returns the clamped timeout.
+
+    Rejects non-numbers, negatives, and NaN (NaN silently defeated the
+    old ``min(float(raw), 300.0)`` clamp because every comparison with
+    NaN is false, handing the poisoned value straight to
+    ``Event.wait``).  ``inf`` is a well-ordered number and simply
+    clamps to the maximum.
+    """
+    try:
+        timeout = float(raw)
+    except (ValueError, TypeError):
+        raise ConfigError(f"bad wait value {raw!r}") from None
+    if math.isnan(timeout):
+        raise ConfigError("bad wait value: NaN is not a timeout")
+    if timeout < 0:
+        raise ConfigError(f"bad wait value {raw!r}: must be >= 0")
+    return min(timeout, MAX_WAIT_SECONDS)
+
+
 class ServiceHandler(BaseHTTPRequestHandler):
     """One request handler bound to the server's :class:`SolveService`."""
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+
+    #: Per-connection socket timeout; ``setup()`` (stdlib) applies it
+    #: via ``connection.settimeout`` and ``handle_one_request`` treats
+    #: a timed-out read as end-of-connection, so a stalled or half-open
+    #: client releases its handler thread instead of pinning it.
+    timeout = 30.0
+
+    def setup(self) -> None:
+        self.timeout = getattr(self.server, "request_timeout", type(self).timeout)
+        super().setup()
 
     @property
     def service(self) -> SolveService:
@@ -154,13 +189,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"unknown job {job_id!r}"})
                 return
             wait = parse_qs(parsed.query).get("wait")
-            if wait and job.status in ("queued", "running"):
+            if wait:
                 try:
-                    timeout = min(float(wait[0]), 300.0)
-                except ValueError:
-                    self._send(400, {"error": f"bad wait value {wait[0]!r}"})
+                    timeout = parse_wait(wait[0])
+                except ConfigError as exc:
+                    self._send(400, {"error": str(exc)})
                     return
-                job.done_event.wait(timeout)
+                if job.status in ("queued", "running"):
+                    job.done_event.wait(timeout)
             self._send(200, job.as_dict())
             return
         self._send(404, {"error": f"unknown endpoint {parsed.path!r}"})
@@ -223,6 +259,7 @@ def make_server(
     server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.request_timeout = service.config.request_timeout  # type: ignore[attr-defined]
     return server, service
 
 

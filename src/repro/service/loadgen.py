@@ -231,10 +231,10 @@ class HTTPDriver:
             )
 
     def _call(self, path: str, body: dict | None = None,
-              timeout: float = 60.0) -> dict:
+              timeout: float = 60.0, base: str | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
-            self.base_url + path, data=data,
+            (base or self.base_url) + path, data=data,
             headers={"Content-Type": "application/json"},
         )
         try:
@@ -281,6 +281,61 @@ class HTTPDriver:
         return self._call("/metrics")
 
 
+class ShardedHTTPDriver(HTTPDriver):
+    """Drives a :class:`~repro.service.shards.ShardedService` fleet.
+
+    Routes client-side: each planned request is fingerprinted locally
+    and POSTed straight to the owning shard's own HTTP port (the same
+    ``shard_for`` the router uses, so the two paths are bit-identical),
+    skipping the router hop to measure the sharded data plane itself.
+    Stats/metrics come from the fleet aggregators — counters summed
+    across shards into the single-service ledger shape, so the report
+    delta accounting works unchanged.
+    """
+
+    name = "sharded-http"
+
+    def __init__(self, fleet) -> None:
+        self.fleet = fleet
+        self.base_url = fleet.shard_url(0)
+
+    def _shard_base(self, planned: PlannedRequest) -> str:
+        from repro.service.shards import shard_for
+
+        request = SolveRequest.create(
+            planned.token, solver=planned.solver,
+            params=dict(planned.params), seed=planned.seed,
+            deadline_seconds=planned.deadline,
+        )
+        return self.fleet.shard_url(
+            shard_for(request.fingerprint(), self.fleet.shards)
+        )
+
+    def solve(self, planned: PlannedRequest, timeout: float) -> dict:
+        base = self._shard_base(planned)
+        body = {
+            "instance": planned.token,
+            "solver": planned.solver,
+            "seed": planned.seed,
+            "params": dict(planned.params),
+        }
+        if planned.deadline is not None:
+            body["deadline_seconds"] = planned.deadline
+        view = self._call("/solve", body, timeout=timeout, base=base)
+        if view["status"] in ("queued", "running"):
+            view = self._call(
+                f"/jobs/{view['job_id']}?wait={timeout:g}",
+                timeout=timeout + 10.0, base=base,
+            )
+        return _check_done(view)
+
+    def stats(self) -> dict:
+        return self.fleet.stats()
+
+    def metrics(self) -> dict:
+        return self.fleet.metrics_snapshot()
+
+
 # ----------------------------------------------------------------------
 # the run loop
 # ----------------------------------------------------------------------
@@ -289,9 +344,10 @@ class HTTPDriver:
 class RequestRecord:
     """Client-side outcome of one scheduled request.
 
-    ``lag`` is issue time minus scheduled arrival (open loop; always
-    ~0 in closed loop, which has no arrival schedule) — nonzero lag
-    means the generator itself, not the service, delayed the request.
+    ``lag`` is issue time minus scheduled arrival (open loop only;
+    exactly 0.0 in closed loop, which has no arrival schedule to lag
+    behind) — nonzero lag means the generator itself, not the service,
+    delayed the request.
     ``retries`` counts shed responses the client retried before this
     outcome; ``seconds`` spans the whole attempt sequence, backoffs
     included, so shed-then-served requests report their honest cost.
@@ -404,6 +460,7 @@ class LoadtestReport:
             "solver": self.config.solver,
             "params": self.config.params_dict(),
             "concurrency": self.config.concurrency,
+            "shards": self.config.shards,
             "requests": len(self.records),
             "completed": completed,
             "errors": len(errors),
@@ -420,11 +477,16 @@ class LoadtestReport:
             "requests_per_sec": (
                 completed / self.wall_seconds if self.wall_seconds > 0 else None
             ),
-            # Worst generator-side delay behind the arrival schedule
-            # (open loop): a large value means the probe under-drove
-            # the requested rate — read the percentiles accordingly.
-            "max_arrival_lag_seconds": max(
-                (r.lag for r in self.records if r is not None), default=0.0
+            # Worst generator-side delay behind the arrival schedule:
+            # a large value means the probe under-drove the requested
+            # rate — read the percentiles accordingly.  Closed-loop
+            # runs have no arrival schedule, so the key reports None
+            # there (a number would imply a measurement that does not
+            # exist; it used to leak issue-clock deltas).
+            "max_arrival_lag_seconds": (
+                max((r.lag for r in self.records if r is not None),
+                    default=0.0)
+                if self.config.mode == "open" else None
             ),
             "p50_seconds": overall["p50"],
             "p95_seconds": overall["p95"],
@@ -461,9 +523,13 @@ def run_loadtest(
     (and closed) for the run, sized so the run itself can never trip
     backpressure or evict its own warm targets: ``queue_depth`` covers
     the concurrency and ``cache_size`` covers every cold fingerprint
-    (``workers`` sets that service's pool width).  Pass
-    :class:`HTTPDriver` (or a pre-built :class:`InProcessDriver`) to
-    measure an existing service instead.
+    (``workers`` sets that service's pool width).  With
+    ``config.shards > 1`` the run instead spawns a
+    :class:`~repro.service.shards.ShardedService` fleet and drives it
+    through :class:`ShardedHTTPDriver` (client-side fingerprint
+    routing, one HTTP port per shard).  Pass :class:`HTTPDriver` (or a
+    pre-built :class:`InProcessDriver`) to measure an existing service
+    instead.
 
     Closed loop: ``config.concurrency`` worker threads each issue
     their next request when the previous completes (in-flight ceiling
@@ -476,16 +542,18 @@ def run_loadtest(
     """
     schedule = build_schedule(config)
     own_service: SolveService | None = None
+    own_fleet = None
     fault_injector: FaultInjector | None = None
+    fault_config: FaultConfig | None = None
     if config.chaos and driver is None:
-        fault_injector = FaultInjector(FaultConfig(
+        fault_config = FaultConfig(
             seed=(config.chaos_seed if config.chaos_seed is not None
                   else config.seed),
             kill_rate=config.chaos_kill_rate,
             slow_rate=config.chaos_slow_rate,
             slow_seconds=config.chaos_slow_seconds,
             transient_rate=config.chaos_transient_rate,
-        ))
+        )
     if driver is None:
         if service_config is None:
             service_config = ServiceConfig(
@@ -493,10 +561,24 @@ def run_loadtest(
                 queue_depth=max(64, 2 * config.concurrency),
                 cache_size=max(256, config.requests),
             )
-        own_service = SolveService(
-            service_config, fault_injector=fault_injector
-        ).start()
-        driver = InProcessDriver(own_service)
+        if config.shards > 1:
+            # Sharded run: spawn a fleet of shard processes for the
+            # duration and route to them client-side.  Chaos (if any)
+            # is injected server-side inside each shard, exactly as
+            # `repro serve --shards N --chaos-seed` would.
+            from repro.service.shards import ShardedService
+
+            own_fleet = ShardedService(
+                config.shards, service_config, fault_config=fault_config
+            ).start()
+            driver = ShardedHTTPDriver(own_fleet)
+        else:
+            if fault_config is not None:
+                fault_injector = FaultInjector(fault_config)
+            own_service = SolveService(
+                service_config, fault_injector=fault_injector
+            ).start()
+            driver = InProcessDriver(own_service)
 
     records: list[RequestRecord] = [None] * len(schedule)  # type: ignore[list-item]
     done_events = [threading.Event() for _ in schedule]
@@ -513,7 +595,11 @@ def run_loadtest(
             # is decided by the schedule, not by thread timing.
             done_events[planned.ref].wait(config.timeout)
         issued = time.perf_counter()
-        lag = max(0.0, (issued - start) - planned.arrival)
+        # Lag is only meaningful against an arrival schedule; closed
+        # loop has none (issue time is "whenever the worker freed up"
+        # by design, not a delay).
+        lag = (max(0.0, (issued - start) - planned.arrival)
+               if config.mode == "open" else 0.0)
         attempts = 0
         try:
             while True:
@@ -571,36 +657,45 @@ def run_loadtest(
             for i in range(config.concurrency)
         ]
 
+    release = threading.Event()
+
     def open_loop() -> list[threading.Thread]:
-        # One thread per request, released at its arrival offset:
-        # arrivals never queue behind completions, so the offered rate
-        # really is config.rate (up to scheduler jitter, reported as
-        # lag) however slow the service gets.
-        request_threads = [
-            threading.Thread(target=issue, args=(slot,),
+        # One thread per request, all *pre-spawned* and parked on the
+        # release gate before the run clock starts; each then sleeps
+        # until its own arrival offset and issues.  The previous
+        # design start()ed threads at their arrival times from one
+        # releaser thread, so per-thread spawn cost accumulated into
+        # the schedule and fast rates silently under-drove.  Now
+        # arrivals queue behind neither completions nor thread
+        # creation, so the offered rate really is config.rate (up to
+        # scheduler jitter, reported as lag) however slow the service
+        # gets.
+        def runner(slot: int) -> None:
+            release.wait()
+            delay = (start + schedule[slot].arrival) - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            issue(slot)
+
+        return [
+            threading.Thread(target=runner, args=(slot,),
                              name=f"loadgen-req-{slot}", daemon=True)
             for slot in range(len(schedule))
         ]
 
-        def releaser() -> None:
-            for slot, thread in enumerate(request_threads):
-                delay = (start + schedule[slot].arrival) - time.perf_counter()
-                if delay > 0:
-                    time.sleep(delay)
-                thread.start()
-
-        return [threading.Thread(target=releaser, name="loadgen-releaser",
-                                 daemon=True)] + request_threads
-
     try:
         if config.mode == "open":
             threads = open_loop()
-            threads[0].start()  # the releaser starts the request threads
-            threads[0].join()
-            for thread in threads[1:]:
+            for thread in threads:
+                thread.start()
+            # Every thread exists and is parked before t=0.
+            start = time.perf_counter()
+            release.set()
+            for thread in threads:
                 thread.join()
         else:
             threads = closed_loop()
+            start = time.perf_counter()
             for thread in threads:
                 thread.start()
             for thread in threads:
@@ -611,6 +706,8 @@ def run_loadtest(
     finally:
         if own_service is not None:
             own_service.close()
+        if own_fleet is not None:
+            own_fleet.close()
     return LoadtestReport(
         config=config, schedule=schedule, records=records,
         wall_seconds=wall, stats=stats, metrics=metrics,

@@ -159,8 +159,16 @@ class Histogram:
             if cumulative < rank:
                 continue
             lower = self.bounds[index - 1] if index > 0 else 0.0
-            upper = self.bounds[index] if index < len(self.bounds) else self._max
-            lower = max(lower, self._min if self._min <= upper else lower)
+            upper = self.bounds[index] if index < len(self.bounds) else math.inf
+            # Interpolate inside the *effective* bucket: the observed
+            # max tightens the top occupied bucket's upper edge and the
+            # observed min the bottom occupied bucket's lower edge (for
+            # interior buckets both clamps are no-ops).  Without this,
+            # any quantile landing in the top occupied bucket would
+            # estimate past the max and clamp straight to it — which is
+            # how p95 == p99 == max tail collapse happened.
+            upper = min(upper, self._max)
+            lower = min(max(lower, self._min), upper)
             fraction = (rank - (cumulative - bucket_count)) / bucket_count
             estimate = lower + fraction * (upper - lower)
             return float(min(max(estimate, self._min), self._max))
@@ -394,6 +402,15 @@ class ServiceMetrics:
             "Cumulative seconds spent in degraded mode")
         self.queue_pending = registry.gauge(
             "repro_queue_pending", "Requests admitted but not yet solved")
+        self.arena_publishes = registry.counter(
+            "repro_arena_publishes_total",
+            "Dispatches that shipped an arena-backed instance ref")
+        self.arena_instances = registry.gauge(
+            "repro_arena_instances",
+            "Instances resident in the shared-memory arena")
+        self.arena_bytes = registry.gauge(
+            "repro_arena_bytes",
+            "Bytes of shared-memory blocks owned by the arena")
         self.queue_depth_limit = registry.gauge(
             "repro_queue_depth_limit", "Backpressure threshold")
         self.batch_size = registry.histogram(

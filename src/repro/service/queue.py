@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import ServiceConfig
+from repro.engine.arena import InstanceArena
 from repro.engine.jobs import InstanceSpec, spec_from_token
 from repro.engine.recovery import RetryPolicy
 from repro.engine.runner import ReplicaTask, run_replica_task
@@ -65,6 +66,13 @@ from repro.utils.hashing import tour_hash
 
 #: Job-id prefix + fingerprint digits: deterministic, short, greppable.
 _JOB_ID_DIGITS = 16
+
+#: Solvers whose kernels consume the full distance matrix; only their
+#: dispatches pay the parent-side O(n^2) matrix build so it can be
+#: published once instead of recomputed per worker process.  Everything
+#: else (the hierarchical TAXI pipeline works from coordinates) gets a
+#: coords-only arena entry.
+_FULL_MATRIX_SOLVERS = frozenset({"sa_tsp"})
 
 #: Dispatcher shutdown sentinel.
 _STOP = object()
@@ -249,6 +257,10 @@ class SolveService:
         #: dispatch (worker kills) and before each task (latency /
         #: transient faults).
         self.fault_injector = fault_injector
+        # Shared-memory instance arena: dispatched tasks carry tiny
+        # content-addressed refs instead of pickled coordinate/matrix
+        # payloads; pool workers attach the blocks read-only.
+        self.arena = InstanceArena() if self.config.arena_enabled() else None
         self.started_at = time.time()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -319,6 +331,8 @@ class SolveService:
                 self._loop = None
                 self._queue = None
         self.pool.close()
+        if self.arena is not None:
+            self.arena.close()
         if self.config.cache_path is not None:
             self.cache.save()
 
@@ -476,6 +490,10 @@ class SolveService:
             "requests": counters,
             "jobs": jobs_by_status,
             "cache": self.cache.stats(),
+            "arena": (
+                {"enabled": True, **self.arena.stats()}
+                if self.arena is not None else {"enabled": False}
+            ),
             "health": {
                 "running": self._thread is not None and not self._stopping,
                 "degraded": self.pool.degraded,
@@ -628,6 +646,31 @@ class SolveService:
     def _count_retry(self, _task, _error) -> None:
         self.metrics.retries.inc()
 
+    def _dispatch_spec(self, request: SolveRequest) -> InstanceSpec:
+        """The spec a dispatched task ships: arena-backed when possible.
+
+        Publishing is content-addressed and idempotent, so repeated
+        dispatches of one instance reuse the first blocks.  The arena
+        is an optimization, never a correctness gate — any publish
+        failure (oversized explicit matrix, shared-memory exhaustion)
+        falls back to the original picklable spec.
+        """
+        if self.arena is None or request.spec.kind == "arena":
+            return request.spec
+        try:
+            instance = request.spec.resolve()
+            ref = self.arena.publish(
+                instance,
+                with_matrix=request.solver in _FULL_MATRIX_SOLVERS,
+            )
+        except Exception:
+            return request.spec
+        self.metrics.arena_publishes.inc()
+        arena_stats = self.arena.stats()
+        self.metrics.arena_instances.set(arena_stats["instances"])
+        self.metrics.arena_bytes.set(arena_stats["bytes"])
+        return InstanceSpec.shared(ref)
+
     def _run_group(self, jobs: list[Job]) -> None:
         """Run one compatible group as a single engine task batch.
 
@@ -642,7 +685,7 @@ class SolveService:
             self.fault_injector.on_dispatch(self.pool)
         tasks = [
             ReplicaTask(
-                spec=job.request.spec,
+                spec=self._dispatch_spec(job.request),
                 solver=job.request.solver,
                 params=job.request.params,
                 seed=job.request.seed,

@@ -1,0 +1,841 @@
+"""Sharded multi-process serving: fingerprint-routed shard fleet.
+
+``repro serve --shards N`` turns the single :class:`~repro.service
+.queue.SolveService` process into a fleet: N shard processes, each a
+complete single service (own queue, own :class:`~repro.service.cache
+.ResultCache`, own :class:`~repro.engine.wavefront.WavefrontPool`, own
+shared-memory arena) listening on an ephemeral localhost port, fronted
+by a router that hash-routes every request by its solve fingerprint.
+
+Routing is a pure function of content (:func:`shard_for`): the sha256
+of the fingerprint's job-id prefix, mod the shard count.  Both ``POST
+/solve`` (which computes the full fingerprint) and ``GET /jobs/<id>``
+(whose id carries exactly that prefix) therefore route identically —
+a submitted job is always found again, dedup and result caching stay
+per-fingerprint-correct without any cross-shard chatter, and because
+every shard runs the same deterministic engine, the same request
+yields a bit-identical tour at any shard count (asserted in tests).
+
+Fault tolerance mirrors the in-process pool contract one level up: a
+monitor thread watches shard processes; a dead shard (crash, SIGKILL)
+is respawned on a fresh port and its undelivered jobs — the router
+keeps a ledger of admitted-but-unfinished submissions per shard — are
+replayed verbatim.  Deterministic content addressing makes the replay
+safe: the re-submitted request has the same fingerprint, the same job
+id, and produces the same tour.
+
+Aggregation: the router's ``/stats`` sums every shard's counters into
+the same shape a single service reports (plus a ``shards`` block), so
+existing clients — the loadgen's counter-delta bookkeeping included —
+work unchanged.  ``/metrics`` merges JSON snapshots numerically and,
+in Prometheus form, re-labels each shard's samples with ``shard="i"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import OrderedDict
+from http.client import HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.config import ServiceConfig
+from repro.errors import ConfigError, ReproError
+from repro.service.http import build_request, parse_wait
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import _JOB_ID_DIGITS, job_id_for
+
+#: Seconds the manager waits for a spawned shard to report its port.
+_SHARD_START_TIMEOUT = 60.0
+
+#: Monitor poll period (seconds) for dead-shard detection.
+_MONITOR_INTERVAL = 0.25
+
+#: Ledger capacity: undelivered submissions retained for crash replay.
+_LEDGER_LIMIT = 4096
+
+#: Forward attempts per request before giving up (each failed attempt
+#: synchronously respawns the target shard first).
+_FORWARD_ATTEMPTS = 3
+
+
+def shard_for(fingerprint: str, shards: int) -> int:
+    """Map one solve fingerprint to its owning shard.
+
+    A pure function of the fingerprint's first ``_JOB_ID_DIGITS`` hex
+    characters — exactly the prefix embedded in the job id — hashed
+    with sha256 and reduced mod the shard count.  Stable across
+    restarts and processes; only changing the shard count remaps.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    prefix = fingerprint[:_JOB_ID_DIGITS]
+    digest = hashlib.sha256(prefix.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def shard_for_job(job_id: str, shards: int) -> int:
+    """Route a ``job-<fp16>`` id to the shard that owns its fingerprint."""
+    if not job_id.startswith("job-"):
+        raise ConfigError(f"malformed job id {job_id!r}")
+    return shard_for(job_id[len("job-"):], shards)
+
+
+class ShardDownError(ReproError):
+    """A shard process did not answer (connection refused/reset/torn)."""
+
+
+# ----------------------------------------------------------------------
+# shard child process
+# ----------------------------------------------------------------------
+
+def _shard_entry(index: int, host: str, conn, config: ServiceConfig,
+                 verbose: bool, fault_config) -> None:
+    """Shard process main: one full service on an ephemeral port.
+
+    Reports the bound port back through ``conn``; drains gracefully on
+    SIGTERM (the manager's stop path), exactly like the single-process
+    ``repro serve``.
+    """
+    from repro.service.faults import FaultInjector
+    from repro.service.http import make_server
+
+    injector = FaultInjector(fault_config) if fault_config is not None else None
+    server, service = make_server(config, host, 0, verbose, injector)
+    service.start()
+
+    def _sigterm(_signum, _frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    conn.send((server.server_address[1],))
+    conn.close()
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.server_close()
+        service.stop(drain=True)
+
+
+class ShardProcess:
+    """Lifecycle handle of one shard child (spawned, port-reported)."""
+
+    def __init__(self, index: int, host: str, config: ServiceConfig,
+                 verbose: bool = False, fault_config=None) -> None:
+        self.index = index
+        self.host = host
+        self.config = config
+        self.verbose = verbose
+        self.fault_config = fault_config
+        self.port: int | None = None
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self._conn = None
+
+    def spawn(self) -> "ShardProcess":
+        """Launch the child (non-blocking; call :meth:`await_port` next).
+
+        ``spawn`` (not fork): the manager may respawn from a monitor
+        thread while HTTP handler threads hold arbitrary locks, which
+        a forked child would inherit frozen.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self._conn = parent_conn
+        self.process = ctx.Process(
+            target=_shard_entry,
+            args=(self.index, self.host, child_conn, self.config,
+                  self.verbose, self.fault_config),
+            name=f"repro-shard-{self.index}",
+            daemon=False,
+        )
+        self.process.start()
+        child_conn.close()
+        return self
+
+    def await_port(self, timeout: float = _SHARD_START_TIMEOUT) -> int:
+        assert self._conn is not None, "spawn() first"
+        if not self._conn.poll(timeout):
+            raise ConfigError(
+                f"shard {self.index} did not report a port within {timeout}s"
+            )
+        (self.port,) = self._conn.recv()
+        self._conn.close()
+        self._conn = None
+        return self.port
+
+    @property
+    def base_url(self) -> str:
+        assert self.port is not None
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def terminate(self, grace_seconds: float = 15.0) -> None:
+        """SIGTERM (graceful drain), then SIGKILL past the grace period."""
+        process = self.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(grace_seconds)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        process.close()
+        self.process = None
+
+
+# ----------------------------------------------------------------------
+# the fleet manager
+# ----------------------------------------------------------------------
+
+class ShardedService:
+    """Manager of N shard processes + fingerprint routing + recovery.
+
+    Transport-agnostic core: the HTTP router (:func:`make_router_server`)
+    and the loadgen's direct sharded driver both drive this object.
+    Thread-safe — handler threads forward concurrently while the
+    monitor thread watches for dead shards.
+    """
+
+    def __init__(self, shards: int, config: ServiceConfig | None = None,
+                 host: str = "127.0.0.1", verbose: bool = False,
+                 fault_config=None) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.config = config or ServiceConfig()
+        self.host = host
+        self.verbose = verbose
+        self.fault_config = fault_config
+        self.started_at = time.time()
+        self.registry = MetricsRegistry()
+        self.router_requests = self.registry.counter(
+            "repro_router_requests_total", "Requests routed to shards")
+        self.router_errors = self.registry.counter(
+            "repro_router_forward_errors_total",
+            "Forward attempts that found a dead shard")
+        self.shard_respawns = self.registry.counter(
+            "repro_shard_respawns_total",
+            "Shard processes respawned after death")
+        self.replayed_jobs = self.registry.counter(
+            "repro_replayed_jobs_total",
+            "Undelivered jobs replayed onto a respawned shard")
+        self._procs: list[ShardProcess] = []
+        #: job_id -> (shard index, raw POST body) for admitted-but-
+        #: unfinished submissions; the crash-replay worklist.
+        self._ledger: OrderedDict[str, tuple[int, bytes]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _shard_config(self, index: int) -> ServiceConfig:
+        """Per-shard service config (disjoint cache persistence paths)."""
+        if self.config.cache_path is None or self.shards == 1:
+            return self.config
+        import dataclasses
+
+        return dataclasses.replace(
+            self.config, cache_path=f"{self.config.cache_path}.shard{index}"
+        )
+
+    def _shard_faults(self, index: int):
+        """Per-shard fault schedule: same mix, seed offset by index."""
+        if self.fault_config is None:
+            return None
+        import dataclasses
+
+        return dataclasses.replace(
+            self.fault_config, seed=self.fault_config.seed + index
+        )
+
+    def start(self) -> "ShardedService":
+        """Spawn every shard (concurrently), then start the monitor."""
+        if self._procs:
+            return self
+        procs = [
+            ShardProcess(i, self.host, self._shard_config(i), self.verbose,
+                         self._shard_faults(i)).spawn()
+            for i in range(self.shards)
+        ]
+        for proc in procs:
+            proc.await_port()
+        self._procs = procs
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-shard-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the monitor, then drain and stop every shard."""
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            proc.terminate()
+
+    def __enter__(self) -> "ShardedService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # routing + recovery
+    # ------------------------------------------------------------------
+    def shard_url(self, index: int) -> str:
+        return self._procs[index].base_url
+
+    def worker_pids(self) -> list[int | None]:
+        return [proc.pid for proc in self._procs]
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(_MONITOR_INTERVAL):
+            for index in range(len(self._procs)):
+                if not self._procs[index].alive:
+                    self._revive(index)
+
+    def _revive(self, index: int) -> None:
+        """Respawn one dead shard and replay its undelivered jobs.
+
+        Serialized under the manager lock so the monitor and a
+        forwarding handler that both notice the death respawn once.
+        """
+        with self._lock:
+            proc = self._procs[index]
+            if proc.alive:
+                return
+            proc.terminate(grace_seconds=0.0)  # reap the corpse
+            fresh = ShardProcess(
+                index, self.host, self._shard_config(index), self.verbose,
+                self._shard_faults(index),
+            ).spawn()
+            fresh.await_port()
+            self._procs[index] = fresh
+            self.shard_respawns.inc()
+            replay = [
+                (job_id, body)
+                for job_id, (shard, body) in self._ledger.items()
+                if shard == index
+            ]
+        # Replay outside the lock: each re-submission is idempotent
+        # (same fingerprint -> same job id -> same tour), so clients
+        # polling GET /jobs/<id> find their job again on the new shard.
+        for job_id, body in replay:
+            try:
+                self._http("POST", fresh.base_url + "/solve", body,
+                           timeout=30.0)
+                self.replayed_jobs.inc()
+            except ShardDownError:  # pragma: no cover - died again;
+                break               # the monitor will come back around
+
+    def _http(self, method: str, url: str, body: bytes | None = None,
+              timeout: float = 30.0) -> tuple[int, dict, bytes]:
+        """One forwarded HTTP exchange; shard death -> ShardDownError."""
+        request = urllib.request.Request(
+            url, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return (response.status, dict(response.headers),
+                        response.read())
+        except urllib.error.HTTPError as exc:
+            # The shard answered (4xx/5xx): a response, not a death.
+            return exc.code, dict(exc.headers or {}), exc.read()
+        except (urllib.error.URLError, ConnectionError, HTTPException,
+                TimeoutError) as exc:
+            raise ShardDownError(f"shard at {url} unreachable: {exc}") from exc
+
+    def _forward(self, index: int, method: str, path: str,
+                 body: bytes | None = None,
+                 timeout: float = 30.0) -> tuple[int, dict, bytes]:
+        """Forward to one shard, respawning + retrying through deaths."""
+        last: ShardDownError | None = None
+        for _attempt in range(_FORWARD_ATTEMPTS):
+            try:
+                return self._http(
+                    method, self.shard_url(index) + path, body, timeout
+                )
+            except ShardDownError as exc:
+                last = exc
+                self.router_errors.inc()
+                self._revive(index)
+        raise last  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # request paths (transport-agnostic; the HTTP router wraps these)
+    # ------------------------------------------------------------------
+    def submit_raw(self, raw: bytes) -> tuple[int, dict, bytes]:
+        """Route one ``POST /solve`` body; returns (status, headers, body).
+
+        The router computes the fingerprint itself (content addressing
+        is cheap and memoized) purely to pick the shard; the shard then
+        re-validates on its own admission path.
+        """
+        self.router_requests.inc()
+        try:
+            body = json.loads(raw)
+            request = build_request(body)
+            fingerprint = request.fingerprint()
+        except ReproError as exc:
+            return 400, {}, json.dumps({"error": str(exc)}).encode()
+        except (ValueError, TypeError) as exc:
+            return 400, {}, json.dumps(
+                {"error": f"invalid request: {exc}"}
+            ).encode()
+        index = shard_for(fingerprint, self.shards)
+        try:
+            status, headers, payload = self._forward(
+                index, "POST", "/solve", raw
+            )
+        except ShardDownError as exc:
+            return 503, {"Retry-After": "1"}, json.dumps(
+                {"error": str(exc)}
+            ).encode()
+        self._track(job_id_for(fingerprint), index, raw, status, payload)
+        return status, headers, payload
+
+    def forward_job(self, job_id: str, query: str) -> tuple[int, dict, bytes]:
+        """Route one ``GET /jobs/<id>`` (the id embeds the fingerprint)."""
+        self.router_requests.inc()
+        try:
+            index = shard_for_job(job_id, self.shards)
+        except ConfigError as exc:
+            return 404, {}, json.dumps({"error": str(exc)}).encode()
+        timeout = 30.0
+        wait = parse_qs(query).get("wait")
+        if wait:
+            try:
+                # Long-poll forwards need headroom past the shard-side
+                # wait; invalid values still go through so the shard's
+                # own validation answers with its 400.
+                timeout = parse_wait(wait[0]) + 30.0
+            except ConfigError:
+                pass
+        path = f"/jobs/{job_id}" + (f"?{query}" if query else "")
+        try:
+            status, headers, payload = self._forward(
+                index, "GET", path, timeout=timeout
+            )
+        except ShardDownError as exc:
+            return 503, {"Retry-After": "1"}, json.dumps(
+                {"error": str(exc)}
+            ).encode()
+        if status == 200:
+            self._settle(job_id, payload)
+        return status, headers, payload
+
+    def _track(self, job_id: str, index: int, raw: bytes,
+               status: int, payload: bytes) -> None:
+        """Ledger admitted-but-unfinished jobs for crash replay."""
+        if status != 200:
+            return
+        try:
+            job_status = json.loads(payload).get("status")
+        except ValueError:  # pragma: no cover - shard always sends JSON
+            return
+        with self._lock:
+            if job_status in ("queued", "running"):
+                self._ledger[job_id] = (index, raw)
+                self._ledger.move_to_end(job_id)
+                while len(self._ledger) > _LEDGER_LIMIT:
+                    self._ledger.popitem(last=False)
+            else:
+                self._ledger.pop(job_id, None)
+
+    def _settle(self, job_id: str, payload: bytes) -> None:
+        try:
+            job_status = json.loads(payload).get("status")
+        except ValueError:  # pragma: no cover
+            return
+        if job_status not in ("queued", "running"):
+            with self._lock:
+                self._ledger.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def _fetch_json(self, index: int, path: str) -> dict | None:
+        try:
+            status, _headers, payload = self._http(
+                "GET", self.shard_url(index) + path, timeout=10.0
+            )
+        except ShardDownError:
+            return None
+        if status != 200:
+            return None
+        try:
+            return json.loads(payload)
+        except ValueError:  # pragma: no cover
+            return None
+
+    def stats(self) -> dict:
+        """Fleet ``/stats``: same shape as one service, summed + per-shard."""
+        per_shard: list[dict] = []
+        payloads: list[dict] = []
+        with self._lock:
+            ledger_size = len(self._ledger)
+        for index in range(self.shards):
+            proc = self._procs[index]
+            payload = self._fetch_json(index, "/stats")
+            per_shard.append({
+                "shard": index,
+                "alive": proc.alive,
+                "port": proc.port,
+                "pid": proc.pid,
+                "pending": (payload or {}).get("queue", {}).get("pending"),
+                "requests": (payload or {}).get("requests", {}).get("requests"),
+            })
+            if payload is not None:
+                payloads.append(payload)
+        merged = {
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": _merge_numeric([p.get("queue", {}) for p in payloads]),
+            "requests": _merge_numeric(
+                [p.get("requests", {}) for p in payloads]
+            ),
+            "jobs": _merge_numeric([p.get("jobs", {}) for p in payloads]),
+            "cache": _merge_numeric([p.get("cache", {}) for p in payloads]),
+            "arena": _merge_numeric([p.get("arena", {}) for p in payloads]),
+            "health": {
+                "running": bool(payloads) and all(
+                    p.get("health", {}).get("running") for p in payloads
+                ) and all(entry["alive"] for entry in per_shard),
+                "degraded": any(
+                    p.get("health", {}).get("degraded") for p in payloads
+                ) or any(not entry["alive"] for entry in per_shard),
+                "pool_respawns": sum(
+                    p.get("health", {}).get("pool_respawns") or 0
+                    for p in payloads
+                ),
+            },
+            "shards": {
+                "count": self.shards,
+                "respawns": self.shard_respawns.value,
+                "replayed_jobs": self.replayed_jobs.value,
+                "ledger_pending": ledger_size,
+                "per_shard": per_shard,
+            },
+            "router": {
+                "requests": self.router_requests.value,
+                "forward_errors": self.router_errors.value,
+            },
+        }
+        return merged
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "shards": self.shards,
+        }
+
+    def ready(self) -> tuple[bool, dict]:
+        """Fleet readiness: every shard alive and itself ready."""
+        detail = []
+        ready = True
+        for index in range(self.shards):
+            if not self._procs[index].alive:
+                detail.append({"shard": index, "ready": False,
+                               "reason": "process dead"})
+                ready = False
+                continue
+            payload = self._fetch_json(index, "/readyz")
+            shard_ready = bool(payload and payload.get("ready"))
+            detail.append({"shard": index, "ready": shard_ready})
+            ready = ready and shard_ready
+        return ready, {"ready": ready, "shards": detail}
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet ``/metrics`` JSON: numeric merge + per-shard snapshots."""
+        snapshots = []
+        for index in range(self.shards):
+            payload = self._fetch_json(index, "/metrics")
+            if payload is not None:
+                snapshots.append(payload)
+        merged: dict = {}
+        for snapshot in snapshots:
+            for name, value in snapshot.items():
+                merged[name] = _merge_metric(merged.get(name), value)
+        merged.update(self.registry.snapshot())
+        merged["repro_shards"] = self.shards
+        merged["per_shard"] = snapshots
+        return merged
+
+    def render_prometheus(self) -> str:
+        """Fleet Prometheus exposition: shard samples re-labeled."""
+        sections: list[str] = []
+        seen_headers: set[str] = set()
+        for index in range(self.shards):
+            try:
+                status, _headers, payload = self._http(
+                    "GET",
+                    self.shard_url(index) + "/metrics?format=prometheus",
+                    timeout=10.0,
+                )
+            except ShardDownError:
+                continue
+            if status != 200:
+                continue
+            for line in payload.decode().splitlines():
+                if not line.strip():
+                    continue
+                if line.startswith("#"):
+                    if line not in seen_headers:
+                        seen_headers.add(line)
+                        sections.append(line)
+                    continue
+                sections.append(_relabel_sample(line, index))
+        sections.append(self.registry.render_prometheus().rstrip("\n"))
+        return "\n".join(sections) + "\n"
+
+
+def _merge_numeric(payloads: list[dict]) -> dict:
+    """Sum numeric keys across shard dicts; first value wins otherwise."""
+    merged: dict = {}
+    for payload in payloads:
+        for key, value in payload.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                merged.setdefault(key, value)
+            elif isinstance(merged.get(key), (int, float)) and not isinstance(
+                merged.get(key), bool
+            ):
+                merged[key] = merged[key] + value
+            else:
+                merged[key] = value
+    return merged
+
+
+def _merge_metric(current, value):
+    """Merge one metric family across shard snapshots.
+
+    Numbers sum; histogram snapshots combine count/sum/min/max (the
+    merged mean is recomputed, percentiles are per-shard information
+    and stay in ``per_shard``); labeled families merge per label.
+    """
+    if current is None:
+        if isinstance(value, dict) and "count" in value and "sum" in value:
+            return _merge_histogram({}, value)
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if isinstance(current, (int, float)) and not isinstance(current, bool):
+            return current + value
+        return value
+    if isinstance(value, dict):
+        if "count" in value and "sum" in value:
+            return _merge_histogram(current, value)
+        merged = dict(current) if isinstance(current, dict) else {}
+        for key, inner in value.items():
+            merged[key] = _merge_metric(merged.get(key), inner)
+        return merged
+    return current
+
+
+def _merge_histogram(current: dict, value: dict) -> dict:
+    count = (current.get("count") or 0) + (value.get("count") or 0)
+    total = (current.get("sum") or 0.0) + (value.get("sum") or 0.0)
+    mins = [v for v in (current.get("min"), value.get("min")) if v is not None]
+    maxes = [v for v in (current.get("max"), value.get("max")) if v is not None]
+    return {
+        "count": count,
+        "sum": total,
+        "mean": (total / count) if count else None,
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+    }
+
+
+def _relabel_sample(line: str, shard: int) -> str:
+    """Inject ``shard="i"`` into one Prometheus sample line."""
+    cut = line.rfind(" ")
+    if cut <= 0:
+        return line
+    head, value = line[:cut], line[cut + 1:]
+    if head.endswith("}") and "{" in head:
+        brace = head.index("{")
+        inner = head[brace + 1:-1]
+        merged = f'shard="{shard}"' + ("," + inner if inner else "")
+        return f"{head[:brace]}{{{merged}}} {value}"
+    return f'{head}{{shard="{shard}"}} {value}'
+
+
+# ----------------------------------------------------------------------
+# HTTP router front-end
+# ----------------------------------------------------------------------
+
+class RouterHandler(BaseHTTPRequestHandler):
+    """The fleet front-end: same endpoints as :class:`ServiceHandler`."""
+
+    server_version = "repro-router/1"
+    protocol_version = "HTTP/1.1"
+    timeout = 30.0
+
+    def setup(self) -> None:
+        self.timeout = getattr(self.server, "request_timeout",
+                               type(self).timeout)
+        super().setup()
+
+    @property
+    def fleet(self) -> ShardedService:
+        return self.server.fleet  # type: ignore[attr-defined]
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if urlparse(self.path).path != "/solve":
+            self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._send_json(400, {"error": "empty request body"})
+            return
+        raw = self.rfile.read(length)
+        status, headers, payload = self.fleet.submit_raw(raw)
+        self._send_raw(status, headers, payload)
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path == "/stats":
+            self._send_json(200, self.fleet.stats())
+            return
+        if parsed.path == "/healthz":
+            self._send_json(200, self.fleet.health())
+            return
+        if parsed.path == "/readyz":
+            ready, info = self.fleet.ready()
+            if ready:
+                self._send_json(200, info)
+            else:
+                self._send_json(503, info, {"Retry-After": "1"})
+            return
+        if parsed.path == "/metrics":
+            query = parse_qs(parsed.query)
+            fmt = (query.get("format") or [""])[0].lower()
+            accept = self.headers.get("Accept", "")
+            if fmt in ("prometheus", "prom", "text") or (
+                not fmt and "text/plain" in accept
+            ):
+                text = self.fleet.render_prometheus().encode()
+                self._send_raw(
+                    200,
+                    {"Content-Type":
+                     "text/plain; version=0.0.4; charset=utf-8"},
+                    text,
+                )
+            else:
+                self._send_json(200, self.fleet.metrics_snapshot())
+            return
+        if parsed.path.startswith("/jobs/"):
+            job_id = parsed.path[len("/jobs/"):]
+            status, headers, payload = self.fleet.forward_job(
+                job_id, parsed.query
+            )
+            self._send_raw(status, headers, payload)
+            return
+        self._send_json(404, {"error": f"unknown endpoint {parsed.path!r}"})
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
+        data = json.dumps(payload).encode()
+        send = dict(headers or {})
+        send["Content-Type"] = "application/json"
+        self._send_raw(status, send, data)
+
+    def _send_raw(self, status: int, headers: dict, data: bytes) -> None:
+        self.send_response(status)
+        passthrough = {"Content-Type", "Retry-After"}
+        sent_type = False
+        for name, value in headers.items():
+            if name.title() in passthrough:
+                self.send_header(name, value)
+                sent_type = sent_type or name.title() == "Content-Type"
+        if not sent_type:
+            self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+
+def make_router_server(
+    shards: int,
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+    fault_config=None,
+) -> tuple[ThreadingHTTPServer, ShardedService]:
+    """Build (not start) the router + its shard fleet manager."""
+    fleet = ShardedService(shards, config, host=host, verbose=verbose,
+                           fault_config=fault_config)
+    server = ThreadingHTTPServer((host, port), RouterHandler)
+    server.fleet = fleet  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.request_timeout = fleet.config.request_timeout  # type: ignore[attr-defined]
+    return server, fleet
+
+
+def serve_sharded_forever(
+    shards: int,
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+    fault_config=None,
+) -> None:
+    """Blocking entry point behind ``repro serve --shards N``."""
+    server, fleet = make_router_server(
+        shards, config, host, port, verbose, fault_config
+    )
+    fleet.start()
+
+    def _sigterm(_signum, _frame):
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    bound = server.server_address
+    ports = [proc.port for proc in fleet._procs]
+    print(f"repro serve: router on http://{bound[0]}:{bound[1]} "
+          f"fronting {shards} shard(s) on ports {ports} "
+          f"(workers={fleet.config.workers}/shard)", flush=True)
+    if fault_config is not None:
+        print(f"repro serve: CHAOS ENABLED per shard (base seed "
+              f"{fault_config.seed})", flush=True)
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.server_close()
+        print("repro serve: draining shards...", flush=True)
+        fleet.close()
+        print("repro serve: drained; bye", flush=True)

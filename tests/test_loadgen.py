@@ -193,6 +193,15 @@ class TestRunLoadtest:
         assert payload["entries"][0]["p99_seconds"] is not None
         json.dumps(payload)  # JSON-safe end to end
 
+    def test_closed_loop_reports_no_arrival_lag(self):
+        # Closed loop has no arrival schedule to lag behind: the old
+        # report leaked issue-clock offsets into the field (a worker
+        # picking up slot 7 "lagged" by however long slots 0-6 took).
+        config = LoadgenConfig(**{**TINY, "requests": 6})
+        report = run_loadtest(config)
+        assert report.summary()["max_arrival_lag_seconds"] is None
+        assert all(r.lag == 0.0 for r in report.records)
+
     def test_open_loop_run(self):
         config = LoadgenConfig(**{
             **TINY, "mode": "open", "rate": 200.0, "requests": 8,

@@ -92,6 +92,29 @@ class TestHistogram:
         assert histogram.percentile(0.5) == pytest.approx(0.125)
         assert histogram.percentile(0.99) == pytest.approx(0.125)
 
+    def test_tail_percentiles_do_not_collapse_to_max(self):
+        # Regression: when the whole distribution lands in ONE log
+        # bucket (common for a uniform service latency), the old
+        # interpolation used the bucket's nominal upper edge, so every
+        # tail quantile estimated past the observed max and clamped to
+        # it — /metrics reported p95 == p99 == max.  The effective edge
+        # is the observed max, so the tail quantiles must spread.
+        histogram = Histogram("h")
+        for i in range(100):
+            histogram.observe(0.8 + 0.002 * i)  # all in (0.562, 1.0]
+        snap = histogram.snapshot()
+        assert snap["p50"] < snap["p95"] < snap["p99"] < snap["max"]
+        assert snap["p95"] == pytest.approx(0.8 + 0.95 * 0.198, rel=0.02)
+        assert snap["p99"] == pytest.approx(0.8 + 0.99 * 0.198, rel=0.02)
+
+    def test_bottom_bucket_uses_observed_min(self):
+        # Symmetric clamp on the lowest occupied bucket: quantiles
+        # must never estimate below the observed minimum.
+        histogram = Histogram("h")
+        for value in (0.9, 0.91, 0.92, 0.95):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) >= 0.9
+
     def test_exposition_is_one_consistent_snapshot(self):
         histogram = Histogram("h", bounds=(0.1, 1.0))
         for value in (0.05, 0.5, 5.0):

@@ -13,7 +13,9 @@ The serving contract under test:
 """
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -398,6 +400,23 @@ class TestHTTPFrontend:
             assert err.value.code == 400
             assert "error" in json.load(err.value)
 
+    def test_wait_validation(self, http_service):
+        # Bad ?wait= values are 400s, even for finished jobs — the old
+        # min(float(raw), 300.0) clamp silently let NaN through (every
+        # NaN comparison is false) straight into Event.wait.
+        posted = _post(http_service, "/solve", self.BODY)
+        job_id = posted["job_id"]
+        done = _get(http_service, f"/jobs/{job_id}?wait=120")
+        assert done["status"] == "done"
+        for wait in ("-1", "-0.5", "nan", "NaN", "abc"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(http_service, f"/jobs/{job_id}?wait={wait}")
+            assert err.value.code == 400, wait
+            assert "wait" in json.load(err.value)["error"]
+        # inf is well-ordered and simply clamps to the maximum.
+        assert _get(http_service, f"/jobs/{job_id}?wait=inf")["status"] == "done"
+        assert _get(http_service, f"/jobs/{job_id}?wait=0")["status"] == "done"
+
     def test_unknown_job_and_endpoint_are_404(self, http_service):
         for path in ("/jobs/job-ffffffffffffffff", "/nope"):
             with pytest.raises(urllib.error.HTTPError) as err:
@@ -501,3 +520,47 @@ class TestHTTPErrorPaths:
             server.shutdown()
             server.server_close()
             svc.close()
+
+    def test_half_open_connection_is_timed_out(self):
+        # A client that sends headers but stalls the body forever must
+        # not pin its handler thread: the per-connection socket timeout
+        # times the read out and the server closes the connection.
+        server, svc, base = self._server(
+            ServiceConfig(batch_window=0.0, request_timeout=0.5)
+        )
+        try:
+            with socket.create_connection(
+                server.server_address, timeout=10.0
+            ) as stalled:
+                stalled.sendall(
+                    b"POST /solve HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 64\r\n"
+                    b"\r\n"
+                    b"{"  # 63 bytes never arrive
+                )
+                started = time.perf_counter()
+                # recv returning b"" == the server closed on us; must
+                # happen around request_timeout, not our 10 s guard.
+                while stalled.recv(4096):
+                    pass
+                elapsed = time.perf_counter() - started
+            assert elapsed < 5.0
+            # The freed server still answers normal traffic.
+            view = _post(base, "/solve", {
+                "instance": "uniform:24:4", "solver": "sa_tsp", "seed": 0,
+                "params": {"sweeps": 10},
+            })
+            job = _get(base, f"/jobs/{view['job_id']}?wait=120")
+            assert job["status"] == "done"
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_request_timeout_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(request_timeout=0.0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(request_timeout=-1.0)

@@ -1,0 +1,197 @@
+"""Sharded-serving tests: routing, isolation, determinism, recovery.
+
+The sharding contract under test:
+
+* ``shard_for`` is a pure function of the fingerprint (sha256 of the
+  job-id prefix mod N) — deterministic across calls and processes,
+  uniform enough to reach every shard, and consistent with
+  ``shard_for_job`` so ``POST /solve`` and ``GET /jobs/<id>`` always
+  land on the same shard;
+* each shard owns its own queue/cache/pool: a fingerprint's cache
+  entry lives on exactly its owning shard;
+* tour hashes are bit-identical at any shard count (``--shards 1`` vs
+  ``--shards 4``), because routing never changes what is solved, only
+  where;
+* a SIGKILLed shard is respawned by the monitor and its undelivered
+  jobs are replayed — the resubmitted fingerprint still produces the
+  identical tour.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.errors import ConfigError
+from repro.service.queue import job_id_for
+from repro.service.shards import ShardedService, shard_for, shard_for_job
+
+SWEEPS = 15
+CONFIG = ServiceConfig(batch_window=0.0, workers=1)
+
+
+def _body(token="uniform:24:3", seed=7):
+    return {"instance": token, "solver": "taxi", "seed": seed,
+            "params": {"sweeps": SWEEPS}}
+
+
+def _solve(fleet, body, wait=120):
+    """Submit through the routing core and long-poll to completion."""
+    status, _headers, payload = fleet.submit_raw(json.dumps(body).encode())
+    assert status == 200, payload
+    view = json.loads(payload)
+    if view["status"] in ("queued", "running"):
+        status, _headers, payload = fleet.forward_job(
+            view["job_id"], f"wait={wait:g}"
+        )
+        assert status == 200, payload
+        view = json.loads(payload)
+    assert view["status"] == "done", view
+    return view
+
+
+def _fingerprints(count):
+    return [hashlib.sha256(str(i).encode()).hexdigest()
+            for i in range(count)]
+
+
+class TestRouting:
+    def test_pure_function_of_fingerprint(self):
+        fps = _fingerprints(256)
+        for shards in (1, 2, 3, 4, 7):
+            first = [shard_for(fp, shards) for fp in fps]
+            second = [shard_for(fp, shards) for fp in fps]
+            assert first == second
+            assert all(0 <= index < shards for index in first)
+
+    def test_post_and_get_agree(self):
+        # The job id embeds exactly the routed fingerprint prefix, so
+        # submitting and polling can never land on different shards.
+        for fp in _fingerprints(64):
+            for shards in (2, 4, 7):
+                assert shard_for_job(job_id_for(fp), shards) == shard_for(
+                    fp, shards
+                )
+
+    def test_every_shard_reachable(self):
+        fps = _fingerprints(512)
+        for shards in (2, 4, 8):
+            assert {shard_for(fp, shards) for fp in fps} == set(range(shards))
+
+    def test_single_shard_short_circuits(self):
+        assert shard_for("ab" * 32, 1) == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_for("ab" * 32, 0)
+        with pytest.raises(ConfigError):
+            shard_for_job("not-a-job-id", 2)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with ShardedService(2, CONFIG) as running:
+        yield running
+
+
+@pytest.mark.slow
+class TestShardedFleet:
+    def test_ready_and_health(self, fleet):
+        ready, info = fleet.ready()
+        assert ready
+        assert [entry["ready"] for entry in info["shards"]] == [True, True]
+        assert fleet.health()["shards"] == 2
+
+    def test_solve_routes_and_caches_on_owner_only(self, fleet):
+        body = _body(seed=101)
+        done = _solve(fleet, body)
+        owner = shard_for_job(done["job_id"], fleet.shards)
+        # Resubmit: answered from the owning shard's cache.
+        again, _headers, payload = fleet.submit_raw(json.dumps(body).encode())
+        assert again == 200
+        hit = json.loads(payload)
+        assert hit["cached"] is True
+        assert hit["result"]["tour_hash"] == done["result"]["tour_hash"]
+        # Cross-shard isolation: only the owner knows the job — the
+        # other shard's queue/cache never saw the fingerprint, so
+        # asking it directly is a 404.
+        other = 1 - owner
+        path = f"/jobs/{done['job_id']}"
+        status_owner, _h, _p = fleet._http(
+            "GET", fleet.shard_url(owner) + path
+        )
+        status_other, _h, _p = fleet._http(
+            "GET", fleet.shard_url(other) + path
+        )
+        assert status_owner == 200
+        assert status_other == 404
+        owner_cache = fleet._fetch_json(owner, "/stats")["cache"]
+        assert owner_cache.get("hits", 0) >= 1
+
+    def test_stats_aggregate_keeps_single_service_shape(self, fleet):
+        _solve(fleet, _body(seed=102))
+        stats = fleet.stats()
+        for key in ("queue", "requests", "cache", "jobs", "health",
+                    "shards", "router"):
+            assert key in stats
+        assert stats["shards"]["count"] == 2
+        assert len(stats["shards"]["per_shard"]) == 2
+        assert stats["router"]["requests"] >= 1
+        # Summed ledger: both shards' request counters fold into one.
+        per_shard_requests = [
+            entry["requests"] for entry in stats["shards"]["per_shard"]
+        ]
+        assert stats["requests"]["requests"] == sum(
+            value or 0 for value in per_shard_requests
+        )
+
+    def test_metrics_aggregate_and_prometheus_relabel(self, fleet):
+        _solve(fleet, _body(seed=103))
+        snapshot = fleet.metrics_snapshot()
+        assert snapshot["repro_shards"] == 2
+        assert snapshot["repro_requests_total"] >= 1
+        assert len(snapshot["per_shard"]) == 2
+        text = fleet.render_prometheus()
+        assert 'shard="0"' in text
+        assert 'shard="1"' in text
+        assert "repro_router_requests_total" in text
+
+    def test_shard_crash_respawns_and_resolves_identically(self, fleet):
+        body = _body(seed=104)
+        before = _solve(fleet, body)
+        owner = shard_for_job(before["job_id"], fleet.shards)
+        respawns_before = fleet.stats()["shards"]["respawns"]
+        pid = fleet.worker_pids()[owner]
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            proc = fleet._procs[owner]
+            if proc.alive and proc.pid != pid:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("shard was not respawned within 30s")
+        after = _solve(fleet, body)
+        assert after["result"]["tour_hash"] == before["result"]["tour_hash"]
+        assert fleet.stats()["shards"]["respawns"] == respawns_before + 1
+
+
+@pytest.mark.slow
+class TestShardCountInvariance:
+    def test_tour_hashes_bit_identical_across_shard_counts(self):
+        # The acceptance invariant: same request, same tour hash, at
+        # any shard count — routing changes *where*, never *what*.
+        bodies = [_body(seed=s) for s in (201, 202, 203)]
+
+        def hashes(shards):
+            with ShardedService(shards, CONFIG) as running:
+                return [
+                    _solve(running, body)["result"]["tour_hash"]
+                    for body in bodies
+                ]
+
+        assert hashes(1) == hashes(4)
