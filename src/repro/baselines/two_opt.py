@@ -1,45 +1,46 @@
 """2-opt and Or-opt local search with neighbour lists and don't-look bits.
 
-This is the improvement engine of the Concorde surrogate.  Moves are
-evaluated only against each city's k nearest neighbours (the standard
-candidate-list restriction), and don't-look bits keep passes focused on
-recently-changed regions — together these make local search practical
-at the paper's largest size (85,900 cities) in pure Python/numpy.
+This is the improvement engine of the Concorde surrogate.  The actual
+pass implementations live in :mod:`repro.kernels.neighbor` (reference
+scalar scans plus a bit-exact vectorized fast backend); this module
+keeps the historical entry point and re-exports the pass functions.
+Moves are evaluated only against each city's k nearest neighbours (the
+standard candidate-list restriction), and don't-look bits keep passes
+focused on recently-changed regions — together these make local search
+practical at the paper's largest size (85,900 cities) in pure
+Python/numpy, with no distance matrix required at any size.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
-from repro.errors import SolverError
+from repro.kernels.neighbor import (
+    DistFn,
+    NeighborLocalSearch,
+    make_dist_fns,
+    or_opt_pass,
+    two_opt_pass,
+)
 from repro.tsp.instance import TSPInstance
-from repro.tsp.neighbors import nearest_neighbor_lists
+from repro.tsp.neighbors import CandidateLists, build_candidate_lists
 
-DistFn = Callable[[int, int], float]
+__all__ = ["two_opt", "two_opt_pass", "or_opt_pass"]
 
 
 def _make_dist(instance: TSPInstance) -> DistFn:
-    if instance.n <= 4096:
-        matrix = instance.distance_matrix()
-        return lambda a, b: float(matrix[a, b])
-
-    def pair(a: int, b: int) -> float:
-        return float(
-            instance._edge_lengths(np.asarray([a]), np.asarray([b]))[0]
-        )
-
-    return pair
+    """Backwards-compatible scalar edge-length oracle."""
+    return make_dist_fns(instance)[0]
 
 
 def two_opt(
     instance: TSPInstance,
     order: np.ndarray,
-    neighbors: np.ndarray | None = None,
+    neighbors: np.ndarray | CandidateLists | None = None,
     k: int = 8,
     max_rounds: int = 30,
     use_or_opt: bool = True,
+    backend: str | None = "auto",
 ) -> np.ndarray:
     """Improve a closed tour until 2-opt (+ optional Or-opt) is exhausted.
 
@@ -48,180 +49,26 @@ def two_opt(
     order:
         Starting tour (a permutation).
     neighbors:
-        Precomputed ``(n, k)`` candidate lists (built if omitted).
+        Precomputed ``(n, k)`` candidate lists or a
+        :class:`CandidateLists` artifact (built if omitted).
     max_rounds:
         Hard cap on improvement rounds (each round = one full pass of
         2-opt and, if enabled, Or-opt).
+    backend:
+        Kernel backend (``auto``/``fast``/``reference``/``array``);
+        all backends return bit-identical tours.
     """
     n = instance.n
-    order = np.asarray(order, dtype=int).copy()
-    if sorted(order.tolist()) != list(range(n)):
-        raise SolverError("two_opt needs a valid tour permutation")
-    if neighbors is None:
-        neighbors = nearest_neighbor_lists(instance, min(k, n - 1))
-    dist = _make_dist(instance)
-    position = np.empty(n, dtype=int)
-    position[order] = np.arange(n)
-
-    for _ in range(max_rounds):
-        improved = two_opt_pass(order, position, neighbors, dist)
-        if use_or_opt:
-            improved |= or_opt_pass(order, position, neighbors, dist)
-        if not improved:
-            break
-    return order
-
-
-def two_opt_pass(
-    order: np.ndarray,
-    position: np.ndarray,
-    neighbors: np.ndarray,
-    dist: DistFn,
-) -> bool:
-    """One don't-look-bit sweep of neighbour-list 2-opt.  Mutates in place."""
-    n = order.size
-    dont_look = np.zeros(n, dtype=bool)
-    queue = list(order)
-    improved_any = False
-    while queue:
-        a = queue.pop()
-        if dont_look[a]:
-            continue
-        dont_look[a] = True
-        improved = _try_city_two_opt(a, order, position, neighbors, dist)
-        if improved:
-            improved_any = True
-            for city in improved:
-                if dont_look[city]:
-                    dont_look[city] = False
-                    queue.append(city)
-    return improved_any
-
-
-def _try_city_two_opt(
-    a: int,
-    order: np.ndarray,
-    position: np.ndarray,
-    neighbors: np.ndarray,
-    dist: DistFn,
-) -> list[int]:
-    """Try 2-opt moves around city ``a``; returns touched cities if improved."""
-    n = order.size
-    for direction in (1, -1):
-        pa = position[a]
-        b = int(order[(pa + direction) % n])
-        d_ab = dist(a, b)
-        for c in neighbors[a]:
-            c = int(c)
-            if c == b or c == a:
-                continue
-            d_ac = dist(a, c)
-            if d_ac >= d_ab:
-                break  # neighbours sorted: no closer candidate remains
-            pc = position[c]
-            d_city = int(order[(pc + direction) % n])
-            if d_city == a:
-                continue
-            delta = d_ac + dist(b, d_city) - d_ab - dist(c, d_city)
-            if delta < -1e-10:
-                _reverse_segment(order, position, pa, pc, direction)
-                return [a, b, c, d_city]
-    return []
-
-
-def _reverse_segment(
-    order: np.ndarray, position: np.ndarray, pa: int, pc: int, direction: int
-) -> None:
-    """Reverse the tour segment that realizes the 2-opt reconnection.
-
-    For ``direction == 1`` the move removes edges (a, succ a) and
-    (c, succ c) and reverses the span succ(a)..c; for ``direction == -1``
-    the mirrored move applies on predecessors.  The shorter side of the
-    cycle is reversed to bound the cost.
-    """
-    n = order.size
-    if direction == 1:
-        i, j = (pa + 1) % n, pc
+    if isinstance(neighbors, CandidateLists):
+        candidates = neighbors
+    elif neighbors is not None:
+        candidates = build_candidate_lists(instance, k, neighbors=neighbors)
     else:
-        i, j = pc, (pa - 1) % n
-    # Length of the forward span i..j.
-    span = (j - i) % n + 1
-    if span > n // 2:
-        # Reverse the complementary span instead (same resulting tour).
-        i, j = (j + 1) % n, (i - 1) % n
-        span = (j - i) % n + 1
-    idx = (i + np.arange(span)) % n
-    order[idx] = order[idx[::-1]]
-    position[order[idx]] = idx
-
-
-def or_opt_pass(
-    order: np.ndarray,
-    position: np.ndarray,
-    neighbors: np.ndarray,
-    dist: DistFn,
-    segment_lengths: tuple[int, ...] = (1, 2, 3),
-) -> bool:
-    """One sweep of Or-opt (relocate short segments).  Mutates in place."""
-    n = order.size
-    improved_any = False
-    for seg_len in segment_lengths:
-        if seg_len >= n - 2:
-            continue
-        for start_city in list(order):
-            ps = position[start_city]
-            idx = (ps + np.arange(seg_len)) % n
-            seg = order[idx]
-            prev_city = int(order[(ps - 1) % n])
-            next_city = int(order[(ps + seg_len) % n])
-            if prev_city in seg or next_city in seg:
-                continue
-            removed = (
-                dist(prev_city, int(seg[0]))
-                + dist(int(seg[-1]), next_city)
-                - dist(prev_city, next_city)
-            )
-            if removed <= 1e-10:
-                continue
-            best = None
-            for c in neighbors[int(seg[0])]:
-                c = int(c)
-                if c in seg or c == prev_city:
-                    continue
-                pc = position[c]
-                d_city = int(order[(pc + 1) % n])
-                if d_city in seg:
-                    continue
-                for head, tail in ((int(seg[0]), int(seg[-1])), (int(seg[-1]), int(seg[0]))):
-                    added = dist(c, head) + dist(tail, d_city) - dist(c, d_city)
-                    delta = added - removed
-                    if delta < -1e-10 and (best is None or delta < best[0]):
-                        best = (delta, c, head != int(seg[0]))
-            if best is None:
-                continue
-            _relocate_segment(order, position, ps, seg_len, best[1], best[2])
-            improved_any = True
-    return improved_any
-
-
-def _relocate_segment(
-    order: np.ndarray,
-    position: np.ndarray,
-    ps: int,
-    seg_len: int,
-    after_city: int,
-    reverse: bool,
-) -> None:
-    """Move the segment starting at tour position ``ps`` after ``after_city``."""
-    n = order.size
-    idx = (ps + np.arange(seg_len)) % n
-    seg = order[idx].copy()
-    if reverse:
-        seg = seg[::-1]
-    remaining = np.delete(order, idx)
-    insert_at = int(np.flatnonzero(remaining == after_city)[0]) + 1
-    new_order = np.concatenate(
-        [remaining[:insert_at], seg, remaining[insert_at:]]
+        candidates = build_candidate_lists(instance, min(k, n - 1))
+    search = NeighborLocalSearch(
+        candidates,
+        backend=backend,
+        use_or_opt=use_or_opt,
+        max_rounds=max_rounds,
     )
-    order[:] = new_order
-    position[order] = np.arange(n)
+    return search.improve(order)

@@ -52,6 +52,7 @@ _BENCH_GRID_SIZE_ARGS = {
     "service": "service_sizes",
     "loadtest": "loadtest_sizes",
     "replica_batch": "replica_batch_sizes",
+    "scale": "scale_sizes",
 }
 
 
@@ -286,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="replica lock-step cell instance sizes "
                             "(empty list skips)")
+    bench.add_argument("--scale-sizes", nargs="*", type=int, default=None,
+                       help="sparse-path scale-ladder sizes (single run "
+                            "per cell; empty list skips)")
     bench.add_argument("--replica-batch-replicas", type=int, default=8,
                        help="replicas per lock-step cell")
     bench.add_argument("--replica-batch-sweeps", type=int, default=60)
@@ -308,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("instance", nargs="?", default=None,
+                        help="instance token: family:n[:seed] (e.g. "
+                             "clustered:100000:7), a benchmark size, or a "
+                             "TSPLIB path")
     group = parser.add_mutually_exclusive_group(required=False)
     group.add_argument("--size", type=int,
                        help="benchmark registry size (other sizes get a "
@@ -342,13 +350,30 @@ def _engine_args(parser: argparse.ArgumentParser) -> None:
                         help="suppress per-replica progress lines")
 
 
+def _instance_token(args: argparse.Namespace):
+    """The instance token an ``_instance_args`` command was given.
+
+    The positional token and the legacy ``--size``/``--tsplib`` flags
+    are mutually exclusive; with neither, the paper's syn318 default.
+    """
+    token = getattr(args, "instance", None)
+    if token is not None:
+        if getattr(args, "size", None) is not None or getattr(args, "tsplib", None):
+            raise SystemExit(
+                "give either a positional instance token or "
+                "--size/--tsplib, not both"
+            )
+        return token
+    if getattr(args, "tsplib", None):
+        return args.tsplib
+    size = getattr(args, "size", None)
+    return 318 if size is None else size
+
+
 def _load_instance(args: argparse.Namespace):
     from repro.engine import resolve_instance
 
-    if getattr(args, "tsplib", None):
-        return resolve_instance(args.tsplib)
-    size = getattr(args, "size", None) or 318
-    return resolve_instance(size)
+    return resolve_instance(_instance_token(args))
 
 
 def _parse_value(text: str):
@@ -479,10 +504,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core import EngineConfig
     from repro.engine import BatchJob, run_batch
 
-    if args.tsplib:
-        token = args.tsplib
-    else:
-        token = args.size if args.size is not None else 318
+    token = _instance_token(args)
     base_params = _solver_params(args)
     if args.param == "seed":
         raise SystemExit("sweep the master seed via --seed, not --param seed")
@@ -583,6 +605,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         service_sizes=args.service_sizes,
         loadtest_sizes=args.loadtest_sizes,
         replica_batch_sizes=args.replica_batch_sizes,
+        scale_sizes=args.scale_sizes,
         replica_batch_replicas=args.replica_batch_replicas,
         replica_batch_sweeps=args.replica_batch_sweeps,
         ising_sweeps=args.ising_sweeps,
@@ -683,6 +706,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ["n", "replicas", "sequential", "lockstep", "speedup",
              "bit-identical"],
             rows, title="replica lock-step vs sequential dispatch",
+        ))
+    scale_cells = [e for e in payload["entries"] if e["kind"] == "scale"]
+    if scale_cells:
+        rows = [
+            [
+                str(cell["n"]),
+                format_seconds(cell["seconds"]),
+                f"{cell['peak_rss_bytes'] / 2**20:.0f} MiB",
+                cell["tour_hash"],
+            ]
+            for cell in scale_cells
+        ]
+        print()
+        print(ascii_table(
+            ["n", "wall", "peak RSS", "tour hash"],
+            rows, title="sparse-path scale ladder (single run per cell)",
+        ))
+    if payload.get("scale_curvature"):
+        rows = [
+            [
+                f"{cell['n_from']} -> {cell['n_to']}",
+                format_seconds(cell["seconds_from"]),
+                format_seconds(cell["seconds_to"]),
+                f"{cell['exponent']:.2f}",
+            ]
+            for cell in payload["scale_curvature"]
+        ]
+        print()
+        print(ascii_table(
+            ["sizes", "from", "to", "exponent"],
+            rows, title="scale-ladder runtime curvature (1 = linear)",
         ))
     loadtest_cells = [e for e in payload["entries"] if e["kind"] == "loadtest"]
     if loadtest_cells:

@@ -14,9 +14,19 @@ solve.  Callers key blocks by stable cluster identifiers (level, node),
 so a block is sliced from the instance at most once per solve; the
 conflict-retry path subsets rows of the cached block instead of
 re-slicing the metric.
+
+The cache also has a **size-budgeted coordinate-lazy mode**
+(``budget_bytes``): blocks count against a byte budget and the least
+recently used are dropped when it overflows.  Eviction is always safe —
+every block is recomputable from the instance coordinates on demand —
+so the budget turns the cache from an unbounded O(clusters x block²)
+retainer into a bounded working set, which is what lets one solve of an
+n=10^5 instance hold only the sub-blocks it is actively ordering.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -25,6 +35,11 @@ from repro.tsp.instance import TSPInstance
 #: Above this many pairwise entries, cross-blocks are not materialized
 #: (endpoint fixing falls back to the KD-tree path instead).
 PAIR_BLOCK_LIMIT = 4096
+
+#: Default byte budget applied by the pipeline's per-solve caches on
+#: large instances (small solves retain everything; the budget only
+#: matters once block volume could rival an n x n matrix).
+DEFAULT_CACHE_BUDGET = 128 * 1024 * 1024
 
 
 class SubmatrixCache:
@@ -45,29 +60,75 @@ class SubmatrixCache:
     per-solve cache would retain O(pairs x block) memory for zero
     reuse.  Caller-shared caches keep the default ``True`` so repeated
     solves over one hierarchy reuse the slices.
+
+    ``budget_bytes`` bounds total retained bytes (LRU eviction; blocks
+    larger than the whole budget are returned uncached).  ``None``
+    retains everything, the historical behavior.
     """
 
     def __init__(
-        self, instance: TSPInstance, retain_cross_blocks: bool = True
+        self,
+        instance: TSPInstance,
+        retain_cross_blocks: bool = True,
+        budget_bytes: int | None = None,
     ) -> None:
         self.instance = instance
         self.retain_cross_blocks = retain_cross_blocks
-        self._square: dict[object, np.ndarray] = {}
-        self._cross: dict[tuple[object, object], np.ndarray] = {}
+        self.budget_bytes = budget_bytes
+        self._square: OrderedDict[object, np.ndarray] = OrderedDict()
+        self._cross: OrderedDict[tuple[object, object], np.ndarray] = (
+            OrderedDict()
+        )
+        self._held_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _get(self, store: OrderedDict, key: object) -> np.ndarray | None:
+        block = store.get(key)
+        if block is not None and self.budget_bytes is not None:
+            store.move_to_end(key)
+        return block
+
+    def _put(self, store: OrderedDict, key: object, block: np.ndarray) -> None:
+        budget = self.budget_bytes
+        if budget is not None and block.nbytes > budget:
+            return  # oversized for the whole budget: hand out uncached
+        store[key] = block
+        self._held_bytes += block.nbytes
+        if budget is None:
+            return
+        while self._held_bytes > budget and len(self._square) + len(
+            self._cross
+        ) > 1:
+            victim_store = self._lru_store()
+            _key, victim = victim_store.popitem(last=False)
+            self._held_bytes -= victim.nbytes
+            self.evictions += 1
+
+    def _lru_store(self) -> OrderedDict:
+        """The store holding the globally least-recently-used block."""
+        if not self._square:
+            return self._cross
+        if not self._cross:
+            return self._square
+        # Two stores, one LRU order: evict square blocks first — cross
+        # blocks are re-requested by the conflict-retry path within the
+        # same fixing step, square blocks only across levels.
+        return self._square
 
     # ------------------------------------------------------------------
     def submatrix(self, key: object, indices: np.ndarray) -> np.ndarray:
         """Square pairwise block over ``indices``, memoized under ``key``."""
-        block = self._square.get(key)
+        block = self._get(self._square, key)
         if block is not None:
             self.hits += 1
             return block
         self.misses += 1
         block = self.instance.distance_submatrix(np.asarray(indices, dtype=int))
         block.setflags(write=False)
-        self._square[key] = block
+        self._put(self._square, key, block)
         return block
 
     def cross_block(
@@ -79,7 +140,7 @@ class SubmatrixCache:
     ) -> np.ndarray:
         """Rectangular block ``(len(a), len(b))``, memoized per key pair."""
         key = (key_a, key_b)
-        block = self._cross.get(key)
+        block = self._get(self._cross, key)
         if block is not None:
             self.hits += 1
             return block
@@ -92,7 +153,7 @@ class SubmatrixCache:
         # disappears when a shared cache replaces a per-solve one.
         block.setflags(write=False)
         if self.retain_cross_blocks:
-            self._cross[key] = block
+            self._put(self._cross, key, block)
         return block
 
     # ------------------------------------------------------------------
@@ -101,6 +162,12 @@ class SubmatrixCache:
         """How many blocks were actually sliced from the instance."""
         return self.misses
 
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently retained across both stores."""
+        return self._held_bytes
+
     def clear(self) -> None:
         self._square.clear()
         self._cross.clear()
+        self._held_bytes = 0

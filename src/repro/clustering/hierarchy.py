@@ -125,7 +125,10 @@ def build_hierarchy(
             level=0,
             centroids=np.asarray(instance.coords, dtype=float).copy(),
             children=[],
-            leaves=[np.asarray([i]) for i in range(n)],
+            # Row views of one (n, 1) array: at n=10^5 this is one
+            # allocation instead of n tiny ones, with identical
+            # per-node arrays.
+            leaves=list(np.arange(n, dtype=int).reshape(n, 1)),
         )
     ]
     while levels[-1].n_nodes > max_cluster_size:
@@ -136,12 +139,20 @@ def build_hierarchy(
                 f"cluster_fn returned labels of shape {labels.shape} for "
                 f"{below.n_nodes} nodes"
             )
-        unique = np.unique(labels)
+        # Group member indices by label in one stable argsort instead
+        # of one O(n) scan per label: members stay ascending (stable
+        # sort preserves index order within a label), so the grouping
+        # is bit-identical to the flatnonzero-per-label loop it
+        # replaces while costing O(n log n) total.
+        sort_idx = np.argsort(labels, kind="stable")
+        sorted_labels = labels[sort_idx]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        unique = sorted_labels[np.concatenate(([0], boundaries))]
+        groups = np.split(sort_idx, boundaries)
         children: list[np.ndarray] = []
         leaves: list[np.ndarray] = []
         centroids = np.empty((unique.size, 2))
-        for new_idx, label in enumerate(unique):
-            members = np.flatnonzero(labels == label)
+        for new_idx, members in enumerate(groups):
             if members.size > max_cluster_size:
                 raise ClusteringError(
                     f"cluster_fn produced a cluster of {members.size} nodes "

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.clustering.cache import SubmatrixCache
+from repro.clustering.cache import DEFAULT_CACHE_BUDGET, SubmatrixCache
 from repro.clustering.fixing import (
     EndpointFixing,
     centroid_distance_matrix,
@@ -193,8 +193,16 @@ def solve_hierarchical(
     level_stats: list[LevelStats] = []
     if cache is None:
         # Per-solve cache: every pair block is requested once, so only
-        # the (reusable) square submatrices are worth retaining.
-        cache = SubmatrixCache(instance, retain_cross_blocks=False)
+        # the (reusable) square submatrices are worth retaining — and
+        # only up to a byte budget, so an n=10^5 solve holds a bounded
+        # working set of blocks instead of one per cluster.  Small
+        # solves never reach the budget, making this identical to the
+        # historical unbounded cache there.
+        cache = SubmatrixCache(
+            instance,
+            retain_cross_blocks=False,
+            budget_bytes=DEFAULT_CACHE_BUDGET,
+        )
 
     with WavefrontPool(workers=workers, executor=executor) as pool:
         scheduler = WaveScheduler(solver, schedule, pool, chunk_size)

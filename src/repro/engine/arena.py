@@ -91,7 +91,10 @@ class ArenaRef:
     """Picklable handle of one published instance (ships with tasks).
 
     A few hundred bytes however large the instance: the arrays stay in
-    shared memory, named by their blocks.
+    shared memory, named by their blocks.  ``neighbors`` /
+    ``neighbor_dists`` (published together, k-NN width ``neighbor_k``)
+    are the sparse-mode payload: O(n·k) candidate lists shared across
+    workers in place of an O(n²) matrix.
     """
 
     key: str
@@ -100,14 +103,17 @@ class ArenaRef:
     n: int
     coords: ArenaBlock | None = None
     matrix: ArenaBlock | None = None
+    neighbors: ArenaBlock | None = None
+    neighbor_dists: ArenaBlock | None = None
+    neighbor_k: int = 0
 
     @property
     def nbytes(self) -> int:
         total = 0
-        if self.coords is not None:
-            total += self.coords.nbytes
-        if self.matrix is not None:
-            total += self.matrix.nbytes
+        for block in (self.coords, self.matrix, self.neighbors,
+                      self.neighbor_dists):
+            if block is not None:
+                total += block.nbytes
         return total
 
 
@@ -122,12 +128,23 @@ _LOCAL: dict[str, tuple[TSPInstance, np.ndarray | None]] = {}
 _ATTACHED: dict[str, tuple[tuple[shared_memory.SharedMemory, ...],
                            TSPInstance, np.ndarray | None]] = {}
 
+#: Candidate-list twins of _LOCAL/_ATTACHED, keyed by content key.
+#: Values are CandidateLists artifacts whose arrays live in the shared
+#: blocks (attach side additionally keeps the SharedMemory handles).
+_LOCAL_CANDIDATES: dict[str, object] = {}
+_ATTACHED_CANDIDATES: dict[str, tuple[tuple[shared_memory.SharedMemory, ...],
+                                      object]] = {}
+
 
 def _publish_array(array: np.ndarray) -> tuple[ArenaBlock,
                                                shared_memory.SharedMemory,
                                                np.ndarray]:
-    """Copy one array into a fresh shared block; return a readonly view."""
-    data = np.ascontiguousarray(array, dtype=np.float64)
+    """Copy one array into a fresh shared block; return a readonly view.
+
+    The source dtype is preserved (coordinate/matrix blocks are float64
+    already; candidate-index blocks stay int32, half the bytes).
+    """
+    data = np.ascontiguousarray(array)
     shm = shared_memory.SharedMemory(create=True, size=max(1, data.nbytes))
     view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
     view[...] = data
@@ -202,6 +219,33 @@ def attach_shared_instance(
     return instance, matrix
 
 
+def attach_shared_candidates(ref: ArenaRef):
+    """Materialize an arena-backed candidate-list artifact (memoized).
+
+    Returns a :class:`~repro.tsp.neighbors.CandidateLists` whose arrays
+    are read-only views onto the shared blocks, or ``None`` when the
+    ref was published without candidates.
+    """
+    if ref.neighbors is None or ref.neighbor_dists is None:
+        return None
+    local = _LOCAL_CANDIDATES.get(ref.key)
+    if local is not None:
+        return local
+    cached = _ATTACHED_CANDIDATES.get(ref.key)
+    if cached is not None:
+        return cached[1]
+    from repro.tsp.neighbors import CandidateLists
+
+    instance, _matrix = attach_shared_instance(ref)
+    shm_nb, neighbors = _attach_array(ref.neighbors)
+    shm_nd, distances = _attach_array(ref.neighbor_dists)
+    lists = CandidateLists(
+        instance=instance, neighbors=neighbors, distances=distances
+    )
+    _ATTACHED_CANDIDATES[ref.key] = ((shm_nb, shm_nd), lists)
+    return lists
+
+
 def clear_attachments() -> None:
     """Drop this process's attach cache (tests, memory reclamation)."""
     for blocks, _instance, _matrix in _ATTACHED.values():
@@ -211,6 +255,13 @@ def clear_attachments() -> None:
             except Exception:  # pragma: no cover - already closed
                 pass
     _ATTACHED.clear()
+    for blocks, _lists in _ATTACHED_CANDIDATES.values():
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+    _ATTACHED_CANDIDATES.clear()
 
 
 class InstanceArena:
@@ -235,14 +286,18 @@ class InstanceArena:
         instance: TSPInstance,
         with_matrix: bool = False,
         key: str | None = None,
+        with_candidates: int = 0,
     ) -> ArenaRef:
         """Place one instance's arrays in shared memory (idempotent).
 
         ``with_matrix=True`` additionally publishes the full distance
         matrix (bounded by :data:`MATRIX_SHARE_LIMIT`) so full-matrix
-        solvers skip the per-process O(n^2) rebuild.  Re-publishing the
-        same content upgrades a coords-only entry in place when the
-        matrix is newly requested.
+        solvers skip the per-process O(n^2) rebuild.
+        ``with_candidates=k`` (k > 0) additionally publishes the k-NN
+        :class:`~repro.tsp.neighbors.CandidateLists` arrays — the
+        sparse-mode sharing path, O(n·k) bytes at any instance size.
+        Re-publishing the same content upgrades an entry in place when
+        a matrix or (wider) candidate lists are newly requested.
         """
         if key is None:
             key = content_key(instance)
@@ -257,58 +312,97 @@ class InstanceArena:
             and instance.metric is not EdgeWeightType.EXPLICIT
             and instance.n <= MATRIX_SHARE_LIMIT
         )
+        want_k = min(int(with_candidates), instance.n - 1) if with_candidates else 0
         with self._lock:
             existing = self._refs.get(key)
-            if existing is not None and not (want_matrix
-                                             and existing.matrix is None):
+            need_matrix = want_matrix and (
+                existing is None or existing.matrix is None
+            )
+            need_candidates = want_k > 0 and (
+                existing is None
+                or existing.neighbors is None
+                or existing.neighbor_k < want_k
+            )
+            if existing is not None and not need_matrix and not need_candidates:
                 return existing
-            coords_block = existing.coords if existing is not None else None
-            shared_coords = shared_matrix = None
-            if existing is not None:
-                shared_coords = _LOCAL.get(key, (None, None))[0]
+            local = _LOCAL.get(key)
+            shared_matrix = None
             if instance.metric is EdgeWeightType.EXPLICIT:
-                matrix_block, shm, matrix_view = _publish_array(
-                    instance.matrix
-                )
-                self._blocks.append(shm)
-                ref = ArenaRef(
-                    key=key, instance_name=instance.name,
-                    metric=instance.metric.value, n=instance.n,
-                    matrix=matrix_block,
-                )
-                local_instance = _build_instance(ref, None, matrix_view)
+                coords_block = coords_view = None
+                if existing is None or existing.matrix is None:
+                    matrix_block, shm, matrix_view = _publish_array(
+                        instance.matrix
+                    )
+                    self._blocks.append(shm)
+                else:  # candidate upgrade: matrix block already published
+                    matrix_block = existing.matrix
+                    matrix_view = (
+                        local[1] if local is not None else instance.matrix
+                    )
                 shared_matrix = matrix_view
             else:
+                matrix_view = None
+                coords_block = existing.coords if existing is not None else None
                 if coords_block is None:
                     coords_block, shm, coords_view = _publish_array(
                         instance.coords
                     )
                     self._blocks.append(shm)
-                else:  # matrix upgrade: coords block already published
+                else:  # upgrade: coords block already published
                     coords_view = (
-                        shared_coords.coords
-                        if shared_coords is not None else instance.coords
+                        local[0].coords
+                        if local is not None else instance.coords
                     )
-                matrix_block = None
-                if want_matrix:
+                matrix_block = existing.matrix if existing is not None else None
+                if matrix_block is not None and local is not None:
+                    shared_matrix = local[1]
+                if need_matrix:
                     matrix_block, shm, shared_matrix = _publish_array(
                         instance.distance_matrix()
                     )
                     self._blocks.append(shm)
-                ref = ArenaRef(
-                    key=key, instance_name=instance.name,
-                    metric=instance.metric.value, n=instance.n,
-                    coords=coords_block, matrix=matrix_block,
+            neighbors_block = (
+                existing.neighbors if existing is not None else None
+            )
+            dists_block = (
+                existing.neighbor_dists if existing is not None else None
+            )
+            neighbor_k = existing.neighbor_k if existing is not None else 0
+            shared_lists = None
+            if need_candidates:
+                from repro.tsp.neighbors import build_candidate_lists
+
+                lists = build_candidate_lists(instance, want_k)
+                neighbors_block, shm, neighbors_view = _publish_array(
+                    lists.neighbors
                 )
-                local_instance = _build_instance(
-                    ref, coords_view, None
-                )
+                self._blocks.append(shm)
+                dists_block, shm, dists_view = _publish_array(lists.distances)
+                self._blocks.append(shm)
+                neighbor_k = lists.k
+                shared_lists = (neighbors_view, dists_view)
+            ref = ArenaRef(
+                key=key, instance_name=instance.name,
+                metric=instance.metric.value, n=instance.n,
+                coords=coords_block, matrix=matrix_block,
+                neighbors=neighbors_block, neighbor_dists=dists_block,
+                neighbor_k=neighbor_k,
+            )
+            local_instance = _build_instance(ref, coords_view, matrix_view)
             self._refs[key] = ref
             self.publishes += 1
             # Same-process resolves (and fork-inherited workers) read
             # the shm-backed arrays directly — the owner shares the one
             # physical copy too.
             _LOCAL[key] = (local_instance, shared_matrix)
+            if shared_lists is not None:
+                from repro.tsp.neighbors import CandidateLists
+
+                _LOCAL_CANDIDATES[key] = CandidateLists(
+                    instance=local_instance,
+                    neighbors=shared_lists[0],
+                    distances=shared_lists[1],
+                )
             return ref
 
     def get(self, key: str) -> ArenaRef | None:
@@ -332,6 +426,7 @@ class InstanceArena:
             refs, self._refs = dict(self._refs), {}
         for key in refs:
             _LOCAL.pop(key, None)
+            _LOCAL_CANDIDATES.pop(key, None)
         for shm in blocks:
             # Child processes share this process's resource tracker, so
             # their attach-side unregister may have already dropped the

@@ -35,6 +35,10 @@ Four grid kinds:
   batch on the ``array`` backend
   (:mod:`repro.engine.replica_batch`); per-replica tour hashes prove
   the merged anneal is bit-identical to sequential dispatch.
+* ``scale`` — the sparse path (candidate-list two_opt, no distance
+  matrix) on clustered instances up to n=100,000: seconds-vs-n plus
+  the process peak RSS per cell, with the empirical runtime exponent
+  between consecutive sizes in the ``scale_curvature`` payload.
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -44,9 +48,11 @@ backends see identical instances).
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
+import sys
 import time
 from datetime import datetime, timezone
 
@@ -66,6 +72,7 @@ FULL_GRID = {
     "service_sizes": (101, 262),
     "loadtest_sizes": (101,),
     "replica_batch_sizes": (500,),
+    "scale_sizes": (5000, 20000, 50000, 100000),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
@@ -80,6 +87,7 @@ QUICK_GRID = {
     "service_sizes": (101,),
     "loadtest_sizes": (52,),
     "replica_batch_sizes": (120,),
+    "scale_sizes": (2000, 5000),
 }
 
 
@@ -400,6 +408,79 @@ def _bench_replica_batch(sizes, sweeps, replicas, seed, repeats) -> list[dict]:
     return entries
 
 
+def _bench_scale(sizes, seed) -> list[dict]:
+    """Sparse-mode scale cells: seconds-vs-n and peak RSS, no matrix.
+
+    Each cell solves one clustered coords-only instance with the
+    candidate-list two_opt solver (k=6, two improvement rounds) — the
+    sizes sit far above ``_FULL_MATRIX_LIMIT``, so a cell that tried to
+    materialize an (n, n) array would fail, not just run slowly.
+    Cells run once (no best-of-``repeats``): a 100k solve takes minutes
+    and ``ru_maxrss`` is a process-lifetime high-water mark, so repeats
+    would triple the wall time without sharpening either column.  Sizes
+    run ascending for the same reason — the monotone high-water mark
+    then approximates each cell's own peak.
+    """
+    import resource
+
+    from repro.engine.registry import build_solver
+    from repro.tsp.generators import clustered_instance
+    from repro.utils.hashing import tour_hash
+
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    rss_unit = 1 if sys.platform == "darwin" else 1024
+    solver = build_solver("two_opt", seed=seed, k=6, max_rounds=2)
+    entries = []
+    for n in sorted(int(n) for n in sizes):
+        instance = clustered_instance(n, seed=seed)
+        start = time.perf_counter()
+        tour = solver(instance)
+        seconds = time.perf_counter() - start
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        entries.append({
+            "kind": "scale",
+            "name": "two_opt-sparse",
+            "n": n,
+            "sweeps": 0,
+            "backend": "fast",
+            "seconds": seconds,
+            "sweeps_per_sec": None,
+            "quality": float(tour.length),
+            "tour_hash": tour_hash(tour.order),
+            "peak_rss_bytes": int(peak) * rss_unit,
+        })
+    return entries
+
+
+def compute_scale_curvature(entries: list[dict]) -> list[dict]:
+    """Empirical runtime exponent between consecutive scale-grid sizes.
+
+    For each adjacent size pair the exponent is
+    ``log(t2/t1) / log(n2/n1)`` — ~1 means the sparse path scales
+    linearly in n, ~2 would mean a quadratic term survived somewhere.
+    """
+    cells = sorted(
+        (e for e in entries if e["kind"] == "scale"), key=lambda e: e["n"]
+    )
+    curvature = []
+    for prev, cur in zip(cells, cells[1:]):
+        if prev["seconds"] <= 0 or cur["seconds"] <= 0 or cur["n"] <= prev["n"]:
+            continue
+        curvature.append({
+            "kind": "scale",
+            "n_from": prev["n"],
+            "n_to": cur["n"],
+            "seconds_from": prev["seconds"],
+            "seconds_to": cur["seconds"],
+            "exponent": (
+                math.log(cur["seconds"] / prev["seconds"])
+                / math.log(cur["n"] / prev["n"])
+            ),
+            "peak_rss_bytes": cur["peak_rss_bytes"],
+        })
+    return curvature
+
+
 def compute_replica_batch_speedups(entries: list[dict]) -> list[dict]:
     """Sequential-vs-lockstep wall-time ratio per replica-batch cell."""
     by_cell: dict[tuple[int, int, int], dict[str, dict]] = {}
@@ -537,6 +618,7 @@ def run_bench(
     service_sizes=None,
     loadtest_sizes=None,
     replica_batch_sizes=None,
+    scale_sizes=None,
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
@@ -576,6 +658,7 @@ def run_bench(
         grid["replica_batch_sizes"]
         if replica_batch_sizes is None else replica_batch_sizes
     )
+    scale_sizes = grid["scale_sizes"] if scale_sizes is None else scale_sizes
     # Default to the historical backend pair: "array" is bit-identical
     # to "fast" for solo solves, so adding it would triple the grid for
     # duplicate numbers.  Pass backends=("fast", "array") to compare.
@@ -615,6 +698,8 @@ def run_bench(
             replica_batch_sizes, replica_batch_sweeps,
             replica_batch_replicas, seed, repeats,
         )
+    if scale_sizes:
+        entries += _bench_scale(scale_sizes, seed)
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -633,6 +718,7 @@ def run_bench(
         "pipeline_speedups": compute_pipeline_speedups(entries),
         "service_speedups": compute_service_speedups(entries),
         "replica_batch_speedups": compute_replica_batch_speedups(entries),
+        "scale_curvature": compute_scale_curvature(entries),
     }
 
 

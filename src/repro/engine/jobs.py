@@ -66,6 +66,10 @@ _MATRIX_CACHE: dict[int, tuple[TSPInstance, np.ndarray]] = {}
 #: Matrices above this size are never cached (memory, not CPU, binds).
 _MATRIX_CACHE_LIMIT = 4096
 
+#: Per-process candidate-list cache, keyed by (instance identity, k);
+#: same id-recycling guard as the matrix cache.
+_CANDIDATE_CACHE: dict[tuple[int, int], tuple[TSPInstance, object]] = {}
+
 
 @dataclass(frozen=True)
 class InstanceSpec:
@@ -140,7 +144,10 @@ class InstanceSpec:
         return instance
 
     def _attach(self) -> TSPInstance:
-        from repro.engine.arena import attach_shared_instance
+        from repro.engine.arena import (
+            attach_shared_candidates,
+            attach_shared_instance,
+        )
 
         if self.arena is None:
             raise ConfigError(
@@ -149,6 +156,11 @@ class InstanceSpec:
         instance, matrix = attach_shared_instance(self.arena)
         if matrix is not None and instance.n <= _MATRIX_CACHE_LIMIT:
             _MATRIX_CACHE[id(instance)] = (instance, matrix)
+        lists = attach_shared_candidates(self.arena)
+        if lists is not None:
+            # Pre-seed the per-process cache so sparse solvers find the
+            # one shared physical copy instead of rebuilding O(n·k).
+            _CANDIDATE_CACHE[(id(instance), lists.k)] = (instance, lists)
         return instance
 
     def effective_seed(self) -> int | None:
@@ -247,23 +259,55 @@ def resolve_instance(token: "str | int | TSPInstance") -> TSPInstance:
 def cached_distance_matrix(instance: TSPInstance) -> np.ndarray:
     """The instance's full distance matrix, shared within this process.
 
-    Callers must treat the returned array as read-only.  Instances
-    above the cache limit raise the same :class:`InstanceError` that
-    :meth:`TSPInstance.distance_matrix` would for oversized requests.
+    Callers must treat the returned array as read-only.  Oversized
+    requests fail here with a routing hint (which solvers do not need a
+    matrix) instead of the instance layer's bare allocation guard.
     """
+    from repro.tsp.instance import _FULL_MATRIX_LIMIT
+
     entry = _MATRIX_CACHE.get(id(instance))
     if entry is not None and entry[0] is instance:
         return entry[1]
+    if instance.n > _FULL_MATRIX_LIMIT:
+        from repro.engine.registry import sparse_solver_names
+
+        raise ConfigError(
+            f"a full ({instance.n}, {instance.n}) matrix exceeds the "
+            f"n={_FULL_MATRIX_LIMIT} allocation guard; route this "
+            "instance to a sparse-capable solver instead: "
+            f"{', '.join(sparse_solver_names())}"
+        )
     matrix = instance.distance_matrix()
     if instance.n <= _MATRIX_CACHE_LIMIT:
         _MATRIX_CACHE[id(instance)] = (instance, matrix)
     return matrix
 
 
+def cached_candidate_lists(instance: TSPInstance, k: int):
+    """The instance's k-NN :class:`~repro.tsp.neighbors.CandidateLists`,
+    shared within this process.
+
+    The sparse-mode counterpart of :func:`cached_distance_matrix`:
+    deterministic solvers running many replicas (or many tasks over one
+    arena-shared instance) build the O(n·k) artifact once per process
+    instead of once per task.
+    """
+    from repro.tsp.neighbors import build_candidate_lists
+
+    key = (id(instance), int(k))
+    entry = _CANDIDATE_CACHE.get(key)
+    if entry is not None and entry[0] is instance:
+        return entry[1]
+    lists = build_candidate_lists(instance, k)
+    _CANDIDATE_CACHE[key] = (instance, lists)
+    return lists
+
+
 def clear_caches() -> None:
     """Drop the per-process instance and matrix caches (tests, memory)."""
     _INSTANCE_CACHE.clear()
     _MATRIX_CACHE.clear()
+    _CANDIDATE_CACHE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +339,15 @@ class BatchJob:
             raise ConfigError(
                 "per-solver 'seed' is owned by the engine; set EngineConfig.seed"
             )
+        # Known-size specs are capacity-checked at job creation: a
+        # full-matrix solver over an oversized instance should fail
+        # here, not out of a worker mid-batch.  (TSPLIB specs have
+        # size 0 until loaded; they are re-checked at dispatch.)
+        from repro.engine.registry import check_instance_capacity
+
+        for spec in specs:
+            if spec.size:
+                check_instance_capacity(solver, spec.size)
         return cls(
             instances=specs,
             solver=solver,

@@ -37,12 +37,22 @@ EXACT_SIZE_LIMIT = 13
 
 @dataclass(frozen=True)
 class SolverSpec:
-    """One registry entry."""
+    """One registry entry.
+
+    ``needs_matrix`` declares that the solver materializes the full
+    (n, n) distance matrix: requests above the instance layer's
+    full-matrix guard are rejected up front
+    (:func:`check_instance_capacity`) instead of tripping the
+    allocation guard deep inside a worker process.  Sparse-capable
+    solvers (``needs_matrix=False``) work from coordinates and
+    candidate lists at any size.
+    """
 
     name: str
     factory: Callable[..., SolveFn]
     description: str
     stochastic: bool = True
+    needs_matrix: bool = False
 
     def accepted_params(self) -> tuple[str, ...]:
         """Keyword parameters this solver's factory understands."""
@@ -64,14 +74,17 @@ _REGISTRY: dict[str, SolverSpec] = {}
 
 
 def register_solver(
-    name: str, description: str = "", stochastic: bool = True
+    name: str, description: str = "", stochastic: bool = True,
+    needs_matrix: bool = False,
 ) -> Callable[[Callable[..., SolveFn]], Callable[..., SolveFn]]:
     """Class/function decorator registering a solver factory under ``name``."""
 
     def decorator(factory: Callable[..., SolveFn]) -> Callable[..., SolveFn]:
         if name in _REGISTRY:
             raise ConfigError(f"solver {name!r} is already registered")
-        _REGISTRY[name] = SolverSpec(name, factory, description, stochastic)
+        _REGISTRY[name] = SolverSpec(
+            name, factory, description, stochastic, needs_matrix
+        )
         return factory
 
     return decorator
@@ -80,6 +93,34 @@ def register_solver(
 def solver_names() -> tuple[str, ...]:
     """All registered solver names, alphabetical."""
     return tuple(sorted(_REGISTRY))
+
+
+def sparse_solver_names() -> tuple[str, ...]:
+    """Solvers that never materialize a full matrix, alphabetical."""
+    return tuple(
+        name for name in solver_names() if not _REGISTRY[name].needs_matrix
+    )
+
+
+def check_instance_capacity(name: str, n: int) -> None:
+    """Reject (solver, size) pairs that would need an oversized matrix.
+
+    Full-matrix solvers cannot run above the instance layer's
+    allocation guard; failing here — at admission/dispatch time, with a
+    message naming the sparse-capable alternatives — beats an
+    :class:`~repro.errors.InstanceError` surfacing from a worker
+    mid-batch.
+    """
+    from repro.tsp.instance import _FULL_MATRIX_LIMIT
+
+    spec = get_solver(name)
+    if spec.needs_matrix and n > _FULL_MATRIX_LIMIT:
+        raise ConfigError(
+            f"solver {name!r} needs a full ({n}, {n}) distance matrix, "
+            f"above the n={_FULL_MATRIX_LIMIT} allocation guard; "
+            "sparse-capable solvers: "
+            f"{', '.join(sparse_solver_names())}"
+        )
 
 
 def get_solver(name: str) -> SolverSpec:
@@ -204,7 +245,9 @@ def _neuro_ising(
     return lambda instance: solver.solve(instance).tour
 
 
-@register_solver("sa_tsp", "CPU 2-opt simulated annealing on tours")
+@register_solver(
+    "sa_tsp", "CPU 2-opt simulated annealing on tours", needs_matrix=True
+)
 def _sa_tsp(
     seed: int | None = 0,
     sweeps: int | None = None,
@@ -237,7 +280,10 @@ def _sa_tsp(
     return solve
 
 
-@register_solver("greedy", "greedy-edge construction heuristic", stochastic=False)
+@register_solver(
+    "greedy", "greedy-edge construction heuristic", stochastic=False,
+    needs_matrix=True,
+)
 def _greedy(seed: int | None = 0, backend: str = "auto") -> SolveFn:
     from repro.baselines.greedy import greedy_edge_tour
 
@@ -245,27 +291,54 @@ def _greedy(seed: int | None = 0, backend: str = "auto") -> SolveFn:
     return lambda instance: Tour(instance, greedy_edge_tour(instance), closed=True)
 
 
+#: Above this size ``construction="auto"`` switches the two_opt start
+#: tour from the (sequential, Python-loop) nearest-neighbour chain to
+#: the vectorized Hilbert space-filling order.
+HILBERT_CONSTRUCTION_LIMIT = 20_000
+
+
 @register_solver("two_opt", "nearest-neighbour start + 2-opt/Or-opt", stochastic=False)
 def _two_opt(
     seed: int | None = 0, k: int = 8, max_rounds: int = 30, use_or_opt: bool = True,
-    backend: str = "auto",
+    backend: str = "auto", construction: str = "auto",
 ) -> SolveFn:
-    from repro.baselines.greedy import nearest_neighbor_tour
+    from repro.baselines.greedy import nearest_neighbor_tour, space_filling_order
     from repro.baselines.two_opt import two_opt
 
-    del seed, backend  # deterministic; accepted so engine params stay uniform
+    del seed  # deterministic; accepted so engine params stay uniform
+    if construction not in ("auto", "nn", "hilbert"):
+        raise ConfigError(
+            f"unknown construction {construction!r}; "
+            "known: auto, nn, hilbert"
+        )
 
     def solve(instance: TSPInstance) -> Tour:
-        initial = nearest_neighbor_tour(instance)
+        from repro.engine.jobs import cached_candidate_lists
+
+        mode = construction
+        if mode == "auto":
+            mode = "nn" if instance.n <= HILBERT_CONSTRUCTION_LIMIT else "hilbert"
+        if mode == "hilbert" and instance.coords is None:
+            mode = "nn"  # EXPLICIT instances have no embedding to curve
+        initial = (
+            space_filling_order(instance)
+            if mode == "hilbert"
+            else nearest_neighbor_tour(instance)
+        )
+        candidates = cached_candidate_lists(instance, min(k, instance.n - 1))
         improved = two_opt(
-            instance, initial, k=k, max_rounds=max_rounds, use_or_opt=use_or_opt
+            instance, initial, neighbors=candidates, max_rounds=max_rounds,
+            use_or_opt=use_or_opt, backend=backend,
         )
         return Tour(instance, improved, closed=True)
 
     return solve
 
 
-@register_solver("exact", "Held-Karp exact DP (tiny instances only)", stochastic=False)
+@register_solver(
+    "exact", "Held-Karp exact DP (tiny instances only)", stochastic=False,
+    needs_matrix=True,
+)
 def _exact(seed: int | None = 0, backend: str = "auto") -> SolveFn:
     from repro.baselines.exact import held_karp_tour
 

@@ -41,7 +41,11 @@ import numpy as np
 from repro.core.config import EngineConfig
 from repro.core.result import BatchResult, ReplicaResult
 from repro.engine.jobs import BatchJob, BatchProgress, InstanceSpec
-from repro.engine.registry import build_solver, get_solver
+from repro.engine.registry import (
+    build_solver,
+    check_instance_capacity,
+    get_solver,
+)
 from repro.errors import ConfigError, PoolBrokenError
 from repro.tsp.instance import TSPInstance
 from repro.utils.rng import replica_seeds
@@ -122,6 +126,10 @@ def run_replica_task(task: ReplicaTask) -> tuple[int, ReplicaResult]:
     setup_start = time.perf_counter()
     instance = task.spec.resolve()
     _validate_once(instance)
+    # Late capacity check covers specs whose size is unknown until
+    # resolve (TSPLIB files); known-size specs already failed fast at
+    # job creation / service admission.
+    check_instance_capacity(task.solver, instance.n)
     solve = build_solver(task.solver, seed=task.seed, **dict(task.params))
     start = time.perf_counter()
     setup_seconds = start - setup_start

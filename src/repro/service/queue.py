@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import ServiceConfig
-from repro.engine.arena import InstanceArena
+from repro.engine.arena import MATRIX_SHARE_LIMIT, InstanceArena
 from repro.engine.jobs import InstanceSpec, spec_from_token
 from repro.engine.recovery import RetryPolicy
 from repro.engine.runner import ReplicaTask, run_replica_task
@@ -73,6 +73,12 @@ _JOB_ID_DIGITS = 16
 #: else (the hierarchical TAXI pipeline works from coordinates) gets a
 #: coords-only arena entry.
 _FULL_MATRIX_SOLVERS = frozenset({"sa_tsp"})
+
+#: Solvers that consume the per-process candidate-list cache.  Above
+#: the matrix share limit their dispatches publish the O(n·k)
+#: CandidateLists blocks instead, so worker processes share one k-NN
+#: build the same way small instances share one matrix.
+_CANDIDATE_SOLVERS = frozenset({"two_opt"})
 
 #: Dispatcher shutdown sentinel.
 _STOP = object()
@@ -125,8 +131,17 @@ class SolveRequest:
                 raise ConfigError(
                     f"deadline_seconds must be > 0, got {deadline}"
                 )
+        spec = spec_from_token(instance)
+        if spec.size:
+            # Admission-time capacity check: a full-matrix solver over
+            # an oversized instance is rejected at the service boundary
+            # (clear ConfigError naming sparse-capable solvers), never
+            # queued to fail inside a worker.
+            from repro.engine.registry import check_instance_capacity
+
+            check_instance_capacity(solver, spec.size)
         return cls(
-            spec=spec_from_token(instance),
+            spec=spec,
             solver=solver,
             params=canonical_params(params),
             seed=canonical_seed(seed),
@@ -659,9 +674,17 @@ class SolveService:
             return request.spec
         try:
             instance = request.spec.resolve()
+            with_candidates = 0
+            if (request.solver in _CANDIDATE_SOLVERS
+                    and instance.n > MATRIX_SHARE_LIMIT):
+                params = dict(request.params)
+                with_candidates = min(
+                    int(params.get("k", 8)), instance.n - 1
+                )
             ref = self.arena.publish(
                 instance,
                 with_matrix=request.solver in _FULL_MATRIX_SOLVERS,
+                with_candidates=with_candidates,
             )
         except Exception:
             return request.spec

@@ -189,3 +189,22 @@ register_scenario(
     tokens=["clustered:5000:7", "power_law:5000:7"],
     params={"sweeps": 60},
 )
+
+# Scale ladder: coords-only instances far above the full-matrix guard.
+# Solved sparse (candidate-list two_opt) — no (n, n) array exists at
+# any point, which is the whole contract of these scenarios.
+register_scenario(
+    "scale-clustered",
+    "sparse-mode scale ladder: clustered n=50k and n=100k, coords-only",
+    tokens=["clustered:50000:7", "clustered:100000:7"],
+    solver="two_opt",
+    params={"k": 6, "max_rounds": 2},
+)
+
+register_scenario(
+    "scale-powerlaw",
+    "sparse-mode scale ladder: power-law n=50k and n=100k, coords-only",
+    tokens=["power_law:50000:7", "power_law:100000:7"],
+    solver="two_opt",
+    params={"k": 6, "max_rounds": 2},
+)

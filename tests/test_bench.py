@@ -34,6 +34,7 @@ TINY = dict(
     replica_batch_sizes=[24],
     replica_batch_sweeps=8,
     replica_batch_replicas=2,
+    scale_sizes=[60],
     replicas=2,
     repeats=1,
 )
@@ -54,14 +55,15 @@ class TestRunBench:
     def test_entry_fields(self, payload):
         for entry in payload["entries"]:
             assert entry["seconds"] > 0
-            if entry["kind"] == "loadtest":
-                # Traffic cells report req/s (in quality), not sweeps/s.
+            if entry["kind"] in ("loadtest", "scale"):
+                # Traffic cells report req/s (in quality); scale cells
+                # are single sweepless local-search runs.
                 assert entry["sweeps_per_sec"] is None
             else:
                 assert entry["sweeps_per_sec"] > 0
+                assert entry["sweeps"] > 0
             assert isinstance(entry["quality"], float)
             assert entry["n"] > 0
-            assert entry["sweeps"] > 0
 
     def test_speedups_pair_reference_and_fast(self, payload):
         assert len(payload["speedups"]) == 3  # one per grid cell
@@ -115,7 +117,7 @@ class TestRunBench:
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
             pipeline_sizes=[], service_sizes=[], loadtest_sizes=[],
-            replica_batch_sizes=[], tsp_sweeps=5, repeats=1,
+            replica_batch_sizes=[], scale_sizes=[], tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
@@ -194,6 +196,7 @@ class TestBenchCLI:
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
             "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
             "--service-sizes", "--loadtest-sizes", "--replica-batch-sizes",
+            "--scale-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])

@@ -4,9 +4,21 @@ import numpy as np
 import pytest
 
 from repro.errors import InstanceError
-from repro.tsp.generators import uniform_instance
+from repro.tsp.generators import clustered_instance, uniform_instance
 from repro.tsp.instance import EdgeWeightType, TSPInstance
-from repro.tsp.neighbors import closest_pair_between, nearest_neighbor_lists
+from repro.tsp.neighbors import (
+    build_candidate_lists,
+    candidate_edge_lengths,
+    closest_pair_between,
+    nearest_neighbor_lists,
+)
+
+
+def _assert_no_self_no_dup(nn: np.ndarray) -> None:
+    n, k = nn.shape
+    assert not (nn == np.arange(n)[:, None]).any(), "self-loop in neighbor list"
+    for i in range(n):
+        assert len(set(nn[i].tolist())) == k, f"duplicate neighbor in row {i}"
 
 
 @pytest.fixture
@@ -58,6 +70,104 @@ class TestNearestNeighborLists:
         assert nn.shape == (10, 4)
         for i in range(10):
             assert i not in nn[i]
+
+
+class TestNeighborInvariants:
+    """No row may contain the city itself or a duplicate — ever."""
+
+    def test_kd_path_invariant(self):
+        for seed in (0, 3):
+            inst = clustered_instance(120, seed=seed)
+            for k in (1, 4, 16, 119):
+                _assert_no_self_no_dup(nearest_neighbor_lists(inst, k))
+
+    def test_duplicate_coords_invariant(self):
+        # Coincident cities are the degenerate case that used to let
+        # padding emit duplicates/self-loops: every pairwise distance
+        # within a clump ties at 0, so tree queries may order the clump
+        # arbitrarily — the invariant must hold regardless.
+        coords = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0]]), 10, axis=0)
+        inst = TSPInstance("dup", coords)
+        for k in (3, 9, 12, 19):
+            _assert_no_self_no_dup(nearest_neighbor_lists(inst, k))
+
+    def test_all_identical_coords(self):
+        inst = TSPInstance("same", np.zeros((12, 2)))
+        _assert_no_self_no_dup(nearest_neighbor_lists(inst, 11))
+
+    def test_explicit_path_invariant(self):
+        m = uniform_instance(30, seed=4).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        for k in (1, 7, 29):
+            _assert_no_self_no_dup(nearest_neighbor_lists(ex, k))
+
+    def test_explicit_tied_matrix_invariant(self):
+        # All off-diagonal distances equal: argpartition order is
+        # arbitrary, so this exercises the tie canonicalisation.
+        m = np.ones((16, 16))
+        np.fill_diagonal(m, 0.0)
+        ex = TSPInstance("ties", None, EdgeWeightType.EXPLICIT, matrix=m)
+        nn = nearest_neighbor_lists(ex, 5)
+        _assert_no_self_no_dup(nn)
+        # Every achieved distance is optimal (all off-diagonals tie at
+        # 1.0), and within a row the selected ties come out in ascending
+        # city order.  Which ties are selected is argpartition's choice.
+        np.testing.assert_array_equal(m[np.arange(16)[:, None], nn], 1.0)
+        assert (np.diff(nn, axis=1) > 0).all()
+
+    def test_explicit_matches_bruteforce_distances(self):
+        m = uniform_instance(25, seed=8).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        nn = nearest_neighbor_lists(ex, 6)
+        masked = m.copy()
+        np.fill_diagonal(masked, np.inf)
+        for i in range(25):
+            achieved = np.sort(m[i, nn[i]])
+            best = np.sort(masked[i])[:6]
+            np.testing.assert_allclose(achieved, best)
+
+    def test_explicit_leaves_matrix_untouched(self):
+        m = uniform_instance(20, seed=2).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        before = ex.distance_matrix().copy()
+        nearest_neighbor_lists(ex, 5)
+        np.testing.assert_array_equal(ex.distance_matrix(), before)
+
+
+class TestCandidateLists:
+    def test_build_and_validate(self, inst):
+        lists = build_candidate_lists(inst, 6)
+        assert lists.n == 40 and lists.k == 6
+        assert lists.neighbors.dtype == np.int32
+        assert not lists.neighbors.flags.writeable
+        assert not lists.distances.flags.writeable
+        lists.validate()
+
+    def test_distances_match_instance(self, inst):
+        lists = build_candidate_lists(inst, 5)
+        for i in range(0, 40, 7):
+            for slot, j in enumerate(lists.neighbors[i]):
+                assert lists.distances[i, slot] == inst.distance(i, int(j))
+
+    def test_content_key_stable_and_k_dependent(self, inst):
+        a = build_candidate_lists(inst, 5)
+        b = build_candidate_lists(inst, 5)
+        c = build_candidate_lists(inst, 6)
+        assert a.content_key == b.content_key
+        assert a.content_key != c.content_key
+
+    def test_wraps_precomputed_neighbors(self, inst):
+        nn = nearest_neighbor_lists(inst, 4)
+        lists = build_candidate_lists(inst, 4, neighbors=nn)
+        np.testing.assert_array_equal(lists.neighbors, nn)
+
+    def test_candidate_edge_lengths_explicit(self):
+        m = uniform_instance(15, seed=1).distance_matrix()
+        ex = TSPInstance("ex", None, EdgeWeightType.EXPLICIT, matrix=m)
+        nn = nearest_neighbor_lists(ex, 4)
+        dists = candidate_edge_lengths(ex, nn)
+        rows = np.arange(15)[:, None]
+        np.testing.assert_array_equal(dists, m[rows, nn])
 
 
 class TestClosestPair:
