@@ -53,6 +53,7 @@ _BENCH_GRID_SIZE_ARGS = {
     "loadtest": "loadtest_sizes",
     "replica_batch": "replica_batch_sizes",
     "scale": "scale_sizes",
+    "portfolio": "portfolio_sizes",
 }
 
 
@@ -63,8 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    solve = sub.add_parser("solve", help="solve one instance with TAXI")
+    solve = sub.add_parser(
+        "solve", help="solve one instance (TAXI, or any registered solver)"
+    )
     _instance_args(solve)
+    solve.add_argument("--solver", default="taxi",
+                       help="registered solver name (see `repro solvers`); "
+                            "'portfolio' races a deadline-aware arm set")
+    solve.add_argument("--budget", type=float, default=None,
+                       help="portfolio compute budget in seconds "
+                            "(default 2.0; drives the planned arm set)")
+    solve.add_argument("--portfolio-mode", choices=("best", "first"),
+                       default="best",
+                       help="best: race every planned arm; first: stop at "
+                            "the first acceptable arm and cancel the rest")
+    solve.add_argument("--trajectory-dir", default=None,
+                       help="directory of BENCH_*/LOADTEST_* payloads that "
+                            "tune portfolio arm cost estimates "
+                            "(default: static table)")
     solve.add_argument("--cluster-size", type=int, default=12,
                        help="maximum cluster size (macro capacity)")
     solve.add_argument("--bits", type=int, default=4, help="W_D bit precision")
@@ -290,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale-sizes", nargs="*", type=int, default=None,
                        help="sparse-path scale-ladder sizes (single run "
                             "per cell; empty list skips)")
+    bench.add_argument("--portfolio-sizes", nargs="*", type=int, default=None,
+                       help="portfolio-cell instance sizes (empty list "
+                            "skips)")
+    bench.add_argument("--portfolio-deadlines", nargs="*", type=float,
+                       default=(0.5, 2.0),
+                       help="deadline budgets (seconds) per portfolio cell")
     bench.add_argument("--replica-batch-replicas", type=int, default=8,
                        help="replicas per lock-step cell")
     bench.add_argument("--replica-batch-sweeps", type=int, default=60)
@@ -411,6 +434,23 @@ def cmd_solve(args: argparse.Namespace) -> int:
     from repro.utils.hashing import tour_hash
 
     instance = _load_instance(args)
+    if args.solver == "portfolio":
+        return _solve_portfolio(args, instance)
+    if args.solver != "taxi":
+        from repro.engine import solve_with
+
+        params: dict = {}
+        if args.sweeps is not None:
+            params["sweeps"] = args.sweeps
+        tour = solve_with(
+            args.solver, instance, seed=args.seed, backend=args.backend,
+            **params,
+        )
+        print(f"instance      : {instance.name} ({instance.n} cities)")
+        print(f"solver        : {args.solver}")
+        print(f"tour length   : {tour.length:.0f}")
+        print(f"tour hash     : {tour_hash(tour.order)}")
+        return 0
     config = TAXIConfig(
         max_cluster_size=args.cluster_size,
         bits=args.bits,
@@ -439,6 +479,41 @@ def cmd_solve(args: argparse.Namespace) -> int:
         reference = reference_length(instance)
         print(f"reference     : {reference:.0f}")
         print(f"optimal ratio : {result.optimal_ratio(reference):.4f}")
+    return 0
+
+
+def _solve_portfolio(args: argparse.Namespace, instance) -> int:
+    """``repro solve --solver portfolio``: race arms, print the ledger."""
+    from repro.engine.portfolio import solve_portfolio
+    from repro.utils.hashing import tour_hash
+
+    result = solve_portfolio(
+        instance,
+        seed=args.seed,
+        budget_seconds=args.budget if args.budget is not None else 2.0,
+        mode=args.portfolio_mode,
+        trajectory=args.trajectory_dir,
+    )
+    print(f"instance      : {instance.name} ({instance.n} cities)")
+    print(f"budget        : {result.budget_seconds:g}s ({result.mode})")
+    print(f"winner        : {result.winner.label}")
+    print(f"tour length   : {result.length:.0f}")
+    print(f"tour hash     : {tour_hash(result.order)}")
+    print(f"race wall     : {format_seconds(result.seconds)}")
+    rows = [
+        [
+            outcome.arm.label,
+            outcome.status,
+            "-" if outcome.length is None else f"{outcome.length:.0f}",
+            format_seconds(outcome.seconds),
+            "warm" if outcome.warm else "",
+        ]
+        for outcome in result.outcomes
+    ]
+    print(ascii_table(
+        ["arm", "status", "length", "wall", ""],
+        rows, title="portfolio ledger",
+    ))
     return 0
 
 
@@ -606,6 +681,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         loadtest_sizes=args.loadtest_sizes,
         replica_batch_sizes=args.replica_batch_sizes,
         scale_sizes=args.scale_sizes,
+        portfolio_sizes=args.portfolio_sizes,
+        portfolio_deadlines=args.portfolio_deadlines,
         replica_batch_replicas=args.replica_batch_replicas,
         replica_batch_sweeps=args.replica_batch_sweeps,
         ising_sweeps=args.ising_sweeps,
@@ -737,6 +814,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(ascii_table(
             ["sizes", "from", "to", "exponent"],
             rows, title="scale-ladder runtime curvature (1 = linear)",
+        ))
+    if payload.get("portfolio_curves"):
+        rows = [
+            [
+                str(cell["n"]),
+                f"{cell['deadline_seconds']:g}s",
+                f"{cell['portfolio_quality']:.0f}",
+                f"{cell['best_arm_quality']:.0f}",
+                f"{cell['worst_arm_quality']:.0f}",
+                cell["winner"],
+                str(cell["arms_raced"]),
+                "yes" if cell["beats_worst"] else "tie",
+            ]
+            for cell in payload["portfolio_curves"]
+        ]
+        print()
+        print(ascii_table(
+            ["n", "deadline", "portfolio", "best arm", "worst arm",
+             "winner", "arms", "beats worst"],
+            rows, title="portfolio quality vs deadline",
         ))
     loadtest_cells = [e for e in payload["entries"] if e["kind"] == "loadtest"]
     if loadtest_cells:

@@ -208,6 +208,19 @@ class ServiceConfig:
         Socket timeout in seconds applied to each HTTP connection, so
         a stalled or half-open client releases its handler thread
         instead of pinning it forever.
+    warm_start:
+        Near-match warm-start tier mode (``"on"`` | ``"off"``).  When
+        on, a portfolio solve that misses the result cache may seed its
+        annealing arms from the cached tour of a geometrically similar
+        instance; the result carries ``warm_start: <source_fp16>``
+        provenance.
+    warm_threshold:
+        Minimum locality-signature similarity (``0..1``) for a cached
+        tour to qualify as a warm-start source.
+    trajectory_dir:
+        Directory scanned for ``BENCH_*``/``LOADTEST_*`` payloads that
+        tune portfolio arm cost estimates.  ``None`` (default) uses the
+        static cost table — fully deterministic with no external state.
     """
 
     queue_depth: int = 64
@@ -223,6 +236,9 @@ class ServiceConfig:
     shed_retry_after: float = 0.5
     arena: str = "auto"
     request_timeout: float = 30.0
+    warm_start: str = "on"
+    warm_threshold: float = 0.9
+    trajectory_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -265,6 +281,18 @@ class ServiceConfig:
             raise ConfigError(
                 f"request_timeout must be > 0, got {self.request_timeout}"
             )
+        if self.warm_start not in ("on", "off"):
+            raise ConfigError(
+                f"warm_start must be 'on' or 'off', got {self.warm_start!r}"
+            )
+        if not 0.0 < self.warm_threshold <= 1.0:
+            raise ConfigError(
+                f"warm_threshold must be in (0, 1], got {self.warm_threshold}"
+            )
+
+    def warm_start_enabled(self) -> bool:
+        """Whether portfolio misses may seed from near-match cached tours."""
+        return self.warm_start == "on"
 
     def arena_enabled(self) -> bool:
         """Whether dispatches should publish to the instance arena."""
@@ -343,6 +371,12 @@ class LoadgenConfig:
         uses).  ``1`` (default) keeps the classic single-service path.
         The schedule itself is shard-count independent, so reports are
         comparable across shard counts.
+    open_loop_threads:
+        Issuing-pool ceiling for ``mode="open"``: scheduled arrivals are
+        dispatched by this many pooled threads instead of one parked
+        thread per request (which collapses at ``--requests 5000``).
+        Arrivals beyond the pool's instantaneous capacity queue and are
+        reported honestly through ``max_arrival_lag_seconds``.
     """
 
     instances: tuple[str, ...] = ("101",)
@@ -364,6 +398,7 @@ class LoadgenConfig:
     chaos_transient_rate: float = 0.05
     chaos_slow_seconds: float = 0.25
     shards: int = 1
+    open_loop_threads: int = 128
 
     def __post_init__(self) -> None:
         if not self.instances:
@@ -407,6 +442,10 @@ class LoadgenConfig:
             )
         if self.shards < 1:
             raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.open_loop_threads < 1:
+            raise ConfigError(
+                f"open_loop_threads must be >= 1, got {self.open_loop_threads}"
+            )
 
     def params_dict(self) -> dict:
         return dict(self.params)

@@ -37,8 +37,15 @@ Four grid kinds:
   the merged anneal is bit-identical to sequential dispatch.
 * ``scale`` — the sparse path (candidate-list two_opt, no distance
   matrix) on clustered instances up to n=100,000: seconds-vs-n plus
-  the process peak RSS per cell, with the empirical runtime exponent
-  between consecutive sizes in the ``scale_curvature`` payload.
+  each cell's own peak RSS (cells run in fresh spawned subprocesses,
+  since ``ru_maxrss`` is a process-lifetime high-water mark), with the
+  empirical runtime exponent between consecutive sizes in the
+  ``scale_curvature`` payload.
+* ``portfolio`` — the deadline-aware racing portfolio
+  (:mod:`repro.engine.portfolio`) per (n, deadline) cell: the planned
+  arms race at that budget and the ``portfolio_curves`` payload
+  reports portfolio quality vs the best and worst fixed arm, so the
+  quality-per-deadline tradeoff is tracked per revision.
 
 Timing is best-of-``repeats`` to damp scheduler noise; quality is
 reported from the first run of each cell (all cells share seeds, so
@@ -73,6 +80,7 @@ FULL_GRID = {
     "loadtest_sizes": (101,),
     "replica_batch_sizes": (500,),
     "scale_sizes": (5000, 20000, 50000, 100000),
+    "portfolio_sizes": (200, 500),
 }
 
 #: The quick grid still covers the acceptance cells (Metropolis n=500
@@ -88,6 +96,7 @@ QUICK_GRID = {
     "loadtest_sizes": (52,),
     "replica_batch_sizes": (120,),
     "scale_sizes": (2000, 5000),
+    "portfolio_sizes": (120,),
 }
 
 
@@ -408,6 +417,49 @@ def _bench_replica_batch(sizes, sweeps, replicas, seed, repeats) -> list[dict]:
     return entries
 
 
+def _scale_cell(n: int, seed: int) -> dict:
+    """One scale cell, measured in the process that runs it.
+
+    Module-level so it pickles into the per-cell subprocess.  The
+    ``REPRO_BENCH_SCALE_BALLAST`` env hook (``"n:MiB,n:MiB"``) lets the
+    RSS-isolation regression test make a designated cell's footprint
+    unambiguous without solving a genuinely huge instance.
+    """
+    import resource
+
+    from repro.engine.registry import build_solver
+    from repro.tsp.generators import clustered_instance
+    from repro.utils.hashing import tour_hash
+
+    ballast = None
+    spec = os.environ.get("REPRO_BENCH_SCALE_BALLAST", "")
+    for pair in filter(None, spec.split(",")):
+        cell, _, mib = pair.partition(":")
+        if cell.strip() == str(n):
+            ballast = bytearray(int(mib) << 20)  # zero-filled: pages resident
+    solver = build_solver("two_opt", seed=seed, k=6, max_rounds=2)
+    instance = clustered_instance(n, seed=seed)
+    start = time.perf_counter()
+    tour = solver(instance)
+    seconds = time.perf_counter() - start
+    del ballast
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    rss_unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "kind": "scale",
+        "name": "two_opt-sparse",
+        "n": int(n),
+        "sweeps": 0,
+        "backend": "fast",
+        "seconds": seconds,
+        "sweeps_per_sec": None,
+        "quality": float(tour.length),
+        "tour_hash": tour_hash(tour.order),
+        "peak_rss_bytes": int(peak) * rss_unit,
+    }
+
+
 def _bench_scale(sizes, seed) -> list[dict]:
     """Sparse-mode scale cells: seconds-vs-n and peak RSS, no matrix.
 
@@ -416,40 +468,110 @@ def _bench_scale(sizes, seed) -> list[dict]:
     sizes sit far above ``_FULL_MATRIX_LIMIT``, so a cell that tried to
     materialize an (n, n) array would fail, not just run slowly.
     Cells run once (no best-of-``repeats``): a 100k solve takes minutes
-    and ``ru_maxrss`` is a process-lifetime high-water mark, so repeats
-    would triple the wall time without sharpening either column.  Sizes
-    run ascending for the same reason — the monotone high-water mark
-    then approximates each cell's own peak.
-    """
-    import resource
+    and repeats would triple the wall time without sharpening either
+    column.
 
-    from repro.engine.registry import build_solver
+    Every cell runs in a **fresh spawned subprocess**: ``ru_maxrss`` is
+    a process-lifetime high-water mark, so measuring cells in one
+    process silently attributed an earlier big cell's peak to every
+    later smaller cell.  Per-cell processes make ``peak_rss_bytes``
+    each cell's own, at any size order (the caller's order is
+    preserved; ``compute_scale_curvature`` sorts by n itself).
+    """
+    import concurrent.futures
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    entries = []
+    for n in (int(n) for n in sizes):
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=1, mp_context=context) as executor:
+            entries.append(executor.submit(_scale_cell, n, seed).result())
+    return entries
+
+
+def _bench_portfolio(sizes, deadlines, seed) -> list[dict]:
+    """Portfolio cells: quality vs deadline, portfolio vs each fixed arm.
+
+    One cell per (n, deadline): the deadline becomes the portfolio's
+    compute budget, the planned arms race in ``mode="best"``, and the
+    entry records the winner plus every arm's standalone quality/time —
+    so the ``portfolio_curves`` payload can show that the portfolio
+    matches the best fixed arm (it picks the minimum over the same
+    seeded runs) and by how much it beats the worst.
+    """
+    from repro.engine.arena import content_key
+    from repro.engine.portfolio import plan_arms, race
     from repro.tsp.generators import clustered_instance
     from repro.utils.hashing import tour_hash
 
-    # ru_maxrss is kilobytes on Linux, bytes on macOS.
-    rss_unit = 1 if sys.platform == "darwin" else 1024
-    solver = build_solver("two_opt", seed=seed, k=6, max_rounds=2)
     entries = []
-    for n in sorted(int(n) for n in sizes):
+    for n in (int(n) for n in sizes):
         instance = clustered_instance(n, seed=seed)
-        start = time.perf_counter()
-        tour = solver(instance)
-        seconds = time.perf_counter() - start
-        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        entries.append({
-            "kind": "scale",
-            "name": "two_opt-sparse",
-            "n": n,
-            "sweeps": 0,
-            "backend": "fast",
-            "seconds": seconds,
-            "sweeps_per_sec": None,
-            "quality": float(tour.length),
-            "tour_hash": tour_hash(tour.order),
-            "peak_rss_bytes": int(peak) * rss_unit,
-        })
+        digest = content_key(instance)
+        for deadline in (float(d) for d in deadlines):
+            arms = plan_arms(
+                n, budget_seconds=deadline, seed=seed, digest=digest)
+            result = race(arms, instance=instance, mode="best")
+            completed = [o for o in result.outcomes if o.status == "completed"]
+            lengths = [o.length for o in completed]
+            entries.append({
+                "kind": "portfolio",
+                "name": f"portfolio-d{deadline:g}",
+                "n": n,
+                "sweeps": 0,
+                "backend": "fast",
+                "seconds": result.seconds,
+                "sweeps_per_sec": None,
+                "quality": float(result.length),
+                "deadline_seconds": deadline,
+                "winner": result.winner.label,
+                "tour_hash": tour_hash(result.order),
+                "best_arm_quality": min(lengths),
+                "worst_arm_quality": max(lengths),
+                "arms": [
+                    {
+                        "label": o.arm.label,
+                        "solver": o.arm.solver,
+                        "status": o.status,
+                        "length": o.length,
+                        "seconds": o.seconds,
+                    }
+                    for o in result.outcomes
+                ],
+            })
     return entries
+
+
+def compute_portfolio_curves(entries: list[dict]) -> list[dict]:
+    """Quality-vs-deadline rows per portfolio cell, sorted (n, deadline).
+
+    ``beats_worst`` marks cells where racing bought actual quality over
+    the worst fixed arm at the same budget; ``matches_best`` should be
+    True in every row (the portfolio picks the minimum over the same
+    seeded arm runs) — a False here is a racing-driver regression.
+    """
+    cells = sorted(
+        (e for e in entries if e["kind"] == "portfolio"),
+        key=lambda e: (e["n"], e["deadline_seconds"]),
+    )
+    return [
+        {
+            "kind": "portfolio",
+            "n": cell["n"],
+            "deadline_seconds": cell["deadline_seconds"],
+            "portfolio_quality": cell["quality"],
+            "best_arm_quality": cell["best_arm_quality"],
+            "worst_arm_quality": cell["worst_arm_quality"],
+            "winner": cell["winner"],
+            "arms_raced": sum(
+                1 for arm in cell["arms"] if arm["status"] != "cancelled"
+            ),
+            "matches_best": cell["quality"] <= cell["best_arm_quality"],
+            "beats_worst": cell["quality"] < cell["worst_arm_quality"],
+        }
+        for cell in cells
+    ]
 
 
 def compute_scale_curvature(entries: list[dict]) -> list[dict]:
@@ -619,6 +741,8 @@ def run_bench(
     loadtest_sizes=None,
     replica_batch_sizes=None,
     scale_sizes=None,
+    portfolio_sizes=None,
+    portfolio_deadlines=(0.5, 2.0),
     ising_sweeps: int = 200,
     tsp_sweeps: int = 400,
     engine_sweeps: int = 30,
@@ -659,6 +783,9 @@ def run_bench(
         if replica_batch_sizes is None else replica_batch_sizes
     )
     scale_sizes = grid["scale_sizes"] if scale_sizes is None else scale_sizes
+    portfolio_sizes = (
+        grid["portfolio_sizes"] if portfolio_sizes is None else portfolio_sizes
+    )
     # Default to the historical backend pair: "array" is bit-identical
     # to "fast" for solo solves, so adding it would triple the grid for
     # duplicate numbers.  Pass backends=("fast", "array") to compare.
@@ -700,6 +827,8 @@ def run_bench(
         )
     if scale_sizes:
         entries += _bench_scale(scale_sizes, seed)
+    if portfolio_sizes:
+        entries += _bench_portfolio(portfolio_sizes, portfolio_deadlines, seed)
     return {
         "schema": "repro-bench/1",
         "revision": git_revision(),
@@ -719,6 +848,7 @@ def run_bench(
         "service_speedups": compute_service_speedups(entries),
         "replica_batch_speedups": compute_replica_batch_speedups(entries),
         "scale_curvature": compute_scale_curvature(entries),
+        "portfolio_curves": compute_portfolio_curves(entries),
     }
 
 

@@ -1,0 +1,523 @@
+"""Adaptive solver portfolio: deadline-aware racing over the registry.
+
+Production traffic names instances and deadlines, not solvers.  This
+module closes that gap (ROADMAP item 5) with three pieces:
+
+* **Arm planning** (:func:`plan_arms`) — a deterministic function of
+  ``(n, budget_seconds, seed, instance digest)`` that selects N
+  (solver, params, seed) *arms* whose estimated total compute fits the
+  budget.  Cost estimates come from a static model, refined by a
+  :class:`Trajectory` built from accumulated ``BENCH_*``/``LOADTEST_*``
+  payloads when a trajectory directory is supplied.
+* **Racing** (:func:`race`) — runs the arms inline or fanned across a
+  :class:`~repro.engine.wavefront.WavefrontPool`, in deterministic
+  waves.  ``mode="best"`` runs every planned arm and picks the minimum
+  length (budget enforced at *plan* time, so the result is
+  bit-reproducible); ``mode="first"`` stops at the first wave
+  containing an acceptable arm and cancels the unlaunched rest.
+* **Warm starts** — annealing arms can be seeded from the cached tour
+  of a geometrically similar instance (the near-match tier in
+  :mod:`repro.service.cache`); warm-started results carry the source
+  fingerprint so provenance is auditable.
+
+Determinism contract: the arm set and every arm seed derive from the
+instance content digest plus the explicit master seed.  Two portfolio
+solves with the same fingerprint and seed (and the same trajectory
+files, if any) return bit-identical tours and identical win ledgers.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tsp.instance import _FULL_MATRIX_LIMIT, TSPInstance
+from repro.tsp.tour import Tour
+
+#: Schema tag mixed into arm-seed derivation; bump on recipe changes.
+PORTFOLIO_SCHEMA = "repro-portfolio/1"
+
+#: Solvers whose arms accept a warm-start tour (seeded annealing).
+WARM_CAPABLE = frozenset({"sa_tsp"})
+
+#: Sweep ladder for annealing arms — coarse on purpose so
+#: trajectory-informed tuning still lands on a small, stable arm space.
+_SWEEP_LADDER = (100, 400, 1600)
+
+
+# ----------------------------------------------------------------------
+# Arms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Arm:
+    """One (solver, params, seed) racing entry."""
+
+    index: int
+    solver: str
+    params: tuple[tuple[str, object], ...]
+    seed: int
+    est_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """Stable, low-cardinality label for ledgers and win counters."""
+        bits = [self.solver]
+        params = dict(self.params)
+        if "sweeps" in params and params["sweeps"]:
+            bits.append(f"s{params['sweeps']}")
+        return "-".join(str(b) for b in bits) + f"@{self.index}"
+
+
+@dataclass(frozen=True)
+class ArmTask:
+    """Picklable unit of work: one arm against one instance spec."""
+
+    spec: object  # InstanceSpec
+    solver: str
+    params: tuple[tuple[str, object], ...]
+    seed: int
+    index: int
+    warm_start: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ArmRun:
+    """What one executed arm produced."""
+
+    index: int
+    order: np.ndarray
+    length: float
+    seconds: float
+    warm: bool = False
+
+
+@dataclass
+class ArmOutcome:
+    """Ledger row: one arm's final state after the race."""
+
+    arm: Arm
+    status: str  # "completed" | "cancelled" | "failed"
+    length: float | None = None
+    seconds: float = 0.0
+    warm: bool = False
+    error: str | None = None
+
+
+@dataclass
+class PortfolioResult:
+    """Winner tour plus the full per-arm ledger."""
+
+    order: np.ndarray
+    length: float
+    winner: Arm
+    outcomes: list[ArmOutcome]
+    mode: str
+    budget_seconds: float
+    warm_source: str | None = None
+    seconds: float = 0.0
+    _tour: Tour | None = field(default=None, repr=False)
+
+    def tour(self, instance: TSPInstance) -> Tour:
+        if self._tour is None or self._tour.instance is not instance:
+            self._tour = Tour(instance, self.order)
+        return self._tour
+
+    def ledger(self) -> dict:
+        """Run-to-run-stable win ledger (no wall-clock fields)."""
+        return {
+            "schema": PORTFOLIO_SCHEMA,
+            "mode": self.mode,
+            "budget_seconds": self.budget_seconds,
+            "winner": self.winner.label,
+            "winner_length": self.length,
+            "warm_start": self.warm_source,
+            "arms": [
+                {
+                    "label": o.arm.label,
+                    "solver": o.arm.solver,
+                    "params": dict(o.arm.params),
+                    "seed": o.arm.seed,
+                    "status": o.status,
+                    "length": o.length,
+                    "warm": o.warm,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def timings(self) -> list[dict]:
+        """Wall-clock per arm — informational, *not* part of the ledger."""
+        return [{"label": o.arm.label, "seconds": o.seconds}
+                for o in self.outcomes]
+
+
+def arm_seed(digest: str, master_seed: int, index: int) -> int:
+    """Deterministic per-arm seed from instance digest + master seed."""
+    material = f"{PORTFOLIO_SCHEMA}:{digest}:{int(master_seed)}:{int(index)}"
+    raw = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(raw[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# Autotuner trajectory
+# ----------------------------------------------------------------------
+class Trajectory:
+    """Per-solver runtime samples mined from BENCH_*/LOADTEST_* payloads.
+
+    The tuner never changes *which* knobs exist — it only refines the
+    cost estimates behind :func:`plan_arms`, and chosen sweeps stay on
+    the coarse :data:`_SWEEP_LADDER`, so determinism holds for any
+    fixed set of trajectory files.
+    """
+
+    def __init__(self, samples: dict[str, list[tuple[int, int, float]]]):
+        # solver -> sorted [(n, sweeps_or_0, seconds)]
+        self.samples = {k: sorted(v) for k, v in samples.items()}
+
+    @classmethod
+    def load(cls, directory: str) -> "Trajectory":
+        """Mine every ``BENCH_*.json``/``LOADTEST_*.json`` under ``directory``."""
+        samples: dict[str, list[tuple[int, int, float]]] = {}
+        pattern = [os.path.join(directory, "BENCH_*.json"),
+                   os.path.join(directory, "LOADTEST_*.json")]
+        for path in sorted(p for pat in pattern for p in glob.glob(pat)):
+            try:
+                with open(path) as stream:
+                    payload = json.load(stream)
+            except (OSError, ValueError):
+                continue
+            for entry in payload.get("entries", []) if isinstance(payload, dict) else []:
+                if not isinstance(entry, dict):
+                    continue
+                solver = entry.get("solver") or str(entry.get("name", "")).split("-")[0]
+                n = entry.get("n")
+                seconds = entry.get("seconds")
+                if not solver or not isinstance(n, int) or not seconds:
+                    continue
+                sweeps = entry.get("sweeps") or 0
+                samples.setdefault(solver, []).append(
+                    (int(n), int(sweeps), float(seconds)))
+        return cls(samples)
+
+    def estimate(self, solver: str, n: int, sweeps: int = 0) -> float | None:
+        """Nearest-n sample scaled linearly in n (and sweeps when known)."""
+        rows = self.samples.get(solver)
+        if not rows:
+            return None
+        best = min(rows, key=lambda r: (abs(np.log(max(n, 1) / max(r[0], 1))), r))
+        sample_n, sample_sweeps, seconds = best
+        scale = n / max(sample_n, 1)
+        if sweeps and sample_sweeps:
+            scale *= sweeps / sample_sweeps
+        return float(seconds * scale)
+
+
+def _static_estimate(solver: str, n: int, params: dict) -> float:
+    """Fallback cost model when no trajectory sample exists (seconds)."""
+    if solver == "two_opt":
+        k = int(params.get("k", 8))
+        rounds = int(params.get("max_rounds", 30))
+        return 6e-4 * n + 1.5e-6 * n * k * min(rounds, 10)
+    if solver == "sa_tsp":
+        sweeps = int(params.get("sweeps") or 400)
+        return 1e-3 + 2.5e-6 * n * sweeps
+    if solver == "taxi":
+        return 1.2e-3 * n
+    if solver == "greedy":
+        return 5e-4 + 2e-7 * n * n
+    return 1e-3 * n
+
+
+def estimate_arm_seconds(solver: str, n: int, params: dict,
+                         trajectory: Trajectory | None = None) -> float:
+    tuned = None
+    if trajectory is not None:
+        tuned = trajectory.estimate(solver, n, int(params.get("sweeps") or 0))
+    if tuned is not None:
+        return tuned
+    return _static_estimate(solver, n, params)
+
+
+def _candidate_ladder(n: int, trajectory: Trajectory | None) -> list[tuple[str, dict, float]]:
+    """(solver, params, est_seconds) in racing priority order.
+
+    The first entry is the cheap deterministic baseline; it is always
+    planned, so every portfolio solve has a quality floor even at tiny
+    budgets.  Full-matrix solvers only appear under the dense capacity
+    limit — above it the sparse ``two_opt`` path races alone.
+    """
+    ladder: list[tuple[str, dict, float]] = []
+
+    def add(solver: str, params: dict) -> None:
+        ladder.append((solver, params,
+                       estimate_arm_seconds(solver, n, params, trajectory)))
+
+    add("two_opt", {"k": 8, "max_rounds": 30})
+    if n <= _FULL_MATRIX_LIMIT:
+        for sweeps in _SWEEP_LADDER:
+            add("sa_tsp", {"sweeps": sweeps})
+    add("taxi", {})
+    return ladder
+
+
+def plan_arms(
+    n: int,
+    *,
+    budget_seconds: float,
+    seed: int,
+    digest: str,
+    max_arms: int = 4,
+    trajectory: Trajectory | None = None,
+) -> tuple[Arm, ...]:
+    """Deterministic arm set whose estimated total compute fits the budget.
+
+    A pure function of its arguments (plus the trajectory samples): the
+    ladder is scanned in priority order, each arm admitted while the
+    cumulative estimate stays under ``budget_seconds`` and the arm count
+    under ``max_arms``.  At least one arm — the cheapest candidate — is
+    always planned, so a tight deadline degrades to the fastest solver
+    rather than to failure.
+    """
+    if budget_seconds <= 0:
+        raise ConfigError(f"budget_seconds must be > 0, got {budget_seconds}")
+    if max_arms < 1:
+        raise ConfigError(f"max_arms must be >= 1, got {max_arms}")
+    ladder = _candidate_ladder(int(n), trajectory)
+    chosen: list[tuple[str, dict, float]] = []
+    spent = 0.0
+    for solver, params, est in ladder:
+        if len(chosen) >= max_arms:
+            break
+        if spent + est > budget_seconds:
+            continue
+        chosen.append((solver, params, est))
+        spent += est
+    if not chosen:
+        chosen = [min(ladder, key=lambda row: (row[2], row[0]))]
+    return tuple(
+        Arm(
+            index=index,
+            solver=solver,
+            params=tuple(sorted(params.items())),
+            seed=arm_seed(digest, seed, index),
+            est_seconds=est,
+        )
+        for index, (solver, params, est) in enumerate(chosen)
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _valid_warm_start(warm, n: int) -> np.ndarray | None:
+    """The warm tour as an int array iff it is a permutation of ``0..n-1``."""
+    if warm is None:
+        return None
+    order = np.asarray(warm, dtype=int)
+    if order.ndim != 1 or order.size != n:
+        return None
+    counts = np.bincount(order, minlength=n) if order.min(initial=0) >= 0 else None
+    if counts is None or counts.size != n or not (counts == 1).all():
+        return None
+    return order
+
+
+def run_arm(instance: TSPInstance, arm: Arm,
+            warm_start=None) -> ArmRun:
+    """Execute one arm in-process; warm-seeds annealing when possible."""
+    from repro.engine.registry import build_solver, check_instance_capacity
+    from repro.engine.runner import validate_finite_instance
+
+    validate_finite_instance(instance)
+    check_instance_capacity(arm.solver, instance.n)
+    params = dict(arm.params)
+    warm = (_valid_warm_start(warm_start, instance.n)
+            if arm.solver in WARM_CAPABLE else None)
+    start = time.perf_counter()
+    if warm is not None:
+        from repro.ising.sa_tsp import SimulatedAnnealingTSP
+
+        solver = SimulatedAnnealingTSP(seed=arm.seed, **params)
+        tour = solver.solve(instance, initial=warm)
+    else:
+        tour = build_solver(arm.solver, seed=arm.seed, **params)(instance)
+    return ArmRun(
+        index=arm.index,
+        order=np.asarray(tour.order, dtype=int),
+        length=float(tour.length),
+        seconds=time.perf_counter() - start,
+        warm=warm is not None,
+    )
+
+
+def run_arm_task(task: ArmTask) -> ArmRun:
+    """Module-level (picklable) arm executor for pool fan-out."""
+    instance = task.spec.resolve()
+    arm = Arm(index=task.index, solver=task.solver, params=task.params,
+              seed=task.seed)
+    return run_arm(instance, arm, warm_start=task.warm_start)
+
+
+def race(
+    arms,
+    *,
+    instance: TSPInstance | None = None,
+    spec=None,
+    pool=None,
+    mode: str = "best",
+    accept_ratio: float = 1.0,
+    budget_seconds: float | None = None,
+    wave_width: int | None = None,
+    warm_start=None,
+    warm_source: str | None = None,
+) -> PortfolioResult:
+    """Race ``arms`` and return the winner plus the full ledger.
+
+    ``mode="best"`` launches every arm (single wave — the budget was
+    enforced at plan time) and picks the minimum length, arm index
+    breaking ties, so the result is bit-reproducible.  ``mode="first"``
+    launches deterministic waves of ``wave_width`` and stops at the
+    first wave whose completed arms contain one within ``accept_ratio``
+    of the baseline (arm 0); unlaunched arms are recorded as
+    ``cancelled`` — the racing driver's loser cancellation.  A wall
+    ``budget_seconds`` additionally stops wave launching once exceeded
+    (operational guard; only relevant in ``"first"`` mode).
+    """
+    arms = list(arms)
+    if not arms:
+        raise ConfigError("portfolio race needs at least one arm")
+    if mode not in ("best", "first"):
+        raise ConfigError(f"unknown portfolio mode {mode!r}; use best|first")
+    if accept_ratio < 1.0:
+        raise ConfigError(f"accept_ratio must be >= 1.0, got {accept_ratio}")
+    if pool is not None and spec is None:
+        raise ConfigError("pool execution needs an instance spec")
+    if pool is None and instance is None:
+        if spec is None:
+            raise ConfigError("race needs an instance or a spec")
+        instance = spec.resolve()
+
+    def launch(wave: list[Arm]) -> list[tuple[Arm, ArmRun | None, str | None]]:
+        if pool is not None:
+            tasks = [
+                ArmTask(
+                    spec=spec, solver=arm.solver, params=arm.params,
+                    seed=arm.seed, index=arm.index,
+                    warm_start=(tuple(int(v) for v in warm_start)
+                                if warm_start is not None
+                                and arm.solver in WARM_CAPABLE else None),
+                )
+                for arm in wave
+            ]
+            outcomes = pool.map_outcomes(run_arm_task, tasks)
+            return [
+                (arm, out.value if out.ok else None,
+                 None if out.ok else repr(out.error))
+                for arm, out in zip(wave, outcomes)
+            ]
+        rows = []
+        for arm in wave:
+            try:
+                rows.append((arm, run_arm(instance, arm, warm_start=warm_start),
+                             None))
+            except Exception as exc:  # one arm failing must not kill the race
+                rows.append((arm, None, repr(exc)))
+        return rows
+
+    started = time.perf_counter()
+    width = len(arms) if mode == "best" else max(
+        1, wave_width or (pool.workers if pool is not None else 1))
+    outcomes: dict[int, ArmOutcome] = {}
+    completed: list[tuple[Arm, ArmRun]] = []
+    position = 0
+    while position < len(arms):
+        if position > 0 and mode == "first":
+            baseline = next((run.length for arm, run in completed
+                             if arm.index == arms[0].index), None)
+            acceptable = baseline is not None and any(
+                run.length <= accept_ratio * baseline for _, run in completed)
+            overran = (budget_seconds is not None
+                       and time.perf_counter() - started >= budget_seconds)
+            if acceptable or overran:
+                for arm in arms[position:]:
+                    outcomes[arm.index] = ArmOutcome(arm=arm, status="cancelled")
+                break
+        wave = arms[position:position + width]
+        for arm, run, error in launch(wave):
+            if run is None:
+                outcomes[arm.index] = ArmOutcome(
+                    arm=arm, status="failed", error=error)
+            else:
+                outcomes[arm.index] = ArmOutcome(
+                    arm=arm, status="completed", length=run.length,
+                    seconds=run.seconds, warm=run.warm)
+                completed.append((arm, run))
+        position += len(wave)
+
+    if not completed:
+        errors = "; ".join(
+            f"{o.arm.label}: {o.error}" for o in outcomes.values()
+            if o.status == "failed")
+        raise ConfigError(f"every portfolio arm failed ({errors})")
+
+    winner_arm, winner_run = min(
+        completed, key=lambda pair: (pair[1].length, pair[0].index))
+    ordered = [outcomes[arm.index] for arm in arms if arm.index in outcomes]
+    return PortfolioResult(
+        order=winner_run.order,
+        length=winner_run.length,
+        winner=winner_arm,
+        outcomes=ordered,
+        mode=mode,
+        budget_seconds=float(budget_seconds or 0.0),
+        warm_source=(warm_source
+                     if any(o.warm for o in ordered) else None),
+        seconds=time.perf_counter() - started,
+    )
+
+
+def solve_portfolio(
+    instance: TSPInstance,
+    *,
+    seed: int = 0,
+    budget_seconds: float = 2.0,
+    max_arms: int = 4,
+    mode: str = "best",
+    accept_ratio: float = 1.0,
+    trajectory: str | None = None,
+    pool=None,
+    spec=None,
+    warm_start=None,
+    warm_source: str | None = None,
+) -> PortfolioResult:
+    """Plan and race a portfolio for one instance (the one-call surface)."""
+    from repro.engine.arena import content_key
+
+    digest = content_key(instance)
+    traj = Trajectory.load(trajectory) if trajectory else None
+    arms = plan_arms(
+        instance.n,
+        budget_seconds=budget_seconds,
+        seed=seed,
+        digest=digest,
+        max_arms=max_arms,
+        trajectory=traj,
+    )
+    return race(
+        arms,
+        instance=instance,
+        spec=spec,
+        pool=pool,
+        mode=mode,
+        accept_ratio=accept_ratio,
+        budget_seconds=budget_seconds,
+        warm_start=warm_start,
+        warm_source=warm_source,
+    )

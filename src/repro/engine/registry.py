@@ -370,3 +370,32 @@ def _concorde_surrogate(
         SurrogateSettings(neighbor_k=neighbor_k, max_rounds=max_rounds)
     )
     return solver.solve
+
+
+@register_solver(
+    "portfolio",
+    "deadline-aware racing portfolio over the solver registry (ROADMAP 5)",
+)
+def _portfolio(
+    seed: int | None = 0,
+    budget_seconds: float = 2.0,
+    max_arms: int = 4,
+    mode: str = "best",
+    accept_ratio: float = 1.0,
+    trajectory: str = "",
+) -> SolveFn:
+    from repro.engine.portfolio import solve_portfolio
+
+    def solve(instance: TSPInstance) -> Tour:
+        result = solve_portfolio(
+            instance,
+            seed=seed or 0,
+            budget_seconds=budget_seconds,
+            max_arms=max_arms,
+            mode=mode,
+            accept_ratio=accept_ratio,
+            trajectory=trajectory or None,
+        )
+        return result.tour(instance)
+
+    return solve

@@ -27,6 +27,9 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigError
 
@@ -35,6 +38,71 @@ logger = logging.getLogger(__name__)
 #: On-disk schema tag; files with another tag are ignored at load so a
 #: stale cache can never serve results from an incompatible recipe.
 CACHE_SCHEMA = "repro-result-cache/1"
+
+#: Side length of the occupancy grid behind the near-match signature.
+SIGNATURE_GRID = 8
+
+
+@dataclass(frozen=True)
+class InstanceSignature:
+    """Small locality signature of an instance's coordinate cloud.
+
+    The signature is an ``8x8`` occupancy histogram of the coordinates
+    after centering (translation invariance) and normalizing by the
+    centered bounding box (scale invariance — a tour permutation is
+    itself invariant under both).  Two signatures are comparable only
+    when ``n`` and ``metric`` match exactly: a cached tour is only a
+    valid warm start for an instance with the same city count.
+    """
+
+    n: int
+    metric: str
+    grid: tuple[float, ...]
+
+    def similarity(self, other: "InstanceSignature") -> float:
+        """Histogram overlap in ``[0, 1]``; ``1.0`` only for identical grids.
+
+        Defined as ``1 - L1/2`` over the normalized occupancy vectors,
+        which is symmetric and maximal at self-similarity.  Signatures
+        for different ``n`` or ``metric`` never match (similarity 0).
+        """
+        if self.n != other.n or self.metric != other.metric:
+            return 0.0
+        a = np.asarray(self.grid)
+        b = np.asarray(other.grid)
+        return float(max(0.0, 1.0 - 0.5 * np.abs(a - b).sum()))
+
+
+def instance_signature(instance) -> InstanceSignature | None:
+    """Locality signature for a coordinate instance, else ``None``.
+
+    Explicit-matrix instances have no coordinate cloud to compare, so
+    they never participate in the near-match warm-start tier.
+    """
+    coords = getattr(instance, "coords", None)
+    if coords is None:
+        return None
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2 or coords.shape[0] == 0:
+        return None
+    centered = coords - coords.mean(axis=0)
+    lo = centered.min(axis=0)
+    span = centered.max(axis=0) - lo
+    # Degenerate axes (all points colinear/identical) collapse to cell 0.
+    span = np.where(span > 0, span, 1.0)
+    cells = np.clip(
+        ((centered - lo) / span * SIGNATURE_GRID).astype(int),
+        0, SIGNATURE_GRID - 1,
+    )
+    flat = cells[:, 0] * SIGNATURE_GRID + (cells[:, 1] if coords.shape[1] > 1
+                                           else 0)
+    counts = np.bincount(flat, minlength=SIGNATURE_GRID * SIGNATURE_GRID)
+    grid = counts / counts.sum()
+    return InstanceSignature(
+        n=int(coords.shape[0]),
+        metric=str(getattr(instance, "metric", "euclidean")),
+        grid=tuple(float(v) for v in grid),
+    )
 
 
 class ResultCache:
@@ -59,6 +127,7 @@ class ResultCache:
         self.load_errors = 0
         self._metrics = metrics
         self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._signatures: dict[str, InstanceSignature] = {}
         self._lock = threading.Lock()
         if path is not None and os.path.exists(path):
             self.load(path)
@@ -79,16 +148,53 @@ class ResultCache:
                 self._metrics.cache_hits.inc()
             return copy.deepcopy(entry)
 
-    def put(self, fingerprint: str, value: dict) -> None:
-        """Insert (or refresh) one result, evicting LRU entries beyond capacity."""
+    def put(self, fingerprint: str, value: dict,
+            signature: InstanceSignature | None = None) -> None:
+        """Insert (or refresh) one result, evicting LRU entries beyond capacity.
+
+        ``signature`` (optional) registers the entry with the near-match
+        warm-start tier; it lives only in memory (signatures are cheaply
+        recomputable, so :meth:`load` does not restore them).
+        """
         with self._lock:
             self._entries[fingerprint] = copy.deepcopy(value)
             self._entries.move_to_end(fingerprint)
+            if signature is not None:
+                self._signatures[fingerprint] = signature
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._signatures.pop(evicted, None)
                 self.evictions += 1
                 if self._metrics is not None:
                     self._metrics.cache_evictions.inc()
+
+    def find_similar(self, signature: InstanceSignature | None,
+                     threshold: float = 0.9) -> tuple[str, dict] | None:
+        """Best near-match ``(fingerprint, result)`` at or above ``threshold``.
+
+        Used on a fingerprint *miss* to seed annealing from the tour of a
+        geometrically similar instance.  The scan is deterministic: the
+        highest similarity wins, ties broken by fingerprint ordering, so
+        a given cache state always yields the same warm-start source.
+        Does not count as a cache hit and does not refresh recency — the
+        returned tour is a hint, not the requested result.
+        """
+        if signature is None:
+            return None
+        with self._lock:
+            best: tuple[float, str] | None = None
+            for fingerprint, candidate in self._signatures.items():
+                score = signature.similarity(candidate)
+                if score < threshold:
+                    continue
+                if best is None or (score, fingerprint) > best:
+                    best = (score, fingerprint)
+            if best is None:
+                return None
+            entry = self._entries.get(best[1])
+            if entry is None:
+                return None
+            return best[1], copy.deepcopy(entry)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,6 +205,7 @@ class ResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._signatures.clear()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -117,15 +224,33 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def save(self, path: str | None = None) -> str:
-        """Write the cache as JSON (atomic rename); returns the path."""
+        """Write the cache as JSON (atomic rename); returns the path.
+
+        The lock is held only for an O(entries) pointer snapshot —
+        **never** during JSON serialization or disk I/O, so a drain-time
+        save of a large cache cannot stall concurrent ``get``/``put``.
+        The shallow snapshot is safe to serialize lock-free because
+        stored values are immutable by construction: ``put`` stores a
+        private deep copy and ``get`` hands out deep copies, so no
+        caller can mutate a dict the snapshot references.
+        """
         target = path if path is not None else self.path
         if target is None:
             raise ConfigError("no cache path configured; pass one to save()")
+        snapshot = self._snapshot()
+        return self._write_payload(snapshot, target)
+
+    def _snapshot(self) -> dict:
+        """Serializable payload referencing the live entries (lock held briefly)."""
         with self._lock:
-            payload = {
+            return {
                 "schema": CACHE_SCHEMA,
                 "entries": list(self._entries.items()),
             }
+
+    @staticmethod
+    def _write_payload(payload: dict, target: str) -> str:
+        """Serialize + atomic-rename, entirely outside the cache lock."""
         parent = os.path.dirname(os.path.abspath(target))
         os.makedirs(parent, exist_ok=True)
         handle, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")

@@ -58,7 +58,16 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
 def build_request(body: dict) -> SolveRequest:
-    """Translate one ``POST /solve`` JSON body into a validated request."""
+    """Translate one ``POST /solve`` JSON body into a validated request.
+
+    ``portfolio: true`` routes the request to the deadline-aware racing
+    portfolio: the solver becomes ``"portfolio"`` and, when the body
+    carries a ``deadline_seconds`` but no explicit ``budget_seconds``
+    param, the deadline becomes the race's compute budget — a
+    *fingerprinted* solver param, so identical (instance, deadline,
+    seed) requests stay content-addressed and bit-reproducible while
+    the operational deadline watchdog still applies.
+    """
     if not isinstance(body, dict):
         raise ConfigError("request body must be a JSON object")
     token = body.get("instance")
@@ -75,12 +84,22 @@ def build_request(body: dict) -> SolveRequest:
     params = body.get("params") or {}
     if not isinstance(params, dict):
         raise ConfigError("'params' must be a JSON object")
+    solver = str(body.get("solver", "taxi"))
+    deadline = body.get("deadline_seconds")
+    if body.get("portfolio"):
+        if "solver" in body and solver != "portfolio":
+            raise ConfigError(
+                f"'portfolio': true conflicts with solver {solver!r}"
+            )
+        solver = "portfolio"
+        if deadline is not None and "budget_seconds" not in params:
+            params = dict(params, budget_seconds=float(deadline))
     return SolveRequest.create(
         token,
-        solver=str(body.get("solver", "taxi")),
+        solver=solver,
         params=params,
         seed=body.get("seed", 0),
-        deadline_seconds=body.get("deadline_seconds"),
+        deadline_seconds=deadline,
     )
 
 

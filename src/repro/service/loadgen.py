@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import queue
 import threading
 import time
 import urllib.error
@@ -660,28 +661,59 @@ def run_loadtest(
     release = threading.Event()
 
     def open_loop() -> list[threading.Thread]:
-        # One thread per request, all *pre-spawned* and parked on the
-        # release gate before the run clock starts; each then sleeps
-        # until its own arrival offset and issues.  The previous
-        # design start()ed threads at their arrival times from one
-        # releaser thread, so per-thread spawn cost accumulated into
-        # the schedule and fast rates silently under-drove.  Now
-        # arrivals queue behind neither completions nor thread
-        # creation, so the offered rate really is config.rate (up to
-        # scheduler jitter, reported as lag) however slow the service
-        # gets.
-        def runner(slot: int) -> None:
-            release.wait()
-            delay = (start + schedule[slot].arrival) - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            issue(slot)
+        # Bounded issuing pool.  The previous design pre-spawned one
+        # parked thread per request, which collapses around
+        # --requests 5000 (a thread stack per scheduled arrival).  Now
+        # one scheduler thread walks the arrival schedule in order —
+        # enqueueing a slot is O(1), so thread spawn cost can no longer
+        # accumulate into the schedule and under-drive fast rates —
+        # and `open_loop_threads` pooled issuers drain the queue.
+        # Arrivals beyond the pool's instantaneous capacity wait their
+        # turn; `issue` stamps lag at actual issue time, so
+        # max_arrival_lag_seconds stays honest about that queueing.
+        arrivals: queue.Queue = queue.Queue()
+        pool_width = min(len(schedule), config.open_loop_threads)
 
-        return [
-            threading.Thread(target=runner, args=(slot,),
-                             name=f"loadgen-req-{slot}", daemon=True)
-            for slot in range(len(schedule))
+        def scheduler() -> None:
+            release.wait()
+            for slot in range(len(schedule)):
+                delay = (start + schedule[slot].arrival) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                arrivals.put(slot)
+            # Sentinels only after every slot completed: a warm slot
+            # rotated to the back of the queue (below) must never land
+            # behind an issuer-stopping sentinel.
+            for event in done_events:
+                event.wait(config.timeout)
+            for _ in range(pool_width):
+                arrivals.put(None)
+
+        def issuer() -> None:
+            while True:
+                slot = arrivals.get()
+                if slot is None:
+                    return
+                planned = schedule[slot]
+                if (planned.kind == "warm"
+                        and not done_events[planned.ref].is_set()
+                        and not arrivals.empty()):
+                    # Don't park a bounded issuer on a warm gate while
+                    # due arrivals queue behind it: grant the gate a
+                    # short grace, then rotate the slot to the back.
+                    if not done_events[planned.ref].wait(0.01):
+                        arrivals.put(slot)
+                        continue
+                issue(slot)
+
+        threads = [
+            threading.Thread(target=issuer, name=f"loadgen-issuer-{i}",
+                             daemon=True)
+            for i in range(pool_width)
         ]
+        threads.append(threading.Thread(
+            target=scheduler, name="loadgen-scheduler", daemon=True))
+        return threads
 
     try:
         if config.mode == "open":

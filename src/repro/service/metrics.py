@@ -394,6 +394,12 @@ class ServiceMetrics:
         self.partial_group_failures = registry.counter(
             "repro_partial_group_failures_total",
             "Dispatch groups where some-but-not-all tasks failed")
+        self.portfolio_arms = registry.counter(
+            "repro_portfolio_arms_total",
+            "Arms raced (launched) by portfolio solves")
+        self.warm_starts = registry.counter(
+            "repro_warm_starts_total",
+            "Solves seeded from a near-match cached tour")
         self.degraded = registry.gauge(
             "repro_degraded",
             "1 while the worker pool is broken/respawning, else 0")
@@ -429,6 +435,17 @@ class ServiceMetrics:
         self.registry.counter(
             "repro_http_responses_total", "HTTP responses by status code",
             labels={"status": str(int(status))},
+        ).inc()
+
+    def portfolio_win(self, arm_label: str) -> None:
+        """Count one portfolio win by arm (labeled family).
+
+        Arm labels are intentionally low-cardinality: solver name plus
+        the sweep rung and ladder index (e.g. ``sa_tsp-s400@2``).
+        """
+        self.registry.counter(
+            "repro_portfolio_wins_total", "Portfolio race wins by arm",
+            labels={"arm": str(arm_label)},
         ).inc()
 
     def snapshot(self) -> dict:

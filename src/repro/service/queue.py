@@ -43,8 +43,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import ServiceConfig
-from repro.engine.arena import MATRIX_SHARE_LIMIT, InstanceArena
+from repro.engine.arena import MATRIX_SHARE_LIMIT, InstanceArena, content_key
 from repro.engine.jobs import InstanceSpec, spec_from_token
+from repro.engine.portfolio import WARM_CAPABLE, Trajectory, plan_arms, race
 from repro.engine.recovery import RetryPolicy
 from repro.engine.runner import ReplicaTask, run_replica_task
 from repro.engine.wavefront import WavefrontPool
@@ -55,7 +56,7 @@ from repro.errors import (
     ServiceError,
     ShedError,
 )
-from repro.service.cache import ResultCache
+from repro.service.cache import ResultCache, instance_signature
 from repro.service.fingerprint import (
     canonical_params,
     canonical_seed,
@@ -706,6 +707,9 @@ class SolveService:
         """
         if self.fault_injector is not None:
             self.fault_injector.on_dispatch(self.pool)
+        if jobs and jobs[0].request.solver == "portfolio":
+            self._run_portfolio_group(jobs)
+            return
         tasks = [
             ReplicaTask(
                 spec=self._dispatch_spec(job.request),
@@ -769,7 +773,8 @@ class SolveService:
                 # Cache before concluding: even if the watchdog already
                 # expired this job, the finished work is still a valid
                 # content-addressed result for future requests.
-                self.cache.put(job.fingerprint, value)
+                self.cache.put(job.fingerprint, value,
+                               signature=self._result_signature(job.request))
                 succeeded += 1
                 if self._conclude(job, result=value):
                     self.metrics.completed.inc()
@@ -787,6 +792,121 @@ class SolveService:
                     self.metrics.failed.inc()
         if succeeded and failed:
             self.metrics.partial_group_failures.inc()
+
+    def _result_signature(self, request: SolveRequest):
+        """Locality signature to register with the warm-start tier, or None."""
+        if not self.config.warm_start_enabled():
+            return None
+        try:
+            return instance_signature(request.spec.resolve())
+        except Exception:  # a failed signature must never fail the solve
+            return None
+
+    def _run_portfolio_group(self, jobs: list[Job]) -> None:
+        """Race portfolio arms across the service pool, one job at a time.
+
+        Each job fans its planned arms over the shared
+        :class:`WavefrontPool` via :func:`repro.engine.portfolio.race`
+        (the jobs of one group share params/seed but name different
+        instances, so their arm sets differ and cannot be merged into
+        one wave).  Deadline watchdog semantics match
+        :meth:`_run_group`.
+        """
+        watchdog_done = threading.Event()
+        watchdog: threading.Thread | None = None
+        if any(job.deadline_at is not None for job in jobs):
+            watchdog = threading.Thread(
+                target=self._deadline_watchdog,
+                args=(jobs, watchdog_done),
+                name="repro-deadline-watchdog",
+                daemon=True,
+            )
+            watchdog.start()
+        try:
+            for job in jobs:
+                self._run_portfolio_job(job)
+        finally:
+            watchdog_done.set()
+            if watchdog is not None:
+                watchdog.join()
+
+    def _run_portfolio_job(self, job: Job) -> None:
+        """Plan, warm-seed, and race one portfolio solve to conclusion."""
+        request = job.request
+        signature = None
+        try:
+            instance = request.spec.resolve()
+            params = dict(request.params)
+            budget = float(params.get("budget_seconds", 2.0))
+            trajectory = (
+                Trajectory.load(self.config.trajectory_dir)
+                if self.config.trajectory_dir else None
+            )
+            arms = plan_arms(
+                instance.n,
+                budget_seconds=budget,
+                seed=request.seed,
+                digest=content_key(instance),
+                max_arms=int(params.get("max_arms", 4)),
+                trajectory=trajectory,
+            )
+            # Near-match warm start: this job is here because its exact
+            # fingerprint missed; a geometrically similar cached tour
+            # can still seed the annealing arms.
+            warm_start = warm_source = None
+            if self.config.warm_start_enabled() and any(
+                    arm.solver in WARM_CAPABLE for arm in arms):
+                signature = instance_signature(instance)
+                near = self.cache.find_similar(
+                    signature, self.config.warm_threshold)
+                if near is not None and isinstance(near[1].get("tour"), list):
+                    warm_source, warm_start = near[0], near[1]["tour"]
+            elif self.config.warm_start_enabled():
+                signature = instance_signature(instance)
+            result = race(
+                arms,
+                spec=self._dispatch_spec(request),
+                pool=self.pool,
+                mode=str(params.get("mode", "best")),
+                accept_ratio=float(params.get("accept_ratio", 1.0)),
+                budget_seconds=budget,
+                warm_start=warm_start,
+                warm_source=warm_source,
+            )
+        except ReproError as exc:
+            if self._conclude(job, error=str(exc)):
+                self.metrics.failed.inc()
+            return
+        except Exception as exc:  # defensive: keep serving whatever breaks
+            if self._conclude(job, error=f"{type(exc).__name__}: {exc}"):
+                self.metrics.failed.inc()
+            return
+        launched = sum(
+            1 for outcome in result.outcomes if outcome.status != "cancelled")
+        self.metrics.portfolio_arms.inc(launched)
+        self.metrics.portfolio_win(result.winner.label)
+        if result.warm_source is not None:
+            self.metrics.warm_starts.inc()
+        value = {
+            "instance": request.spec.label,
+            "n": int(result.order.size),
+            "solver": request.solver,
+            "seed": request.seed,
+            "params": dict(request.params),
+            "length": result.length,
+            "tour": [int(city) for city in result.order],
+            "tour_hash": tour_hash(result.order),
+            "solve_seconds": result.seconds,
+            "setup_seconds": 0.0,
+            "portfolio": result.ledger(),
+        }
+        if result.warm_source is not None:
+            value["warm_start"] = result.warm_source[:16]
+        self.cache.put(job.fingerprint, value, signature=signature)
+        if self._conclude(job, result=value):
+            self.metrics.completed.inc()
+            self.metrics.solve_latency.observe(
+                job.finished_at - job.submitted_at)
 
     def _fail_group(self, jobs: list[Job], error: str) -> None:
         for job in jobs:

@@ -35,6 +35,8 @@ TINY = dict(
     replica_batch_sweeps=8,
     replica_batch_replicas=2,
     scale_sizes=[60],
+    portfolio_sizes=[40],
+    portfolio_deadlines=[0.2],
     replicas=2,
     repeats=1,
 )
@@ -55,9 +57,10 @@ class TestRunBench:
     def test_entry_fields(self, payload):
         for entry in payload["entries"]:
             assert entry["seconds"] > 0
-            if entry["kind"] in ("loadtest", "scale"):
-                # Traffic cells report req/s (in quality); scale cells
-                # are single sweepless local-search runs.
+            if entry["kind"] in ("loadtest", "scale", "portfolio"):
+                # Traffic cells report req/s (in quality); scale and
+                # portfolio cells are single sweepless racing/local
+                # search runs.
                 assert entry["sweeps_per_sec"] is None
             else:
                 assert entry["sweeps_per_sec"] > 0
@@ -117,7 +120,8 @@ class TestRunBench:
         payload = run_bench(
             ising_sizes=[], tsp_sizes=[24], engine_solvers=[], engine_sizes=[],
             pipeline_sizes=[], service_sizes=[], loadtest_sizes=[],
-            replica_batch_sizes=[], scale_sizes=[], tsp_sweeps=5, repeats=1,
+            replica_batch_sizes=[], scale_sizes=[], portfolio_sizes=[],
+            tsp_sweeps=5, repeats=1,
         )
         kinds = {e["kind"] for e in payload["entries"]}
         assert kinds == {"sa_tsp"}
@@ -196,7 +200,7 @@ class TestBenchCLI:
             "bench", "--ising-sizes", "40", "--tsp-sizes", "24",
             "--engine-sizes", "--engine-solvers", "--pipeline-sizes",
             "--service-sizes", "--loadtest-sizes", "--replica-batch-sizes",
-            "--scale-sizes",
+            "--scale-sizes", "--portfolio-sizes",
             "--ising-sweeps", "10", "--tsp-sweeps", "10",
             "--repeats", "1", "--out", str(tmp_path),
         ])
@@ -208,3 +212,60 @@ class TestBenchCLI:
         assert len(files) == 1
         payload = json.loads(files[0].read_text())
         assert {e["kind"] for e in payload["entries"]} == {"ising", "sa_tsp"}
+
+
+class TestScaleRssIsolation:
+    """Peak-RSS attribution: each scale cell owns its own high-water mark.
+
+    ``ru_maxrss`` is a process-lifetime maximum, so before the per-cell
+    subprocess fix a big cell's peak was silently attributed to every
+    smaller cell measured after it in the same process.  The ballast
+    hook makes the first cell's footprint unambiguous without solving a
+    genuinely huge instance.
+    """
+
+    def test_small_cell_after_big_reports_its_own_rss(self, monkeypatch):
+        from repro.engine.bench import _bench_scale
+
+        # ~120 MiB of resident ballast pinned while cell n=90 solves.
+        monkeypatch.setenv("REPRO_BENCH_SCALE_BALLAST", "90:120")
+        entries = _bench_scale([90, 70], seed=3)
+        # Caller order is preserved (curvature sorts by n itself).
+        assert [e["n"] for e in entries] == [90, 70]
+        big, small = entries
+        # The later, smaller cell must NOT inherit the ballasted peak.
+        assert big["peak_rss_bytes"] > 120 * (1 << 20)
+        assert small["peak_rss_bytes"] < big["peak_rss_bytes"] - 60 * (1 << 20)
+
+    def test_cells_solve_identically_to_in_process(self):
+        from repro.engine.bench import _scale_cell
+
+        entry = _scale_cell(60, seed=3)
+        assert entry["kind"] == "scale"
+        assert entry["peak_rss_bytes"] > 0
+        assert entry["tour_hash"]
+
+
+class TestPortfolioGrid:
+    def test_portfolio_curves_in_payload(self, payload):
+        curves = payload["portfolio_curves"]
+        assert len(curves) == 1  # one (n, deadline) cell in TINY
+        row = curves[0]
+        assert row["n"] == 40
+        assert row["deadline_seconds"] == 0.2
+        # The portfolio picks the minimum over the same seeded arm
+        # runs, so it can never lose to the best fixed arm.
+        assert row["matches_best"]
+        assert row["portfolio_quality"] <= row["best_arm_quality"]
+        assert row["arms_raced"] >= 1
+
+    def test_portfolio_cells_deterministic(self):
+        from repro.engine.bench import _bench_portfolio
+
+        first = _bench_portfolio([40], [0.2], seed=5)
+        second = _bench_portfolio([40], [0.2], seed=5)
+        strip = lambda e: {k: v for k, v in e.items()
+                           if k not in ("seconds", "sweeps_per_sec", "arms")}
+        assert [strip(e) for e in first] == [strip(e) for e in second]
+        assert first[0]["winner"] == second[0]["winner"]
+        assert first[0]["tour_hash"] == second[0]["tour_hash"]

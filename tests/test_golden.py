@@ -42,6 +42,9 @@ GOLDEN_PARAMS = {
     "cima": {"sweeps": 40},
     "neuro_ising": {"sweeps": 40},
     "sa_tsp": {"sweeps": 40},
+    # mode="best" is bit-reproducible (budget enforced at plan time),
+    # so the racing portfolio pins golden tours like any fixed solver.
+    "portfolio": {"budget_seconds": 0.5},
 }
 
 

@@ -230,6 +230,51 @@ class TestRunLoadtest:
         assert summary["max_arrival_lag_seconds"] < 1.0
         assert last_arrival < 0.2
 
+    def test_open_loop_5k_requests_stay_under_thread_ceiling(self):
+        # The old open loop pre-spawned one parked thread per scheduled
+        # request, which collapses around --requests 5000.  The bounded
+        # issuing pool must drive the same 5k schedule with at most
+        # `open_loop_threads` issuers (+ scheduler + harness threads).
+        class ThreadCountingDriver:
+            name = "stub"
+
+            def __init__(self) -> None:
+                self.peak_threads = 0
+                self.solved = 0
+                self._lock = threading.Lock()
+
+            def solve(self, planned, timeout):
+                with self._lock:
+                    self.peak_threads = max(
+                        self.peak_threads, threading.active_count())
+                    self.solved += 1
+                return {"status": "done", "cached": planned.kind == "warm"}
+
+            def stats(self):
+                return {}
+
+            def metrics(self):
+                return {}
+
+        baseline = threading.active_count()
+        ceiling = 64
+        config = LoadgenConfig(**{
+            **TINY, "mode": "open", "rate": 100_000.0, "requests": 5000,
+            "open_loop_threads": ceiling, "timeout": 120.0,
+        })
+        driver = ThreadCountingDriver()
+        report = run_loadtest(config, driver=driver)
+        summary = report.summary()
+        assert summary["completed"] == 5000
+        assert summary["errors"] == 0
+        assert driver.solved == 5000
+        # Pool + scheduler + whatever was already running — never one
+        # thread per request.
+        assert driver.peak_threads <= ceiling + baseline + 1
+        # The lag ledger stays honest: queueing behind the bounded pool
+        # is reported, not hidden.
+        assert summary["max_arrival_lag_seconds"] >= 0.0
+
     def test_explicit_driver_on_existing_service(self):
         config = LoadgenConfig(**{**TINY, "requests": 6})
         with SolveService(ServiceConfig(batch_window=0.0)) as service:

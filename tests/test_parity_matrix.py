@@ -32,6 +32,11 @@ BIT_EXACT = {
 DISTRIBUTION = {
     "taxi", "hvc", "ima", "cima", "neuro_ising",
 }
+#: Meta-solvers with no backend knob of their own: parity is defined as
+#: bit-identical reruns (their arms' backend parity is covered above).
+META_DETERMINISTIC = {
+    "portfolio",
+}
 
 #: Relative tolerance for distribution-level parity on mean lengths.
 DISTRIBUTION_RTOL = 0.10
@@ -53,13 +58,19 @@ def _params_for(solver: str) -> dict:
 
 def test_matrix_covers_the_whole_registry():
     """A new solver must declare its parity class before it ships."""
-    unclassified = set(solver_names()) - BIT_EXACT - DISTRIBUTION
+    classes = (BIT_EXACT, DISTRIBUTION, META_DETERMINISTIC)
+    unclassified = set(solver_names()) - set().union(*classes)
     assert not unclassified, (
         f"solvers without a parity class: {sorted(unclassified)}; "
-        "add them to BIT_EXACT or DISTRIBUTION in test_parity_matrix.py"
+        "add them to BIT_EXACT, DISTRIBUTION, or META_DETERMINISTIC in "
+        "test_parity_matrix.py"
     )
-    overlap = BIT_EXACT & DISTRIBUTION
-    assert not overlap, f"solvers in both parity classes: {sorted(overlap)}"
+    for first in classes:
+        for second in classes:
+            if first is not second:
+                overlap = first & second
+                assert not overlap, (
+                    f"solvers in two parity classes: {sorted(overlap)}")
 
 
 @pytest.mark.parametrize("solver", sorted(BIT_EXACT))
@@ -76,6 +87,19 @@ def test_bit_exact_backend_parity(solver):
             err_msg=f"{solver} seed={seed}: fast != reference",
         )
         assert fast.length == ref.length
+
+
+@pytest.mark.parametrize("solver", sorted(META_DETERMINISTIC))
+def test_meta_deterministic_reruns(solver):
+    instance = clustered_instance(64, seed=90)
+    for seed in SEEDS:
+        first = solve_with(solver, instance, seed=seed)
+        second = solve_with(solver, instance, seed=seed)
+        np.testing.assert_array_equal(
+            second.order, first.order,
+            err_msg=f"{solver} seed={seed}: reruns differ",
+        )
+        assert second.length == first.length
 
 
 #: Solvers whose ``array`` backend must match ``fast`` bit-for-bit

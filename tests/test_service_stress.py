@@ -79,6 +79,71 @@ class TestCacheStress:
             if value is not None:
                 assert value["v"] != "scribble"
 
+    def test_get_latency_bounded_during_large_save(self, tmp_path,
+                                                   monkeypatch):
+        """A drain-time save must not stall concurrent reads.
+
+        ``save()`` holds the lock only for an O(entries) pointer
+        snapshot; serialization and disk I/O run outside it.  Slowing
+        ``json.dump`` to a crawl therefore must NOT show up in ``get``
+        latency — if it does, serialization crept back under the lock.
+        """
+        import json as real_json
+
+        import repro.service.cache as cache_module
+
+        cache = ResultCache(capacity=512, path=str(tmp_path / "cache.json"))
+        for i in range(400):
+            cache.put(f"fp{i}", {"tour": list(range(50)), "i": i})
+
+        dump_window = {}
+
+        class SlowJson:
+            def __getattr__(self, name):
+                return getattr(real_json, name)
+
+            @staticmethod
+            def dump(payload, stream):
+                dump_window["start"] = time.perf_counter()
+                time.sleep(0.4)
+                real_json.dump(payload, stream)
+                dump_window["end"] = time.perf_counter()
+
+        monkeypatch.setattr(cache_module, "json", SlowJson())
+
+        get_latencies: list[tuple[float, float]] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            index = 0
+            while not stop.is_set():
+                began = time.perf_counter()
+                cache.get(f"fp{index % 400}")
+                get_latencies.append((began, time.perf_counter() - began))
+                index += 1
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            saved = cache.save()
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+
+        # Reads really did overlap the slowed serialization window...
+        overlapped = [
+            duration for began, duration in get_latencies
+            if dump_window["start"] <= began <= dump_window["end"]
+        ]
+        assert overlapped
+        # ...and none of them waited out the 0.4 s dump stall.
+        assert max(duration for _, duration in get_latencies) < 0.2
+        # The file written under contention still round-trips intact.
+        fresh = ResultCache(capacity=512)
+        assert fresh.load(saved) == 400
+
 
 class TestDuplicateFingerprintStress:
     def test_inflight_dedup_never_solves_twice(self, monkeypatch):
